@@ -1,0 +1,49 @@
+"""Helpers shared by the experiment benchmark modules."""
+
+from repro.exec.strategies import run_strategy
+
+
+def work_of(rows, label, method):
+    """The deterministic work counter for one (label, method) cell."""
+    for row in rows:
+        if row.label == label and row.method == method:
+            if row.work is None:
+                raise AssertionError(
+                    "%s/%s failed: %r" % (label, method, row.error)
+                )
+            return row.work
+    raise AssertionError("no row for %s/%s" % (label, method))
+
+
+def error_of(rows, label, method):
+    """The recorded error for one cell (None if it succeeded)."""
+    for row in rows:
+        if row.label == label and row.method == method:
+            return row.error
+    raise AssertionError("no row for %s/%s" % (label, method))
+
+
+def extras_of(rows, label, method):
+    for row in rows:
+        if row.label == label and row.method == method:
+            return row.extras
+    raise AssertionError("no row for %s/%s" % (label, method))
+
+
+def make_timer(query, db, method):
+    """A zero-argument callable for pytest-benchmark."""
+
+    def run():
+        return run_strategy(method, query, db)
+
+    return run
+
+
+def assert_claims(benchmark, check):
+    """Run claim assertions once under pytest-benchmark.
+
+    Claim tests carry no timing content of their own, but they must not
+    be skipped under ``--benchmark-only``; a single pedantic round keeps
+    them in that run.
+    """
+    benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,97 @@
+"""A2 (ablation) — semi-naive vs naive fixpoint iteration.
+
+The engine's recursive rounds restrict one occurrence of a recursive
+predicate to the facts derived in the previous round (semi-naive).
+This ablation re-runs the same programs with full-relation rounds (the
+textbook naive fixpoint) to quantify what the delta discipline buys —
+the counting-vs-magic comparisons in E1-E10 all sit on top of it.
+
+Shape asserted: on transitive closure over a chain, naive iteration
+re-derives quadratically many duplicates while semi-naive's duplicates
+stay linear; identical fixpoints either way.
+"""
+
+import pytest
+
+from conftest import register_table
+from _common import assert_claims
+
+from repro import parse_program
+from repro.bench.reporting import format_table
+from repro.data.generators import chain
+from repro.engine import Database, EvalStats, SemiNaiveEngine
+
+TC = parse_program("""
+    tc(X, Y) :- arc(X, Y).
+    tc(X, Y) :- tc(X, Z), arc(Z, Y).
+""")
+SIZES = [16, 32, 64]
+
+
+def run_once(n, seminaive):
+    db = Database()
+    db.add_facts(chain(n))
+    stats = EvalStats()
+    engine = SemiNaiveEngine(TC, db, stats=stats, seminaive=seminaive)
+    derived = engine.run()
+    return stats, len(derived[("tc", 2)])
+
+
+@pytest.fixture(scope="module")
+def rows():
+    measurements = {}
+    table_rows = []
+    for n in SIZES:
+        for seminaive in (True, False):
+            stats, facts = run_once(n, seminaive)
+            measurements[(n, seminaive)] = (stats, facts)
+            table_rows.append([
+                "chain n=%d" % n,
+                "semi-naive" if seminaive else "naive",
+                facts,
+                stats.facts_duplicate,
+                stats.total_work,
+            ])
+    register_table(
+        "a2_seminaive",
+        format_table(
+            ["workload", "iteration", "tc facts", "duplicates", "work"],
+            table_rows,
+            title="A2 (ablation): semi-naive vs naive fixpoint on "
+                  "transitive closure",
+        ),
+    )
+    return measurements
+
+
+def test_a2_time_seminaive(benchmark, rows):
+    benchmark(lambda: run_once(32, True))
+
+
+def test_a2_time_naive(benchmark, rows):
+    benchmark(lambda: run_once(32, False))
+
+
+def test_a2_same_fixpoint(rows, benchmark):
+    def check():
+        for n in SIZES:
+            assert rows[(n, True)][1] == rows[(n, False)][1]
+            assert rows[(n, True)][1] == n * (n + 1) // 2
+
+    assert_claims(benchmark, check)
+
+
+def test_a2_duplicate_blowup_without_deltas(rows, benchmark):
+    def check():
+        for n in SIZES:
+            semi_dup = rows[(n, True)][0].facts_duplicate
+            naive_dup = rows[(n, False)][0].facts_duplicate
+            assert naive_dup > 5 * max(1, semi_dup)
+        # Naive duplicates grow ~cubically with n, semi-naive ~linear.
+        growth = (
+            rows[(SIZES[-1], False)][0].facts_duplicate
+            / rows[(SIZES[0], False)][0].facts_duplicate
+        )
+        assert growth > 10
+
+    assert_claims(benchmark, check)

@@ -1,0 +1,107 @@
+"""A3 (ablation) — hash indexes on relations.
+
+The §3.4 pointer method's promise ("a direct access to the memory")
+presumes indexed access; the engine's relations build hash indexes on
+demand for whatever argument positions a join binds.  This ablation
+disables them, turning every match into a full scan, and measures the
+wall-clock cost on the magic-rewritten same-generation query.  Logical
+work (facts derived) is identical — only access cost changes — so this
+is asserted on time, with a conservative margin.
+"""
+
+import time
+
+import pytest
+
+from conftest import register_table
+from _common import assert_claims
+
+from repro.bench.reporting import format_table
+from repro.data.workloads import WORKLOADS
+from repro.engine import EvalStats, SemiNaiveEngine
+from repro.rewriting import magic_rewrite
+
+WORKLOAD = WORKLOADS["sg_tree"]
+DEPTH = 8
+
+
+def make_inputs():
+    db, _source = WORKLOAD.make_db(fanout=2, depth=DEPTH)
+    rewriting = magic_rewrite(WORKLOAD.query)
+    return db, rewriting.query.program
+
+
+def run_once(db, program, use_indexes):
+    working = db.copy()
+    for key in working.keys():
+        working.get(key).use_indexes = use_indexes
+    stats = EvalStats()
+    engine = SemiNaiveEngine(program, working, stats=stats)
+    if not use_indexes:
+        # Derived relations must scan too: flip them as they appear.
+        original = engine._relation
+
+        def unindexed_relation(key):
+            relation = original(key)
+            relation.use_indexes = False
+            return relation
+
+        engine._relation = unindexed_relation
+    started = time.perf_counter()
+    derived = engine.run()
+    elapsed = time.perf_counter() - started
+    facts = sum(len(rel) for rel in derived.values())
+    return elapsed, facts, stats
+
+
+@pytest.fixture(scope="module")
+def rows():
+    db, program = make_inputs()
+    measurements = {}
+    table_rows = []
+    for use_indexes in (True, False):
+        # Best of three runs to damp scheduler noise.
+        best = None
+        for _ in range(3):
+            elapsed, facts, stats = run_once(db, program, use_indexes)
+            if best is None or elapsed < best[0]:
+                best = (elapsed, facts, stats)
+        measurements[use_indexes] = best
+        table_rows.append([
+            "magic sg depth=%d" % DEPTH,
+            "indexed" if use_indexes else "full scans",
+            best[1],
+            best[0],
+        ])
+    register_table(
+        "a3_indexes",
+        format_table(
+            ["workload", "access", "facts", "best seconds"],
+            table_rows,
+            title="A3 (ablation): hash indexes vs full scans",
+        ),
+    )
+    return measurements
+
+
+def test_a3_time_indexed(benchmark, rows):
+    db, program = make_inputs()
+    benchmark.pedantic(
+        lambda: run_once(db, program, True), rounds=3, iterations=1
+    )
+
+
+def test_a3_same_fixpoint(rows, benchmark):
+    def check():
+        assert rows[True][1] == rows[False][1]
+
+    assert_claims(benchmark, check)
+
+
+def test_a3_indexes_matter(rows, benchmark):
+    def check():
+        indexed = rows[True][0]
+        scanned = rows[False][0]
+        assert scanned > 3 * indexed, (indexed, scanned)
+
+    assert_claims(benchmark, check)

@@ -1,0 +1,103 @@
+"""E10 — Theorem 2(3): Algorithm 2's fixpoint terminates, with a
+predictable state budget, on arbitrary cyclic data.
+
+The answer phase of the cyclic counting evaluator ranges over
+(answer value, counting row) states, so its state count is bounded by
+|answer-side nodes| x |counting rows| no matter how tangled the cycles
+are.
+
+Workload: same generation whose up relation is a random cyclic graph
+of growing size, plus a fixed down corridor.
+
+Shape asserted: every run terminates; measured answer states never
+exceed the bound; counting rows equal the reachable node count
+(finite despite cycles); work grows polynomially (doubling n less than
+~8x work).
+"""
+
+import pytest
+
+from conftest import register_table
+from _common import assert_claims, extras_of, make_timer, work_of
+
+from repro import parse_query
+from repro.bench import matrix_table, run_matrix
+from repro.data.generators import node_name, random_graph
+from repro.engine.database import Database
+
+QUERY = parse_query("""
+    sg(X, Y) :- flat(X, Y).
+    sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).
+    ?- sg(a, Y).
+""")
+
+METHODS = ["magic", "cyclic_counting"]
+SIZES = [8, 16, 32]
+DOWN_LENGTH = 40
+
+
+def make_db(n):
+    db = Database()
+    for _pred, (x, y) in random_graph(n, 3 * n, seed=99, prefix="g"):
+        db.add_fact("up", x, y)
+    db.add_fact("up", "a", node_name("g", 0))
+    db.add_fact("flat", node_name("g", 0), node_name("w", 0))
+    for i in range(DOWN_LENGTH):
+        db.add_fact("down", node_name("w", i), node_name("w", i + 1))
+    return db
+
+
+@pytest.fixture(scope="module")
+def rows():
+    collected = []
+    for n in SIZES:
+        collected.extend(
+            run_matrix(QUERY, make_db(n), METHODS, label="n=%d" % n)
+        )
+    register_table(
+        "e10_termination",
+        matrix_table(
+            collected,
+            title="E10: Algorithm 2 on random cyclic up graphs "
+                  "(3n arcs, down corridor of %d)" % DOWN_LENGTH,
+            extra_columns=("counting_rows", "counting_triples",
+                           "back_arcs", "answer_states"),
+        ),
+    )
+    return collected
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_e10_time_n16(benchmark, method, rows):
+    benchmark(make_timer(QUERY, make_db(16), method))
+
+
+def test_e10_always_terminates_with_cycles(rows, benchmark):
+    def check():
+        for n in SIZES:
+            extras = extras_of(rows, "n=%d" % n, "cyclic_counting")
+            assert extras["back_arcs"] > 0  # genuinely cyclic input
+            assert extras["counting_rows"] <= n + 1
+
+    assert_claims(benchmark, check)
+
+
+def test_e10_state_budget_respected(rows, benchmark):
+    def check():
+        answer_nodes = DOWN_LENGTH + 1
+        for n in SIZES:
+            extras = extras_of(rows, "n=%d" % n, "cyclic_counting")
+            bound = answer_nodes * extras["counting_rows"]
+            assert extras["answer_states"] <= bound
+
+    assert_claims(benchmark, check)
+
+
+def test_e10_polynomial_growth(rows, benchmark):
+    def check():
+        works = [work_of(rows, "n=%d" % n, "cyclic_counting")
+                 for n in SIZES]
+        assert works[1] <= 8 * works[0]
+        assert works[2] <= 8 * works[1]
+
+    assert_claims(benchmark, check)

@@ -1,0 +1,103 @@
+"""E2 — §3.4: counting-set size, n² vs n.
+
+Workload: same generation whose ``up`` graph is a shortcut chain
+(arcs ``i -> i+1`` and ``i -> i+2``), so every node is reachable at
+many distinct distances.  The paper's claim: the classical counting
+set stores one tuple per (node, distance) pair — Θ(n²) worst case on an
+acyclic graph of n nodes — while the pointer method keyed per node
+stores n rows (plus one triple per arc, ≤ n², here ~2n), the same
+order as the magic set.
+
+Shape asserted: classical counting-set size grows quadratically while
+pointer rows and the magic set grow linearly.
+"""
+
+import pytest
+
+from conftest import register_table
+from _common import assert_claims, extras_of, make_timer
+
+from repro import parse_query
+from repro.bench import matrix_table, run_matrix
+from repro.data.generators import node_name, shortcut_chain
+from repro.engine.database import Database
+
+QUERY = parse_query("""
+    sg(X, Y) :- flat(X, Y).
+    sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).
+    ?- sg(a, Y).
+""")
+
+METHODS = ["magic", "classical_counting", "pointer_counting"]
+SIZES = [16, 32, 64]
+
+
+def make_db(n):
+    db = Database()
+    for _pred, (x, y) in shortcut_chain(n, "up", "s"):
+        db.add_fact("up", "a" if x == "s0" else x, y)
+    db.add_fact("flat", node_name("s", n), node_name("w", 0))
+    for i in range(n):
+        db.add_fact("down", node_name("w", i), node_name("w", i + 1))
+    return db
+
+
+@pytest.fixture(scope="module")
+def rows():
+    collected = []
+    for n in SIZES:
+        collected.extend(
+            run_matrix(QUERY, make_db(n), METHODS, label="n=%d" % n)
+        )
+    register_table(
+        "e2_counting_set_size",
+        matrix_table(
+            collected,
+            title="E2: counting-set size on a shortcut chain "
+                  "(classical: per (node, distance); pointer: per node)",
+            extra_columns=("counting_set_size", "counting_rows",
+                           "counting_triples", "magic_set_size"),
+        ),
+    )
+    return collected
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_e2_time_n32(benchmark, method, rows):
+    benchmark(make_timer(QUERY, make_db(32), method))
+
+
+def test_e2_classical_set_quadratic(rows, benchmark):
+    def check():
+        sizes = [
+            extras_of(rows, "n=%d" % n, "classical_counting")[
+                "counting_set_size"
+            ]
+            for n in SIZES
+        ]
+        # Doubling n should roughly quadruple the (node, index) pairs.
+        assert sizes[1] / sizes[0] > 3.0
+        assert sizes[2] / sizes[1] > 3.0
+
+    assert_claims(benchmark, check)
+
+
+def test_e2_pointer_rows_linear(rows, benchmark):
+    def check():
+        for n in SIZES:
+            extras = extras_of(rows, "n=%d" % n, "pointer_counting")
+            assert extras["counting_rows"] == n + 1
+            # One triple per reachable up arc plus the source sentinel:
+            # ~2n, the paper's <= n^2 per-arc bound, far below n^2 here.
+            assert extras["counting_triples"] <= 2 * n + 1
+
+    assert_claims(benchmark, check)
+
+
+def test_e2_magic_set_linear(rows, benchmark):
+    def check():
+        for n in SIZES:
+            extras = extras_of(rows, "n=%d" % n, "magic")
+            assert extras["magic_set_size"] == n + 1
+
+    assert_claims(benchmark, check)

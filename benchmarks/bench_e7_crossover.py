@@ -1,0 +1,91 @@
+"""E7 — §1 / [4, 11]: where the counting advantage erodes.
+
+The paper (citing the Bancilhon-Ramakrishnan and Marchetti-Spaccamela
+et al. comparisons) frames counting as the winner on low-duplication
+data, with magic sets preferred when many distinct paths reach the
+same node: counting re-derives per path position, magic collapses them.
+
+Workload: layered same-generation DAGs with a tunable number of extra
+parents per node.  At 0 extra parents the up graph is a forest of
+chains; each increment multiplies the distinct source-to-node paths.
+
+Shape asserted: the magic/counting work ratio decreases monotonically
+as duplication grows, starting comfortably above 1 (counting wins) and
+shrinking by at least 2x across the sweep — the crossover trend.
+"""
+
+import pytest
+
+from conftest import register_table
+from _common import assert_claims, make_timer, work_of
+
+from repro.bench import matrix_table, run_matrix
+from repro.data.generators import duplication_dag_db
+from repro.data.workloads import WORKLOADS, _rename_source
+
+WORKLOAD = WORKLOADS["sg_tree"]  # same program; data built here
+QUERY = WORKLOAD.query
+METHODS = ["magic", "pointer_counting"]
+DUPLICATION = [0, 1, 2, 4]
+LEVELS = 5
+WIDTH = 6
+
+
+def make_db(extra_parents):
+    db, source = duplication_dag_db(
+        LEVELS, WIDTH, extra_parents, seed=1234
+    )
+    return _rename_source(db, source, "a")
+
+
+@pytest.fixture(scope="module")
+def rows():
+    collected = []
+    for extra in DUPLICATION:
+        collected.extend(
+            run_matrix(QUERY, make_db(extra), METHODS,
+                       label="extra_parents=%d" % extra)
+        )
+    register_table(
+        "e7_crossover",
+        matrix_table(
+            collected,
+            title="E7: counting advantage vs path duplication "
+                  "(layered DAG, %d levels x %d nodes)" % (LEVELS, WIDTH),
+            extra_columns=("counting_triples", "answer_states",
+                           "magic_set_size"),
+        ),
+    )
+    return collected
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("extra", [0, 4])
+def test_e7_time(benchmark, method, extra, rows):
+    benchmark(make_timer(QUERY, make_db(extra), method))
+
+
+def test_e7_counting_wins_without_duplication(rows, benchmark):
+    def check():
+        label = "extra_parents=0"
+        assert work_of(rows, label, "pointer_counting") \
+            < work_of(rows, label, "magic")
+
+    assert_claims(benchmark, check)
+
+
+def test_e7_advantage_shrinks_with_duplication(rows, benchmark):
+    def check():
+        ratios = [
+            work_of(rows, "extra_parents=%d" % extra, "magic")
+            / work_of(rows, "extra_parents=%d" % extra,
+                      "pointer_counting")
+            for extra in DUPLICATION
+        ]
+        assert all(
+            later <= earlier * 1.05
+            for earlier, later in zip(ratios, ratios[1:])
+        ), ratios
+        assert ratios[-1] < ratios[0] / 2, ratios
+
+    assert_claims(benchmark, check)

@@ -1,0 +1,79 @@
+"""E9 — §5 / Fact 1: pure right-linear and pure left-linear programs.
+
+Fact 1's corollaries: a right-linear program reduces to the counting
+clique plus the modified exit rules (reachability-style evaluation,
+matching Naughton et al.'s optimized form); a left-linear program
+reduces to the modified clique with the binding pushed into the exit
+rule through the counting seed.
+
+Shape asserted: both reductions leave three-rule programs, the reduced
+programs beat magic at every size, and answers match naive
+(cross-checked by run_matrix).
+"""
+
+import pytest
+
+from conftest import register_table
+from _common import assert_claims, make_timer, work_of
+
+from repro import extended_counting_rewrite, reduce_rewriting
+from repro.bench import matrix_table, run_matrix
+from repro.data.workloads import WORKLOADS
+
+METHODS = ["naive", "magic", "reduced_counting"]
+DEPTHS = [16, 32, 64]
+
+
+@pytest.fixture(scope="module")
+def rows():
+    collected = []
+    for name in ("right_linear", "left_linear"):
+        workload = WORKLOADS[name]
+        for depth in DEPTHS:
+            db, _source = workload.make_db(depth=depth)
+            collected.extend(
+                run_matrix(workload.query, db, METHODS,
+                           label="%s n=%d" % (name, depth))
+            )
+    register_table(
+        "e9_rlc_linear",
+        matrix_table(
+            collected,
+            title="E9: pure right-linear and left-linear programs "
+                  "(Fact 1 corollaries)",
+        ),
+    )
+    return collected
+
+
+@pytest.mark.parametrize("name", ["right_linear", "left_linear"])
+@pytest.mark.parametrize("method", METHODS)
+def test_e9_time_n32(benchmark, name, method, rows):
+    workload = WORKLOADS[name]
+    db, _source = workload.make_db(depth=32)
+    benchmark(make_timer(workload.query, db, method))
+
+
+def test_e9_reduced_programs_are_minimal(rows, benchmark):
+    def check():
+        for name in ("right_linear", "left_linear"):
+            workload = WORKLOADS[name]
+            reduced = reduce_rewriting(
+                extended_counting_rewrite(workload.query)
+            )
+            assert reduced.path_deleted_counting
+            assert reduced.path_deleted_answer
+            assert len(reduced.query.program) == 3, name
+
+    assert_claims(benchmark, check)
+
+
+def test_e9_reduced_beats_magic(rows, benchmark):
+    def check():
+        for name in ("right_linear", "left_linear"):
+            for depth in DEPTHS:
+                label = "%s n=%d" % (name, depth)
+                assert work_of(rows, label, "reduced_counting") \
+                    < work_of(rows, label, "magic"), label
+
+    assert_claims(benchmark, check)

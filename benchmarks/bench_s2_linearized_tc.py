@@ -1,0 +1,132 @@
+"""S2 (supplementary) — counting after square-rule linearization.
+
+The paper's conclusion claims its technique "can be extended to
+classes of non-linear programs".  This experiment measures the payoff
+of the prototype we built for that direction: the square transitive-
+closure rule is linearized to right-linear form, after which
+Algorithm 3 reduces the counting program to the bare reachability
+loop.
+
+Workload: bound-source transitive closure over chains with distractor
+components, plus a cyclic variant.
+
+Shape asserted: the optimizer routes the square program through
+linearization to a counting method; the linearized+reduced evaluation
+beats magic on the original non-linear program at every size, and the
+cyclic variant still terminates.
+"""
+
+import pytest
+
+from conftest import register_table
+from _common import assert_claims, work_of
+
+from repro import optimize, parse_query
+from repro.bench.harness import BenchRow
+from repro.bench import matrix_table
+from repro.data.generators import chain, node_name
+from repro.engine.database import Database
+from repro.exec.strategies import run_strategy
+
+QUERY = parse_query("""
+    tc(X, Y) :- arc(X, Y).
+    tc(X, Y) :- tc(X, Z), tc(Z, Y).
+    ?- tc(a, Y).
+""")
+
+SIZES = [16, 32, 64]
+DISTRACTORS = 3
+
+
+def make_db(n, cyclic=False):
+    db = Database()
+    facts = chain(n, "arc", "n")
+    for _pred, (x, y) in facts:
+        db.add_fact("arc", "a" if x == "n0" else x, y)
+    if cyclic:
+        db.add_fact("arc", node_name("n", n), "a")
+    for d in range(DISTRACTORS):
+        for _pred, (x, y) in chain(n, "arc", "d%d_" % d):
+            db.add_fact("arc", x, y)
+    return db
+
+
+def run_method(label, method_name, query, db):
+    try:
+        result = run_strategy(method_name, query, db)
+    except Exception as exc:  # recorded like the harness does
+        return BenchRow(label, method_name, error=exc)
+    return BenchRow(label, method_name, result=result)
+
+
+def run_linearized(label, db):
+    plan = optimize(QUERY, db)
+    result = plan.execute(db)
+    row = BenchRow(label, "linearized_counting", result=result)
+    row.extras = dict(result.extras)
+    row.extras["plan"] = plan.method
+    return row
+
+
+@pytest.fixture(scope="module")
+def rows():
+    collected = []
+    for n in SIZES:
+        db = make_db(n)
+        label = "n=%d" % n
+        collected.append(run_method(label, "naive", QUERY, db))
+        collected.append(run_method(label, "magic", QUERY, db))
+        collected.append(run_linearized(label, db))
+    cyclic_db = make_db(24, cyclic=True)
+    collected.append(run_method("cyclic", "magic", QUERY, cyclic_db))
+    collected.append(run_linearized("cyclic", cyclic_db))
+    register_table(
+        "s2_linearized_tc",
+        matrix_table(
+            collected,
+            title="S2: square-rule TC — magic on the non-linear program "
+                  "vs linearize-then-count (%d distractor chains)"
+                  % DISTRACTORS,
+        ),
+    )
+    return collected
+
+
+def test_s2_time_linearized(benchmark, rows):
+    db = make_db(32)
+    benchmark(lambda: optimize(QUERY, db).execute(db))
+
+
+def test_s2_time_magic(benchmark, rows):
+    db = make_db(32)
+    benchmark(lambda: run_strategy("magic", QUERY, db))
+
+
+def test_s2_optimizer_routes_through_linearization(rows, benchmark):
+    def check():
+        db = make_db(16)
+        plan = optimize(QUERY, db)
+        assert "linearization" in plan.reason
+        assert plan.method in ("reduced_counting", "pointer_counting",
+                               "cyclic_counting")
+
+    assert_claims(benchmark, check)
+
+
+def test_s2_linearized_counting_beats_magic(rows, benchmark):
+    def check():
+        for n in SIZES:
+            label = "n=%d" % n
+            assert work_of(rows, label, "linearized_counting") \
+                < work_of(rows, label, "magic"), label
+
+    assert_claims(benchmark, check)
+
+
+def test_s2_cyclic_still_terminates(rows, benchmark):
+    def check():
+        cyclic = work_of(rows, "cyclic", "linearized_counting")
+        magic = work_of(rows, "cyclic", "magic")
+        assert cyclic < magic
+
+    assert_claims(benchmark, check)

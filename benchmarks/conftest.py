@@ -1,0 +1,34 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Each experiment module computes its comparison table once (module
+scope), asserts the paper's qualitative claims about it, and registers
+the rendered table here.  A ``pytest_terminal_summary`` hook prints all
+registered tables at the end of the run — so ``pytest benchmarks/
+--benchmark-only`` emits both pytest-benchmark's timing statistics and
+the paper-shaped work tables — and writes each to
+``benchmarks/results/<experiment>.txt``.
+"""
+
+import os
+
+_TABLES = []
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def register_table(experiment_id, text):
+    """Record a rendered experiment table for the terminal summary."""
+    _TABLES.append((experiment_id, text))
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    path = os.path.join(_RESULTS_DIR, "%s.txt" % experiment_id)
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_sep("=", "experiment tables (paper shapes)")
+    for experiment_id, text in _TABLES:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(text)

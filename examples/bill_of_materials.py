@@ -1,0 +1,82 @@
+"""Mixed-linear optimization on a bill-of-materials query.
+
+A manufacturing database stores ``part_of(P, A)`` (part P goes into
+assembly A — traversed top-down via its inverse ``contains``),
+``made_of(A, M)`` (assembly A's base material) and ``refines(M, M1)``
+(material refinement steps).  The query asks which materials a given
+product can end up depending on::
+
+    needs(X, M) :- made_of(X, M).          % exit
+    needs(X, M) :- contains(X, P), needs(P, M).     % right-linear
+    needs(X, M) :- needs(X, M1), refines(M1, M).    % left-linear
+
+This is exactly the paper's Example 6 shape: one right-linear rule and
+one left-linear rule.  Algorithm 3 deletes the path argument entirely
+and the residual program is the factorized form of Naughton et al. —
+shown below, then benchmarked against magic sets.
+
+Run with::
+
+    python examples/bill_of_materials.py
+"""
+
+from repro import (
+    Database,
+    extended_counting_rewrite,
+    optimize,
+    parse_query,
+    reduce_rewriting,
+)
+from repro.bench import matrix_table, run_matrix
+from repro.datalog import format_query
+
+QUERY = parse_query("""
+    needs(X, M) :- made_of(X, M).
+    needs(X, M) :- contains(X, P), needs(P, M).
+    needs(X, M) :- needs(X, M1), refines(M1, M).
+    ?- needs(bike, M).
+""")
+
+FACTS = """
+    contains(bike, frame).   contains(bike, wheel).
+    contains(wheel, rim).    contains(wheel, spoke).
+    contains(frame, tube).
+
+    made_of(tube, steel).    made_of(rim, alu).
+    made_of(spoke, steel).   made_of(frame, carbon).
+
+    refines(steel, alloy).   refines(alloy, chromoly).
+    refines(alu, alu6061).
+
+    % a second product line, irrelevant to the query
+    contains(car, engine).   contains(engine, piston).
+    made_of(piston, alu).    made_of(car, steel).
+"""
+
+
+def main():
+    db = Database.from_text(FACTS)
+
+    rewriting = extended_counting_rewrite(QUERY)
+    reduced = reduce_rewriting(rewriting)
+    print("reduced program (path argument deleted: %s/%s):"
+          % (reduced.path_deleted_counting, reduced.path_deleted_answer))
+    print(format_query(reduced.query))
+    print()
+
+    plan = optimize(QUERY, db)
+    print("optimizer chose:", plan.explain())
+    result = plan.execute(db)
+    print("bike depends on:", sorted(v for (v,) in result.answers))
+    print()
+
+    rows = run_matrix(
+        QUERY, db,
+        ["naive", "magic", "reduced_counting", "cyclic_counting"],
+        label="bom",
+    )
+    print(matrix_table(rows, title="bill of materials (mixed-linear)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""repro — reproduction of Greco & Zaniolo, "Optimization of Linear
+Logic Programs Using Counting Methods" (EDBT 1992).
+
+Public API (stable):
+
+* language layer: :func:`parse_program`, :func:`parse_query`,
+  :class:`Program`, :class:`Query`, AST classes;
+* storage/evaluation: :class:`Database`, :func:`evaluate`;
+* optimization: :func:`optimize` and the method-specific rewritings in
+  :mod:`repro.rewriting`.
+"""
+
+from .datalog import (
+    Atom,
+    Comparison,
+    Compound,
+    Constant,
+    Negation,
+    Program,
+    ProgramAnalysis,
+    Query,
+    Rule,
+    Variable,
+    format_program,
+    format_query,
+    format_rule,
+    parse_atom,
+    parse_program,
+    parse_query,
+)
+from .engine import Database, EvalStats, QueryResult, evaluate_query
+from .exec import ExecutionResult, STRATEGIES, run_strategy
+from .rewriting import (
+    OptimizationPlan,
+    adorn_query,
+    classical_counting_rewrite,
+    extended_counting_rewrite,
+    magic_rewrite,
+    optimize,
+    reduce_rewriting,
+)
+from . import errors
+
+#: Evaluate a query directly (no rewriting) with the semi-naive engine.
+evaluate = evaluate_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "Comparison",
+    "Compound",
+    "Constant",
+    "Database",
+    "EvalStats",
+    "ExecutionResult",
+    "Negation",
+    "OptimizationPlan",
+    "Program",
+    "ProgramAnalysis",
+    "Query",
+    "QueryResult",
+    "Rule",
+    "STRATEGIES",
+    "Variable",
+    "adorn_query",
+    "classical_counting_rewrite",
+    "errors",
+    "evaluate",
+    "evaluate_query",
+    "extended_counting_rewrite",
+    "format_program",
+    "format_query",
+    "format_rule",
+    "magic_rewrite",
+    "optimize",
+    "parse_atom",
+    "parse_program",
+    "parse_query",
+    "reduce_rewriting",
+    "run_strategy",
+]

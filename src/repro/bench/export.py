@@ -1,0 +1,93 @@
+"""Export benchmark rows to CSV or JSON for downstream analysis.
+
+The ASCII tables are for eyeballing; these exporters produce machine-
+readable records — one per (workload, method) cell — with the stats
+counters flattened and the per-method extras preserved under their own
+keys.  The CLI's ``bench`` subcommand exposes both via ``--csv`` and
+``--json``.
+"""
+
+import csv
+import json
+
+#: Stable leading columns; extras follow alphabetically.
+BASE_FIELDS = (
+    "label", "method", "answers", "work", "elapsed",
+    "rule_firings", "tuples_scanned", "facts_derived",
+    "facts_duplicate", "iterations", "error",
+)
+
+
+def rows_to_records(rows):
+    """Flatten :class:`~repro.bench.harness.BenchRow` objects."""
+    records = []
+    for row in rows:
+        record = {
+            "label": row.label,
+            "method": row.method,
+            "answers": row.answers,
+            "work": row.work,
+            "elapsed": row.elapsed,
+            "error": (
+                None if row.error is None else type(row.error).__name__
+            ),
+        }
+        if row.stats is not None:
+            record.update(
+                {
+                    "rule_firings": row.stats.rule_firings,
+                    "tuples_scanned": row.stats.tuples_scanned,
+                    "facts_derived": row.stats.facts_derived,
+                    "facts_duplicate": row.stats.facts_duplicate,
+                    "iterations": row.stats.iterations,
+                }
+            )
+        else:
+            record.update(
+                {
+                    "rule_firings": None,
+                    "tuples_scanned": None,
+                    "facts_derived": None,
+                    "facts_duplicate": None,
+                    "iterations": None,
+                }
+            )
+        for key, value in sorted(row.extras.items()):
+            record["extra_%s" % key] = value
+        for key, value in sorted(row.params.items()):
+            record["param_%s" % key] = value
+        records.append(record)
+    return records
+
+
+def _fieldnames(records):
+    names = list(BASE_FIELDS)
+    seen = set(names)
+    for record in records:
+        for key in record:
+            if key not in seen:
+                seen.add(key)
+                names.append(key)
+    return names
+
+
+def write_csv(rows, path):
+    """Write bench rows as CSV; returns the number of records."""
+    records = rows_to_records(rows)
+    fieldnames = _fieldnames(records)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames,
+                                restval="")
+        writer.writeheader()
+        for record in records:
+            writer.writerow(record)
+    return len(records)
+
+
+def write_json(rows, path):
+    """Write bench rows as a JSON array; returns the record count."""
+    records = rows_to_records(rows)
+    with open(path, "w") as handle:
+        json.dump(records, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(records)

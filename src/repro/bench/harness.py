@@ -1,0 +1,154 @@
+"""Benchmark harness: run strategy matrices over parameter sweeps.
+
+:func:`run_matrix` evaluates one query under several strategies and
+returns :class:`BenchRow` records; :func:`sweep` repeats a matrix over
+a parameter grid.  Rows carry the deterministic work counters and the
+per-strategy extras, and :func:`matrix_table` renders the comparison
+the way the paper's discussion frames it (method vs work, with the
+magic-set method as the reference point).
+
+Every experiment module under ``benchmarks/`` builds on these
+functions, so a single entry point regenerates any experiment::
+
+    from repro.bench import run_matrix, matrix_table
+    rows = run_matrix(query, db, ["magic", "pointer_counting"])
+    print(matrix_table(rows))
+"""
+
+from ..errors import ReproError
+from ..exec.strategies import run_strategy
+from .reporting import format_table, speedup
+
+
+class BenchRow:
+    """One (strategy, database) measurement."""
+
+    __slots__ = ("label", "method", "answers", "work", "elapsed", "stats",
+                 "extras", "error", "params")
+
+    def __init__(self, label, method, result=None, error=None, params=None):
+        self.label = label
+        self.method = method
+        self.params = dict(params or {})
+        if result is not None:
+            self.answers = len(result.answers)
+            self.work = result.stats.total_work
+            self.elapsed = result.elapsed
+            self.stats = result.stats
+            self.extras = result.extras
+            self.error = None
+        else:
+            self.answers = None
+            self.work = None
+            self.elapsed = None
+            self.stats = None
+            self.extras = {}
+            self.error = error
+
+    def __repr__(self):
+        if self.error is not None:
+            return "BenchRow(%s/%s: %s)" % (
+                self.label, self.method, type(self.error).__name__
+            )
+        return "BenchRow(%s/%s: work=%d)" % (
+            self.label, self.method, self.work
+        )
+
+
+def run_matrix(query, db, methods, label="", params=None):
+    """Run ``query`` over ``db`` under every strategy in ``methods``.
+
+    Strategies raising a :class:`ReproError` produce a row with the
+    error recorded instead of numbers — divergence *is* a result for
+    several experiments (E5 expects classical counting to fail) — so a
+    matrix always completes.  Methods that do produce answers are
+    cross-checked against the first one; a disagreement raises
+    ``AssertionError`` because it would invalidate the comparison.
+    """
+    rows = []
+    reference = None
+    for method in methods:
+        try:
+            result = run_strategy(method, query, db)
+        except ReproError as exc:
+            rows.append(BenchRow(label, method, error=exc, params=params))
+            continue
+        row = BenchRow(label, method, result=result, params=params)
+        rows.append(row)
+        if reference is None:
+            reference = result.answers
+        elif result.answers != reference:
+            raise AssertionError(
+                "strategy %s disagrees on %s: %d vs %d answers"
+                % (method, label, len(result.answers), len(reference))
+            )
+    return rows
+
+
+def sweep(query, make_db, methods, param_grid, label_key=None):
+    """Run a matrix for every parameter assignment in ``param_grid``.
+
+    ``param_grid`` is an iterable of dicts passed to ``make_db``;
+    ``make_db(**params)`` must return ``(db, source)`` (the source is
+    ignored — queries hard-code their constant).  ``label_key`` picks
+    the parameter used as the row label.
+    """
+    rows = []
+    for params in param_grid:
+        db, _source = make_db(**params)
+        if label_key is not None:
+            label = "%s=%s" % (label_key, params[label_key])
+        else:
+            label = ",".join(
+                "%s=%s" % item for item in sorted(params.items())
+            )
+        rows.extend(
+            run_matrix(query, db, methods, label=label, params=params)
+        )
+    return rows
+
+
+def matrix_table(rows, extra_columns=(), title=None, baseline="magic"):
+    """Render bench rows as a table with a speedup-vs-baseline column."""
+    headers = ["workload", "method", "answers", "work",
+               "vs_%s" % baseline, "seconds"]
+    headers.extend(extra_columns)
+    baseline_work = {}
+    for row in rows:
+        if row.method == baseline and row.work is not None:
+            baseline_work[row.label] = row.work
+    table_rows = []
+    for row in rows:
+        if row.error is not None:
+            cells = [row.label, row.method,
+                     "(%s)" % type(row.error).__name__, None, None, None]
+            cells.extend(None for _ in extra_columns)
+            table_rows.append(cells)
+            continue
+        base = baseline_work.get(row.label)
+        cells = [
+            row.label,
+            row.method,
+            row.answers,
+            row.work,
+            speedup(base, row.work) if base else "-",
+            row.elapsed,
+        ]
+        cells.extend(row.extras.get(name) for name in extra_columns)
+        table_rows.append(cells)
+    return format_table(headers, table_rows, title=title)
+
+
+def summarize(rows):
+    """Per-method totals over a sweep (used in EXPERIMENTS.md)."""
+    totals = {}
+    for row in rows:
+        if row.work is None:
+            continue
+        entry = totals.setdefault(
+            row.method, {"work": 0, "elapsed": 0.0, "runs": 0}
+        )
+        entry["work"] += row.work
+        entry["elapsed"] += row.elapsed
+        entry["runs"] += 1
+    return totals

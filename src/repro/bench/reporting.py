@@ -1,0 +1,52 @@
+"""Plain-text table rendering for benchmark results.
+
+The paper's evaluation content is qualitative (who wins, by what
+factor); the harness therefore prints compact ASCII tables with a
+deterministic *work* column (join effort counted by the engine) next to
+wall-clock time, plus per-experiment extra columns (counting-set sizes,
+magic-set sizes, ...).
+"""
+
+
+def format_table(headers, rows, title=None):
+    """Render ``rows`` (lists of values) under ``headers`` as text."""
+    columns = [str(h) for h in headers]
+    text_rows = [
+        [_format_cell(value) for value in row] for row in rows
+    ]
+    widths = [len(h) for h in columns]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        h.ljust(widths[i]) for i, h in enumerate(columns)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def _format_cell(value):
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 0.001:
+            return "%.2e" % value
+        return "%.4f" % value
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def speedup(baseline_work, work):
+    """Work ratio baseline/method, rendered as e.g. ``3.4x``."""
+    if not work:
+        return "-"
+    return "%.1fx" % (baseline_work / work)

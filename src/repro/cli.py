@@ -1,0 +1,292 @@
+"""Command-line interface.
+
+Four subcommands::
+
+    python -m repro run PROGRAM.dl [--db FACTS.dl] [--method auto]
+    python -m repro rewrite PROGRAM.dl --method magic
+    python -m repro explain PROGRAM.dl [--db FACTS.dl]
+    python -m repro bench WORKLOAD [--methods m1,m2] [--param k=v ...]
+
+``PROGRAM.dl`` is a program text containing exactly one ``?-`` goal;
+``--db`` points at a fact file (facts may also live in the program
+file itself — they are treated as base-predicate overlays).  ``bench``
+runs a strategy matrix over one of the named workloads from
+:mod:`repro.data.workloads`.
+"""
+
+import argparse
+import sys
+
+from .bench import matrix_table, run_matrix
+from .data import WORKLOADS, get_workload
+from .datalog import format_query, parse_query
+from .engine import Database
+from .errors import ReproError
+from .exec import STRATEGIES
+from .rewriting import (
+    classical_counting_rewrite,
+    cyclic_counting_program_text,
+    extended_counting_rewrite,
+    magic_rewrite,
+    optimize,
+    reduce_rewriting,
+)
+
+#: Rewritings printable by the ``rewrite`` subcommand.
+REWRITERS = {
+    "magic": lambda q: format_query(magic_rewrite(q).query,
+                                    show_labels=True),
+    "classical_counting": lambda q: format_query(
+        classical_counting_rewrite(q).query, show_labels=True
+    ),
+    "extended_counting": lambda q: format_query(
+        extended_counting_rewrite(q).query, show_labels=True
+    ),
+    "reduced_counting": lambda q: format_query(
+        reduce_rewriting(extended_counting_rewrite(q)).query,
+        show_labels=True,
+    ),
+    "cyclic_counting": cyclic_counting_program_text,
+}
+
+
+def _read(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+def _load_query_and_db(args):
+    query = parse_query(_read(args.program))
+    db = Database()
+    if args.db:
+        db = Database.from_text(_read(args.db))
+    return query, db
+
+
+def _cmd_run(args, out):
+    query, db = _load_query_and_db(args)
+    plan = optimize(query, db if args.method == "auto" else None,
+                    method=args.method)
+    result = plan.execute(db)
+    out.write("method : %s\n" % plan.explain())
+    for answer in sorted(result.answers):
+        out.write("answer : %s\n" % (answer,))
+    out.write("count  : %d answers\n" % len(result.answers))
+    out.write("work   : %d\n" % result.stats.total_work)
+    out.write("time   : %.4fs\n" % result.elapsed)
+    return 0
+
+
+def _cmd_rewrite(args, out):
+    query = parse_query(_read(args.program))
+    out.write(REWRITERS[args.method](query))
+    out.write("\n")
+    return 0
+
+
+def _cmd_check(args, out):
+    from .datalog.validation import validate_query
+
+    query = parse_query(_read(args.program))
+    report = validate_query(query)
+    out.write(report.render() + "\n")
+    return 0 if report.ok() else 1
+
+
+def _cmd_explain(args, out):
+    query, db = _load_query_and_db(args)
+    plan = optimize(query, db if args.db else None)
+    out.write(plan.explain() + "\n")
+    return 0
+
+
+def _cmd_trace(args, out):
+    from .engine import SemiNaiveEngine
+    from .engine.fixpoint import goal_filter
+    from .engine.tracing import DerivationTrace
+
+    query, db = _load_query_and_db(args)
+    trace = DerivationTrace()
+    engine = SemiNaiveEngine(query.program, db, trace=trace)
+    engine.run()
+    goal = query.goal
+    relation = engine.relation(goal.key)
+    tuples = sorted(goal_filter(goal, relation), key=repr)
+    if not tuples:
+        out.write("no answers\n")
+        return 0
+    shown = tuples[: args.limit]
+    for row in shown:
+        out.write(trace.explain(goal.key, row).render() + "\n\n")
+    if len(tuples) > len(shown):
+        out.write(
+            "... %d more answers (raise --limit to see them)\n"
+            % (len(tuples) - len(shown))
+        )
+    return 0
+
+
+def _cmd_bench(args, out):
+    workload = get_workload(args.workload)
+    params = {}
+    for item in args.param or ():
+        key, _sep, value = item.partition("=")
+        params[key] = int(value)
+    db, _source = workload.make_db(**params)
+    methods = (
+        args.methods.split(",") if args.methods
+        else list(workload.applicable)
+    )
+    rows = run_matrix(workload.query, db, methods, label=args.workload)
+    out.write(matrix_table(rows, title=workload.description) + "\n")
+    if args.csv:
+        from .bench import write_csv
+
+        count = write_csv(rows, args.csv)
+        out.write("wrote %d records to %s\n" % (count, args.csv))
+    if args.json:
+        from .bench import write_json
+
+        count = write_json(rows, args.json)
+        out.write("wrote %d records to %s\n" % (count, args.json))
+    return 0
+
+
+def _cmd_experiments(args, out):
+    """Regenerate every experiment table by running the bench suite."""
+    import os
+
+    import pytest as pytest_module
+
+    bench_dir = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)
+        ))),
+        "benchmarks",
+    )
+    if not os.path.isdir(bench_dir):
+        out.write(
+            "error: benchmarks directory not found at %s (run from a "
+            "source checkout)\n" % bench_dir
+        )
+        return 1
+    argv = [bench_dir, "--benchmark-only", "-q"]
+    if args.experiment:
+        argv.append("-k")
+        argv.append(args.experiment)
+    return pytest_module.main(argv)
+
+
+def _cmd_gen(args, out):
+    workload = get_workload(args.workload)
+    params = {}
+    for item in args.param or ():
+        key, _sep, value = item.partition("=")
+        params[key] = int(value)
+    db, _source = workload.make_db(**params)
+    text = db.to_text()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        out.write(
+            "wrote %d facts to %s\n" % (db.total_facts(), args.output)
+        )
+    else:
+        out.write(text + "\n")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Counting-method optimization of linear Datalog "
+                    "(Greco & Zaniolo, EDBT 1992)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="evaluate a query")
+    run.add_argument("program", help="program file with one ?- goal")
+    run.add_argument("--db", help="fact file")
+    run.add_argument(
+        "--method", default="auto",
+        choices=["auto"] + sorted(STRATEGIES),
+    )
+    run.set_defaults(func=_cmd_run)
+
+    rewrite = sub.add_parser("rewrite", help="print a rewritten program")
+    rewrite.add_argument("program")
+    rewrite.add_argument(
+        "--method", required=True, choices=sorted(REWRITERS)
+    )
+    rewrite.set_defaults(func=_cmd_rewrite)
+
+    check = sub.add_parser(
+        "check", help="validate a query and report method applicability"
+    )
+    check.add_argument("program")
+    check.set_defaults(func=_cmd_check)
+
+    explain = sub.add_parser(
+        "explain", help="show which method the optimizer would pick"
+    )
+    explain.add_argument("program")
+    explain.add_argument("--db")
+    explain.set_defaults(func=_cmd_explain)
+
+    trace = sub.add_parser(
+        "trace", help="print derivation trees for a query's answers"
+    )
+    trace.add_argument("program")
+    trace.add_argument("--db")
+    trace.add_argument("--limit", type=int, default=3,
+                       help="answers to explain (default 3)")
+    trace.set_defaults(func=_cmd_trace)
+
+    bench = sub.add_parser("bench", help="run a workload matrix")
+    bench.add_argument("workload", choices=sorted(WORKLOADS))
+    bench.add_argument("--methods", help="comma-separated strategy names")
+    bench.add_argument(
+        "--param", action="append",
+        help="workload parameter, e.g. --param depth=16",
+    )
+    bench.add_argument("--csv", help="also write records to a CSV file")
+    bench.add_argument("--json", help="also write records to a JSON file")
+    bench.set_defaults(func=_cmd_bench)
+
+    experiments = sub.add_parser(
+        "experiments",
+        help="regenerate the paper's experiment tables (bench suite)",
+    )
+    experiments.add_argument(
+        "-e", "--experiment",
+        help="pytest -k filter, e.g. e5 or 'e1 or e2'",
+    )
+    experiments.set_defaults(func=_cmd_experiments)
+
+    gen = sub.add_parser(
+        "gen", help="generate a workload's database as fact text"
+    )
+    gen.add_argument("workload", choices=sorted(WORKLOADS))
+    gen.add_argument("--param", action="append",
+                     help="generator parameter, e.g. --param depth=16")
+    gen.add_argument("-o", "--output", help="write to a file")
+    gen.set_defaults(func=_cmd_gen)
+    return parser
+
+
+def main(argv=None, out=None):
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args, out)
+    except ReproError as exc:
+        out.write("error: %s\n" % exc)
+        return 1
+    except OSError as exc:
+        out.write("error: %s\n" % exc)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""Synthetic data generators and canonical workloads."""
+
+from . import generators
+from .workloads import WORKLOADS, Workload, get_workload
+
+__all__ = ["WORKLOADS", "Workload", "generators", "get_workload"]

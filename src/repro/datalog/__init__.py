@@ -1,0 +1,76 @@
+"""Datalog language layer: terms, literals, rules, parsing, printing,
+unification and static analysis."""
+
+from .atoms import Atom, Comparison, Literal, Negation
+from .analysis import ProgramAnalysis, RecursiveClique
+from .parser import parse_atom, parse_program, parse_query
+from .pretty import (
+    format_atom,
+    format_literal,
+    format_program,
+    format_query,
+    format_rule,
+    format_term,
+    pprint,
+)
+from .rules import Program, Query, Rule
+from .safety import check_program_safety, check_rule_safety, is_safe
+from .transform import (
+    rename_predicates,
+    unfold_all_nonrecursive,
+    unfold_predicate,
+)
+from .terms import (
+    NIL,
+    Compound,
+    Constant,
+    Term,
+    Variable,
+    cons,
+    ground_value,
+    make_list,
+    make_tuple,
+)
+from .unify import rename_apart, resolve, substitute, unify, walk
+
+__all__ = [
+    "Atom",
+    "Comparison",
+    "Compound",
+    "Constant",
+    "Literal",
+    "NIL",
+    "Negation",
+    "Program",
+    "ProgramAnalysis",
+    "Query",
+    "RecursiveClique",
+    "Rule",
+    "Term",
+    "Variable",
+    "check_program_safety",
+    "check_rule_safety",
+    "cons",
+    "format_atom",
+    "format_literal",
+    "format_program",
+    "format_query",
+    "format_rule",
+    "format_term",
+    "ground_value",
+    "is_safe",
+    "make_list",
+    "make_tuple",
+    "parse_atom",
+    "parse_program",
+    "parse_query",
+    "pprint",
+    "rename_apart",
+    "rename_predicates",
+    "unfold_all_nonrecursive",
+    "unfold_predicate",
+    "resolve",
+    "substitute",
+    "unify",
+    "walk",
+]

@@ -1,0 +1,237 @@
+"""Static analysis of programs: dependency graph, recursive cliques,
+exit/recursive rule classification and linearity.
+
+Definitions follow Section 2 of the paper:
+
+* a predicate ``p`` *depends on* ``q`` if some rule has ``p`` in the head
+  and ``q`` in the body, or transitively so;
+* ``p`` and ``q`` are *mutually recursive* if each depends on the other
+  (a predicate depending on itself is mutually recursive with itself);
+* the program is partitioned into components following a topological
+  order of the strongly connected components of the dependency graph;
+* a rule is an *exit rule* of its component if no body predicate belongs
+  to the same component, otherwise a *recursive rule*;
+* a recursive rule is *linear* if its body contains at most one
+  predicate mutually recursive with the head.
+"""
+
+from ..errors import AnalysisError
+from .atoms import Atom
+
+
+class RecursiveClique:
+    """One strongly connected component of derived predicates.
+
+    Attributes
+    ----------
+    predicates : frozenset of (name, arity) keys in the component.
+    exit_rules : rules of the component with no recursive body atom.
+    recursive_rules : the remaining rules of the component.
+    """
+
+    __slots__ = ("predicates", "exit_rules", "recursive_rules")
+
+    def __init__(self, predicates, exit_rules, recursive_rules):
+        self.predicates = frozenset(predicates)
+        self.exit_rules = tuple(exit_rules)
+        self.recursive_rules = tuple(recursive_rules)
+
+    @property
+    def rules(self):
+        return self.exit_rules + self.recursive_rules
+
+    def is_recursive(self):
+        return bool(self.recursive_rules)
+
+    def is_linear(self):
+        """True if every recursive rule has exactly one recursive atom."""
+        for rule in self.recursive_rules:
+            count = sum(
+                1
+                for atom in rule.body_atoms()
+                if atom.key in self.predicates
+            )
+            if count > 1:
+                return False
+        return True
+
+    def recursive_atom(self, rule):
+        """The single recursive body atom of a linear recursive rule."""
+        found = [
+            atom for atom in rule.body_atoms() if atom.key in self.predicates
+        ]
+        if len(found) != 1:
+            raise AnalysisError(
+                "rule %r is not linear in clique %r"
+                % (rule, sorted(self.predicates))
+            )
+        return found[0]
+
+    def split_body(self, rule):
+        """Split a linear rule body into (left, recursive atom, right).
+
+        The split is positional: literals before the recursive atom form
+        the left part, literals after it the right part.  The paper
+        assumes rules have been put in this form; use
+        :func:`canonicalize_rule` in :mod:`repro.rewriting.canonical` to
+        reorder bodies whose literals are out of place.
+        """
+        rec = self.recursive_atom(rule)
+        index = None
+        for i, lit in enumerate(rule.body):
+            if lit is rec or (isinstance(lit, Atom) and lit == rec):
+                index = i
+                break
+        if index is None:
+            raise AnalysisError("recursive atom not found in body")
+        return rule.body[:index], rule.body[index], rule.body[index + 1 :]
+
+    def __repr__(self):
+        return "RecursiveClique(%s)" % ", ".join(
+            "%s/%d" % key for key in sorted(self.predicates)
+        )
+
+
+class ProgramAnalysis:
+    """Dependency structure of a program.
+
+    ``components`` lists the recursive cliques of *derived* predicates in
+    topological (bottom-up) order: each component only depends on earlier
+    components and on base predicates.
+    """
+
+    def __init__(self, program):
+        self.program = program
+        self.derived = program.head_predicates()
+        self._graph = self._dependency_graph()
+        self._sccs = _tarjan_sccs(self._graph)
+        self._component_of = {}
+        for index, scc in enumerate(self._sccs):
+            for key in scc:
+                self._component_of[key] = index
+        self.components = tuple(
+            self._make_clique(scc) for scc in self._sccs
+        )
+
+    def _dependency_graph(self):
+        graph = {key: set() for key in self.derived}
+        for rule in self.program:
+            head = rule.head.key
+            if head not in graph:
+                continue
+            for atom in rule.body_atoms() + rule.negated_atoms():
+                if atom.key in self.derived:
+                    graph[head].add(atom.key)
+        return graph
+
+    def _make_clique(self, scc):
+        scc = frozenset(scc)
+        exit_rules = []
+        recursive_rules = []
+        for key in sorted(scc):
+            for rule in self.program.rules_for(key):
+                if rule.is_fact() and rule.head.is_ground():
+                    continue
+                has_rec = any(
+                    atom.key in scc for atom in rule.body_atoms()
+                )
+                if has_rec:
+                    recursive_rules.append(rule)
+                else:
+                    exit_rules.append(rule)
+        return RecursiveClique(scc, exit_rules, recursive_rules)
+
+    def clique_of(self, key):
+        """The clique containing predicate ``key`` (or None for base)."""
+        index = self._component_of.get(key)
+        if index is None:
+            return None
+        return self.components[index]
+
+    def depends_on(self, p, q):
+        """True if predicate ``p`` (transitively) depends on ``q``."""
+        seen = set()
+        stack = [p]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            for succ in self._graph.get(current, ()):
+                if succ == q:
+                    return True
+                stack.append(succ)
+        return False
+
+    def mutually_recursive(self, p, q):
+        clique = self.clique_of(p)
+        return clique is not None and q in clique.predicates
+
+    def recursive_cliques(self):
+        """Cliques that contain at least one recursive rule."""
+        return tuple(c for c in self.components if c.is_recursive())
+
+    def is_linear(self):
+        """True if every recursive rule of the program is linear."""
+        return all(c.is_linear() for c in self.components)
+
+    def base_predicates(self):
+        """Predicate keys used in bodies but never derived."""
+        return self.program.body_predicates() - self.derived
+
+
+def _tarjan_sccs(graph):
+    """Tarjan's algorithm; returns SCCs in topological (callee-first)
+    order, i.e. a component appears after everything it depends on
+    appears... in reverse: Tarjan emits SCCs in reverse topological
+    order of the condensation, which for a dependency graph (edges point
+    at dependencies) means *dependencies first* — exactly the bottom-up
+    evaluation order we need.
+    """
+    index_counter = [0]
+    stack = []
+    lowlink = {}
+    index = {}
+    on_stack = set()
+    result = []
+
+    def visit(node):
+        work = [(node, iter(sorted(graph.get(node, ()))))]
+        index[node] = lowlink[node] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        while work:
+            current, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(graph.get(succ, ())))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[current] = min(lowlink[current], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[current])
+            if lowlink[current] == index[current]:
+                scc = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == current:
+                        break
+                result.append(frozenset(scc))
+
+    for node in sorted(graph):
+        if node not in index:
+            visit(node)
+    return result

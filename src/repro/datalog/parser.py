@@ -1,0 +1,343 @@
+"""Parser for the textual Datalog dialect used throughout the library.
+
+Syntax summary (close to classical Datalog / the paper's notation)::
+
+    % comments run to end of line
+    sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).
+    c_sg(a, 0).
+    c_sg(X1, J) :- c_sg(X, I), up(X, X1), J is I + 1.
+    p(Y, L)  :- q(Y1, [(r1, [W]) | L]), down1(Y1, Y, W).
+    ans(Y)   :- reach(Y), not blocked(Y), Y != a.
+    ?- sg(a, Y).
+
+* identifiers starting with a lowercase letter are constants or
+  predicate names; ``'quoted strings'`` are constants too;
+* identifiers starting with an uppercase letter or ``_`` are variables;
+* integers are numeric constants; arithmetic expressions use ``+ - *``;
+* lists use ``[a, b]`` / ``[H | T]`` notation, tuples ``(a, b)``;
+* comparison operators: ``= != < <= > >=``, plus ``is`` (arithmetic
+  binding) and ``in`` (membership);
+* ``not p(...)`` is negation as failure;
+* a clause starting with ``?-`` is a query goal.
+
+:func:`parse_program` returns a :class:`~repro.datalog.rules.Program`;
+:func:`parse_query` parses program text containing exactly one ``?-``
+goal and returns a :class:`~repro.datalog.rules.Query`.
+"""
+
+from ..errors import ParseError
+from .atoms import COMPARISON_OPS, Atom, Comparison, Negation
+from .rules import Program, Query, Rule
+from .terms import Compound, Constant, Variable, make_list, make_tuple
+
+_PUNCT = (
+    ":-",
+    "?-",
+    "<=",
+    ">=",
+    "!=",
+    "(",
+    ")",
+    "[",
+    "]",
+    "|",
+    ",",
+    ".",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+)
+
+
+class _Token:
+    __slots__ = ("kind", "value", "line", "column")
+
+    def __init__(self, kind, value, line, column):
+        self.kind = kind
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def __repr__(self):
+        return "_Token(%s, %r)" % (self.kind, self.value)
+
+
+def _tokenize(text):
+    tokens = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        col = i - line_start + 1
+        if ch == "%":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                j += 1
+            if j >= n:
+                raise ParseError("unterminated string", line, col)
+            tokens.append(_Token("const", text[i + 1 : j], line, col))
+            i = j + 1
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and text[j].isdigit():
+                j += 1
+            tokens.append(_Token("number", int(text[i:j]), line, col))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word == "not":
+                tokens.append(_Token("not", word, line, col))
+            elif word in ("is", "in"):
+                tokens.append(_Token("op", word, line, col))
+            elif word == "nil":
+                tokens.append(_Token("const", "nil", line, col))
+            elif ch.isupper() or ch == "_":
+                tokens.append(_Token("var", word, line, col))
+            else:
+                tokens.append(_Token("name", word, line, col))
+            i = j
+            continue
+        matched = False
+        for punct in _PUNCT:
+            if text.startswith(punct, i):
+                tokens.append(_Token(punct, punct, line, col))
+                i += len(punct)
+                matched = True
+                break
+        if not matched:
+            raise ParseError("unexpected character %r" % ch, line, col)
+    tokens.append(_Token("eof", None, line, n - line_start + 1))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text):
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    def peek(self):
+        return self.tokens[self.pos]
+
+    def next(self):
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, kind):
+        token = self.next()
+        if token.kind != kind:
+            raise ParseError(
+                "expected %r, found %r" % (kind, token.value),
+                token.line,
+                token.column,
+            )
+        return token
+
+    def error(self, message):
+        token = self.peek()
+        raise ParseError(message, token.line, token.column)
+
+    # ----- grammar -------------------------------------------------
+
+    def parse_clauses(self):
+        """Parse the whole input; returns (rules, goals)."""
+        rules = []
+        goals = []
+        while self.peek().kind != "eof":
+            if self.peek().kind == "?-":
+                self.next()
+                goals.append(self.atom())
+                self.expect(".")
+            else:
+                rules.append(self.clause())
+        return rules, goals
+
+    def clause(self):
+        head = self.atom()
+        body = ()
+        if self.peek().kind == ":-":
+            self.next()
+            body = self.body()
+        self.expect(".")
+        return Rule(head, body)
+
+    def body(self):
+        literals = [self.literal()]
+        while self.peek().kind == ",":
+            self.next()
+            literals.append(self.literal())
+        return tuple(literals)
+
+    def literal(self):
+        if self.peek().kind == "not":
+            self.next()
+            return Negation(self.atom())
+        # Either an atom or a comparison; a comparison starts with a term.
+        start = self.pos
+        if self.peek().kind == "name":
+            # Could be atom or constant-starting comparison; try atom first.
+            atom = self.atom()
+            if self.peek().kind in ("op",) or self.peek().value in (
+                "=",
+                "!=",
+                "<",
+                "<=",
+                ">",
+                ">=",
+            ):
+                # e.g. f(X) = Y is not supported; rewind and parse term cmp
+                self.pos = start
+            else:
+                return atom
+        left = self.expression()
+        op_token = self.next()
+        op = op_token.value
+        if op not in COMPARISON_OPS:
+            raise ParseError(
+                "expected comparison operator, found %r" % (op,),
+                op_token.line,
+                op_token.column,
+            )
+        right = self.expression()
+        return Comparison(op, left, right)
+
+    def atom(self):
+        name = self.expect("name").value
+        args = ()
+        if self.peek().kind == "(":
+            self.next()
+            if self.peek().kind == ")":
+                self.next()
+            else:
+                parsed = [self.expression()]
+                while self.peek().kind == ",":
+                    self.next()
+                    parsed.append(self.expression())
+                self.expect(")")
+                args = tuple(parsed)
+        return Atom(name, args)
+
+    def expression(self):
+        """Additive expression over primary terms."""
+        term = self.term()
+        while self.peek().kind in ("+", "-"):
+            op = self.next().kind
+            right = self.term()
+            term = Compound(op, (term, right))
+        return term
+
+    def term(self):
+        term = self.primary()
+        while self.peek().kind == "*":
+            self.next()
+            right = self.primary()
+            term = Compound("*", (term, right))
+        return term
+
+    def primary(self):
+        token = self.peek()
+        if token.kind == "-":
+            # Unary minus: negative literals and negated subterms.
+            self.next()
+            operand = self.primary()
+            if isinstance(operand, Constant) and isinstance(
+                operand.value, (int, float)
+            ):
+                return Constant(-operand.value)
+            return Compound("-", (Constant(0), operand))
+        if token.kind == "var":
+            self.next()
+            return Variable(token.value)
+        if token.kind == "number":
+            self.next()
+            return Constant(token.value)
+        if token.kind == "const":
+            self.next()
+            if token.value == "nil":
+                return Constant(None)
+            return Constant(token.value)
+        if token.kind == "name":
+            self.next()
+            if self.peek().kind == "(":
+                # A constructor-like ground structure is not supported in
+                # terms; names in term position are plain constants.
+                self.error("compound constants are not supported")
+            return Constant(token.value)
+        if token.kind == "[":
+            return self.list_term()
+        if token.kind == "(":
+            self.next()
+            items = [self.expression()]
+            while self.peek().kind == ",":
+                self.next()
+                items.append(self.expression())
+            self.expect(")")
+            if len(items) == 1:
+                return items[0]
+            return make_tuple(items)
+        self.error("expected a term, found %r" % (token.value,))
+
+    def list_term(self):
+        self.expect("[")
+        if self.peek().kind == "]":
+            self.next()
+            return Constant(())
+        items = [self.expression()]
+        while self.peek().kind == ",":
+            self.next()
+            items.append(self.expression())
+        tail = Constant(())
+        if self.peek().kind == "|":
+            self.next()
+            tail = self.expression()
+        self.expect("]")
+        return make_list(items, tail)
+
+
+def parse_program(text):
+    """Parse ``text`` into a :class:`Program` (queries not allowed)."""
+    rules, goals = _Parser(text).parse_clauses()
+    if goals:
+        raise ParseError("unexpected query goal in program text")
+    return Program(rules)
+
+
+def parse_query(text):
+    """Parse ``text`` containing rules and exactly one ``?-`` goal."""
+    rules, goals = _Parser(text).parse_clauses()
+    if len(goals) != 1:
+        raise ParseError(
+            "expected exactly one ?- goal, found %d" % len(goals)
+        )
+    return Query(goals[0], Program(rules))
+
+
+def parse_atom(text):
+    """Parse a single atom, e.g. ``"sg(a, Y)"``."""
+    parser = _Parser(text)
+    atom = parser.atom()
+    if parser.peek().kind != "eof":
+        parser.error("trailing input after atom")
+    return atom

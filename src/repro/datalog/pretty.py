@@ -1,0 +1,127 @@
+"""Pretty-printer: turns terms, literals, rules and programs back into
+the textual syntax accepted by :mod:`repro.datalog.parser`.
+
+The printer is the inverse of the parser for every construct the parser
+accepts (round-tripping is covered by property tests), and it renders
+ground structured values (tuples, nested tuples, frozensets) with the
+paper's ``[..]`` / ``(..)`` / ``{..}`` notation so rewritten programs
+read like the ones printed in the paper.
+"""
+
+from .atoms import Atom, Comparison, Negation
+from .rules import Program, Query, Rule
+from .terms import CONS, TUPLE, Compound, Constant, Variable
+
+
+def format_value(value):
+    """Render a ground Python value in program syntax."""
+    if value is None:
+        return "nil"
+    if isinstance(value, tuple):
+        return "[%s]" % ", ".join(format_value(v) for v in value)
+    if isinstance(value, frozenset):
+        inner = ", ".join(sorted(format_value(v) for v in value))
+        return "{%s}" % inner
+    if isinstance(value, str):
+        if value.isidentifier() and value[0].islower():
+            return value
+        return "'%s'" % value
+    return str(value)
+
+
+def format_term(term):
+    if isinstance(term, Variable):
+        return term.name
+    if isinstance(term, Constant):
+        return format_value(term.value)
+    if isinstance(term, Compound):
+        if term.functor == CONS:
+            return _format_list(term)
+        if term.functor == TUPLE:
+            return "(%s)" % ", ".join(format_term(a) for a in term.args)
+        if len(term.args) == 2:
+            return "%s %s %s" % (
+                format_term(term.args[0]),
+                term.functor,
+                format_term(term.args[1]),
+            )
+        return "%s(%s)" % (
+            term.functor,
+            ", ".join(format_term(a) for a in term.args),
+        )
+    return repr(term)
+
+
+def _format_list(term):
+    items = []
+    while isinstance(term, Compound) and term.functor == CONS:
+        items.append(format_term(term.args[0]))
+        term = term.args[1]
+    if isinstance(term, Constant) and term.value == ():
+        return "[%s]" % ", ".join(items)
+    if isinstance(term, Constant) and isinstance(term.value, tuple):
+        items.extend(format_value(v) for v in term.value)
+        return "[%s]" % ", ".join(items)
+    return "[%s | %s]" % (", ".join(items), format_term(term))
+
+
+def format_atom(atom):
+    if not atom.args:
+        return atom.pred
+    return "%s(%s)" % (
+        atom.pred,
+        ", ".join(format_term(a) for a in atom.args),
+    )
+
+
+def format_literal(lit):
+    if isinstance(lit, Atom):
+        return format_atom(lit)
+    if isinstance(lit, Negation):
+        return "not %s" % format_atom(lit.atom)
+    if isinstance(lit, Comparison):
+        return "%s %s %s" % (
+            format_term(lit.left),
+            lit.op,
+            format_term(lit.right),
+        )
+    return repr(lit)
+
+
+def format_rule(rule):
+    head = format_atom(rule.head)
+    if rule.is_fact():
+        return "%s." % head
+    body = ", ".join(format_literal(lit) for lit in rule.body)
+    return "%s :- %s." % (head, body)
+
+
+def format_program(program, show_labels=False):
+    lines = []
+    for rule in program:
+        text = format_rule(rule)
+        if show_labels and rule.label:
+            text = "%-4s %s" % (rule.label + ":", text)
+        lines.append(text)
+    return "\n".join(lines)
+
+
+def format_query(query, show_labels=False):
+    return "%s\n?- %s." % (
+        format_program(query.program, show_labels=show_labels),
+        format_atom(query.goal),
+    )
+
+
+def pprint(obj):
+    """Print any AST object (term, literal, rule, program, query)."""
+    if isinstance(obj, Query):
+        print(format_query(obj))
+    elif isinstance(obj, Program):
+        print(format_program(obj))
+    elif isinstance(obj, Rule):
+        print(format_rule(obj))
+    elif isinstance(obj, (Atom, Negation, Comparison)):
+        print(format_literal(obj))
+    else:
+        print(format_term(obj))

@@ -1,0 +1,132 @@
+"""Safety (range restriction) checking.
+
+A rule is *safe* when, processing body literals left to right:
+
+* every variable of a positive atom becomes bound after the atom;
+* a negated atom and a test comparison only mention already-bound
+  variables;
+* ``X is Expr`` requires ``Expr``'s variables bound and then binds ``X``;
+* ``X in S`` requires ``S`` bound and then binds ``X``;
+* after the whole body, every head variable is bound.
+
+This mirrors the paper's safety conditions ``Y ⊆ (A ∪ Y1 ∪ B)`` and
+``X1 ⊆ (X ∪ A)`` for canonical linear rules, generalized to arbitrary
+bodies.  The engine relies on safe rules: it evaluates literals left to
+right and expects negation/comparison arguments to be ground when
+reached.
+"""
+
+from ..errors import SafetyError
+from .atoms import Atom, Comparison, Negation
+from .terms import Compound, Variable
+
+
+def _pattern_vars(term):
+    """Variables of a term as used in a matching position.
+
+    All variables of atoms' argument terms become bound by a successful
+    match (list and tuple patterns decompose ground values).
+    """
+    return term.variables()
+
+
+def check_rule_safety(rule, bound_head_vars=()):
+    """Raise :class:`SafetyError` if ``rule`` is unsafe.
+
+    ``bound_head_vars`` are head variables assumed bound by the caller
+    (e.g. by an adornment); they seed the bound set.
+    """
+    bound = set(bound_head_vars)
+    for lit in rule.body:
+        if isinstance(lit, Atom):
+            bound |= lit.variables()
+        elif isinstance(lit, Negation):
+            free = lit.variables() - bound
+            if free:
+                raise SafetyError(
+                    "negated atom %s uses unbound variables %s in rule %r"
+                    % (lit.atom.pred, sorted(free), rule)
+                )
+        elif isinstance(lit, Comparison):
+            _check_comparison(lit, bound, rule)
+        else:
+            raise SafetyError("unknown literal %r" % (lit,))
+    free_head = rule.head.variables() - bound
+    if free_head:
+        raise SafetyError(
+            "head variables %s of %s are unbound"
+            % (sorted(free_head), rule.head.pred)
+        )
+
+
+def _check_comparison(lit, bound, rule):
+    right_free = lit.right.variables() - bound
+    if lit.op in ("is", "in"):
+        if right_free:
+            raise SafetyError(
+                "right side of %r uses unbound variables %s in rule %r"
+                % (lit.op, sorted(right_free), rule)
+            )
+        if isinstance(lit.left, Variable):
+            bound.add(lit.left.name)
+        else:
+            left_free = lit.left.variables() - bound
+            if left_free:
+                raise SafetyError(
+                    "left side of %r uses unbound variables %s in rule %r"
+                    % (lit.op, sorted(left_free), rule)
+                )
+        return
+    free = (lit.left.variables() | lit.right.variables()) - bound
+    if lit.op == "=":
+        # '=' may bind one plain-variable side from the other.
+        left_free = lit.left.variables() - bound
+        if not right_free and isinstance(lit.left, Variable):
+            bound.add(lit.left.name)
+            return
+        if not left_free and isinstance(lit.right, Variable):
+            bound.add(lit.right.name)
+            return
+        if not free:
+            return
+        raise SafetyError(
+            "'=' cannot bind variables %s in rule %r"
+            % (sorted(free), rule)
+        )
+    if free:
+        raise SafetyError(
+            "comparison %s uses unbound variables %s in rule %r"
+            % (lit.op, sorted(free), rule)
+        )
+
+
+def check_program_safety(program):
+    """Check every rule of ``program``; raises on the first unsafe rule."""
+    for rule in program:
+        check_rule_safety(rule)
+
+
+def is_safe(program_or_rule):
+    """Boolean convenience wrapper around the checking functions."""
+    try:
+        if hasattr(program_or_rule, "rules"):
+            check_program_safety(program_or_rule)
+        else:
+            check_rule_safety(program_or_rule)
+    except SafetyError:
+        return False
+    return True
+
+
+def head_expression_vars(rule):
+    """Variables used inside arithmetic expressions in the head.
+
+    Heads may contain expressions such as ``c_sg(X1, I + 1)``; those
+    expressions must be ground at emission time, which safety guarantees
+    because all their variables must be bound by the body.
+    """
+    names = set()
+    for arg in rule.head.args:
+        if isinstance(arg, Compound):
+            names |= arg.variables()
+    return names

@@ -1,0 +1,219 @@
+"""Term representation for Datalog programs.
+
+The term language is deliberately small but covers everything the paper's
+rewritten programs need:
+
+* :class:`Constant` — an arbitrary hashable Python value.  Ground lists are
+  represented as Python tuples (the empty list is ``()``), ground pairs
+  such as the ``(rule, shared-values)`` entries of a path argument are also
+  tuples, and ground sets (used by the cyclic counting method) are
+  ``frozenset`` values.
+* :class:`Variable` — a named logic variable.
+* :class:`Compound` — a constructor application.  Three families of
+  functors are interpreted specially:
+
+  - ``"."`` (cons) with two arguments builds list cells, as in the path
+    argument ``[(r1, [W]) | L]`` of the extended counting method;
+  - ``"tuple"`` builds fixed-width tuples, used for path entries;
+  - the arithmetic functors ``"+"``, ``"-"`` and ``"*"`` build arithmetic
+    expressions such as the ``I + 1`` index of the classical counting
+    method.  Arithmetic terms are folded to constants once ground.
+
+A fully ground compound term *normalizes* to a plain Python value (see
+:func:`ground_value`), so relations only ever store hashable Python values
+and tuple lookups stay cheap.
+"""
+
+from ..errors import EvaluationError
+
+#: Functor of list cells.
+CONS = "."
+#: Functor of fixed-width tuple terms.
+TUPLE = "tuple"
+#: Arithmetic functors understood by :func:`eval_arith`.
+ARITH_FUNCTORS = ("+", "-", "*", "//", "min", "max")
+
+#: The empty list as a ground Python value.
+NIL_VALUE = ()
+
+
+class Term:
+    """Abstract base class of all terms."""
+
+    __slots__ = ()
+
+    def is_ground(self):
+        raise NotImplementedError
+
+    def variables(self):
+        """Return the set of variable names occurring in this term."""
+        raise NotImplementedError
+
+
+class Variable(Term):
+    """A logic variable, identified by its name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+    def is_ground(self):
+        return False
+
+    def variables(self):
+        return {self.name}
+
+    def __eq__(self, other):
+        return isinstance(other, Variable) and other.name == self.name
+
+    def __hash__(self):
+        return hash(("var", self.name))
+
+    def __repr__(self):
+        return "Variable(%r)" % self.name
+
+
+class Constant(Term):
+    """A ground value: string, int, tuple (list), or frozenset."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def is_ground(self):
+        return True
+
+    def variables(self):
+        return set()
+
+    def __eq__(self, other):
+        return isinstance(other, Constant) and other.value == self.value
+
+    def __hash__(self):
+        return hash(("const", self.value))
+
+    def __repr__(self):
+        return "Constant(%r)" % (self.value,)
+
+
+class Compound(Term):
+    """A constructor application ``functor(arg1, ..., argN)``."""
+
+    __slots__ = ("functor", "args")
+
+    def __init__(self, functor, args):
+        self.functor = functor
+        self.args = tuple(args)
+
+    def is_ground(self):
+        return all(arg.is_ground() for arg in self.args)
+
+    def variables(self):
+        names = set()
+        for arg in self.args:
+            names |= arg.variables()
+        return names
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Compound)
+            and other.functor == self.functor
+            and other.args == self.args
+        )
+
+    def __hash__(self):
+        return hash(("compound", self.functor, self.args))
+
+    def __repr__(self):
+        return "Compound(%r, %r)" % (self.functor, self.args)
+
+
+#: Term-level empty list, shared singleton.
+NIL = Constant(NIL_VALUE)
+
+
+def cons(head, tail):
+    """Build the list cell ``[head | tail]``."""
+    return Compound(CONS, (head, tail))
+
+
+def make_list(items, tail=NIL):
+    """Build a list term from ``items``, ending in ``tail``.
+
+    With the default tail the result is a proper list; any term may be
+    used as an open tail (e.g. a variable, for the ``[Entry | L]``
+    patterns of the counting rewritings).
+    """
+    term = tail
+    for item in reversed(list(items)):
+        term = cons(item, term)
+    return term
+
+
+def make_tuple(items):
+    """Build a fixed-width tuple term from ``items``."""
+    return Compound(TUPLE, tuple(items))
+
+
+def is_arith(term):
+    """Return True if ``term`` is an arithmetic expression node."""
+    return isinstance(term, Compound) and term.functor in ARITH_FUNCTORS
+
+
+def eval_arith(functor, values):
+    """Evaluate one arithmetic operator over ground numeric ``values``."""
+    for value in values:
+        if not isinstance(value, (int, float)):
+            raise EvaluationError(
+                "arithmetic on non-numeric value %r" % (value,)
+            )
+    if functor == "+":
+        return values[0] + values[1]
+    if functor == "-":
+        return values[0] - values[1]
+    if functor == "*":
+        return values[0] * values[1]
+    if functor == "//":
+        return values[0] // values[1]
+    if functor == "min":
+        return min(values)
+    if functor == "max":
+        return max(values)
+    raise EvaluationError("unknown arithmetic functor %r" % functor)
+
+
+def ground_value(term):
+    """Normalize a ground term to a plain Python value.
+
+    Cons cells become Python tuples, tuple terms become tuples, and
+    arithmetic expressions are folded.  Raises :class:`EvaluationError`
+    if the term is not ground or a list has a non-list tail.
+    """
+    if isinstance(term, Constant):
+        return term.value
+    if isinstance(term, Variable):
+        raise EvaluationError("term is not ground: variable %s" % term.name)
+    if isinstance(term, Compound):
+        if term.functor == CONS:
+            head = ground_value(term.args[0])
+            tail = ground_value(term.args[1])
+            if not isinstance(tail, tuple):
+                raise EvaluationError(
+                    "list tail is not a list: %r" % (tail,)
+                )
+            return (head,) + tail
+        if term.functor == TUPLE:
+            return tuple(ground_value(arg) for arg in term.args)
+        if term.functor in ARITH_FUNCTORS:
+            return eval_arith(
+                term.functor, [ground_value(arg) for arg in term.args]
+            )
+        raise EvaluationError("unknown functor %r" % term.functor)
+    raise EvaluationError("not a term: %r" % (term,))
+
+
+def from_value(value):
+    """Wrap a plain Python value as a :class:`Constant`."""
+    return Constant(value)

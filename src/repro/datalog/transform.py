@@ -1,0 +1,177 @@
+"""Program transformations: unfolding and predicate renaming.
+
+*Unfolding* replaces calls to a non-recursive derived predicate by the
+bodies of its rules (one new rule per definition, variables renamed
+apart).  It is the classical partial-evaluation step the paper's
+canonical form implicitly assumes: a left part written through helper
+predicates can be unfolded into base conjunctions before (or after)
+the counting rewriting.  Used by callers who want, e.g., the support
+predicates of a workload flattened away so the dedicated evaluators
+see base relations only.
+
+*Renaming* rewrites predicate names wholesale — handy when composing
+programs from multiple sources with clashing names.
+
+Both transformations preserve the minimal model of every remaining
+predicate (tested against direct evaluation in
+``tests/test_transform.py``).
+"""
+
+from ..errors import AnalysisError
+from .analysis import ProgramAnalysis
+from .atoms import Atom, Negation
+from .rules import Program, Rule
+from .unify import rename_apart, substitute, unify
+
+
+def unfold_predicate(program, key):
+    """Unfold every positive call to ``key`` in ``program``.
+
+    ``key`` must name a non-recursive derived predicate that is not
+    negated anywhere (unfolding under negation would need the full
+    definition, not rule-by-rule replacement).  The predicate's own
+    rules are dropped from the result.  Raises
+    :class:`AnalysisError` when the preconditions fail.
+    """
+    analysis = ProgramAnalysis(program)
+    clique = analysis.clique_of(key)
+    if clique is None:
+        raise AnalysisError(
+            "%s/%d is not a derived predicate" % key
+        )
+    if clique.is_recursive():
+        raise AnalysisError(
+            "%s/%d is recursive; unfolding would not terminate" % key
+        )
+    for rule in program:
+        for atom in rule.negated_atoms():
+            if atom.key == key:
+                raise AnalysisError(
+                    "%s/%d appears negated; cannot unfold" % key
+                )
+    definitions = program.rules_for(key)
+    if not definitions:
+        raise AnalysisError("%s/%d has no rules" % key)
+
+    out = []
+    counter = [0]
+    for rule in program:
+        if rule.head.key == key:
+            continue
+        out.extend(_unfold_rule(rule, key, definitions, counter))
+    return Program(out)
+
+
+def _unfold_rule(rule, key, definitions, counter):
+    """All unfoldings of one rule (cartesian over call occurrences)."""
+    occurrence = None
+    for index, lit in enumerate(rule.body):
+        if isinstance(lit, Atom) and lit.key == key:
+            occurrence = index
+            break
+    if occurrence is None:
+        return [rule]
+    call = rule.body[occurrence]
+    results = []
+    for definition in definitions:
+        counter[0] += 1
+        fresh = rename_apart(definition, "_u%d" % counter[0])
+        subst = {}
+        feasible = True
+        for call_arg, def_arg in zip(call.args, fresh.head.args):
+            subst = unify(call_arg, def_arg, subst)
+            if subst is None:
+                feasible = False
+                break
+        if not feasible:
+            continue
+        new_body = (
+            tuple(_apply(lit, subst) for lit in rule.body[:occurrence])
+            + tuple(_apply(lit, subst) for lit in fresh.body)
+            + tuple(
+                _apply(lit, subst)
+                for lit in rule.body[occurrence + 1:]
+            )
+        )
+        new_rule = Rule(_apply(rule.head, subst), new_body,
+                        label=rule.label)
+        # The rule may contain further occurrences of the predicate.
+        results.extend(_unfold_rule(new_rule, key, definitions, counter))
+    return results
+
+
+def _apply(lit, subst):
+    from .atoms import Comparison
+
+    if isinstance(lit, Atom):
+        return Atom(
+            lit.pred, tuple(substitute(arg, subst) for arg in lit.args)
+        )
+    if isinstance(lit, Negation):
+        return Negation(_apply(lit.atom, subst))
+    if isinstance(lit, Comparison):
+        return Comparison(
+            lit.op,
+            substitute(lit.left, subst),
+            substitute(lit.right, subst),
+        )
+    raise AnalysisError("unknown literal %r" % (lit,))
+
+
+def unfold_all_nonrecursive(program, keep=()):
+    """Unfold every non-recursive derived predicate not in ``keep``.
+
+    Predicates that appear negated are kept (see
+    :func:`unfold_predicate`).  Iterates until nothing unfoldable
+    remains; the result defines only the ``keep`` predicates and the
+    recursive cliques.
+    """
+    keep = set(keep)
+    while True:
+        analysis = ProgramAnalysis(program)
+        negated = set()
+        for rule in program:
+            for atom in rule.negated_atoms():
+                negated.add(atom.key)
+        candidates = [
+            key
+            for key in sorted(analysis.derived)
+            if key not in keep
+            and key not in negated
+            and not analysis.clique_of(key).is_recursive()
+            and _is_called(program, key)
+        ]
+        if not candidates:
+            return program
+        program = unfold_predicate(program, candidates[0])
+
+
+def _is_called(program, key):
+    for rule in program:
+        if rule.head.key == key:
+            continue
+        for atom in rule.body_atoms():
+            if atom.key == key:
+                return True
+    return False
+
+
+def rename_predicates(program, mapping):
+    """Rename predicates per ``{old_name: new_name}`` (all arities)."""
+
+    def fix(atom):
+        new_name = mapping.get(atom.pred, atom.pred)
+        return Atom(new_name, atom.args)
+
+    out = []
+    for rule in program:
+        body = []
+        for lit in rule.body:
+            if isinstance(lit, Atom):
+                body.append(fix(lit))
+            elif isinstance(lit, Negation):
+                body.append(Negation(fix(lit.atom)))
+            else:
+                body.append(lit)
+        out.append(Rule(fix(rule.head), tuple(body), label=rule.label))
+    return Program(out)

@@ -1,0 +1,155 @@
+"""Unification and substitution over terms.
+
+Substitutions are plain dicts mapping variable names to terms.  They are
+treated functionally: :func:`unify` returns a *new* dict (or ``None`` on
+failure) and never mutates its input, which keeps backtracking in the
+join machinery trivial.
+
+Ground structured values interoperate with term-level constructors:
+
+* a cons cell ``[H | T]`` unifies with a ``Constant`` holding a non-empty
+  Python tuple by decomposing it into first element and rest;
+* a ``tuple(…)`` term unifies with a ``Constant`` holding a Python tuple
+  of the same width, element-wise.
+
+This is what lets the generic engine run the extended counting programs,
+whose path arguments are lists of ``(rule, shared-values)`` pairs stored
+as nested tuples.
+"""
+
+from .terms import (
+    CONS,
+    TUPLE,
+    Compound,
+    Constant,
+    Variable,
+    ground_value,
+)
+
+
+def walk(term, subst):
+    """Follow variable bindings until a non-variable or unbound var."""
+    while isinstance(term, Variable):
+        bound = subst.get(term.name)
+        if bound is None:
+            return term
+        term = bound
+    return term
+
+
+def unify(left, right, subst):
+    """Unify two terms under ``subst``; return extended subst or None."""
+    left = walk(left, subst)
+    right = walk(right, subst)
+    if isinstance(left, Variable):
+        if isinstance(right, Variable) and right.name == left.name:
+            return subst
+        new = dict(subst)
+        new[left.name] = right
+        return new
+    if isinstance(right, Variable):
+        new = dict(subst)
+        new[right.name] = left
+        return new
+    if isinstance(left, Constant) and isinstance(right, Constant):
+        return subst if left.value == right.value else None
+    if isinstance(left, Compound) and isinstance(right, Compound):
+        if left.functor != right.functor or len(left.args) != len(right.args):
+            return None
+        for a, b in zip(left.args, right.args):
+            subst = unify(a, b, subst)
+            if subst is None:
+                return None
+        return subst
+    # Structured constant vs compound pattern: decompose the constant.
+    if isinstance(left, Constant):
+        left, right = right, left
+    if isinstance(left, Compound) and isinstance(right, Constant):
+        value = right.value
+        if left.functor == CONS and isinstance(value, tuple) and value:
+            subst = unify(left.args[0], Constant(value[0]), subst)
+            if subst is None:
+                return None
+            return unify(left.args[1], Constant(value[1:]), subst)
+        if (
+            left.functor == TUPLE
+            and isinstance(value, tuple)
+            and len(value) == len(left.args)
+        ):
+            for a, v in zip(left.args, value):
+                subst = unify(a, Constant(v), subst)
+                if subst is None:
+                    return None
+            return subst
+        return None
+    return None
+
+
+def substitute(term, subst):
+    """Apply ``subst`` to ``term`` recursively (no arithmetic folding)."""
+    term = walk(term, subst)
+    if isinstance(term, Compound):
+        return Compound(
+            term.functor,
+            tuple(substitute(arg, subst) for arg in term.args),
+        )
+    return term
+
+
+def resolve(term, subst):
+    """Substitute and normalize: ground compounds fold to constants.
+
+    A ground cons chain becomes a tuple constant, a ground tuple term a
+    tuple constant, and a ground arithmetic expression its numeric value.
+    Non-ground terms are returned with substitution applied.
+    """
+    term = substitute(term, subst)
+    if isinstance(term, Compound) and term.is_ground():
+        return Constant(ground_value(term))
+    return term
+
+
+def resolve_value(term, subst):
+    """Resolve ``term`` to a ground Python value; raise if non-ground."""
+    return ground_value(substitute(term, subst))
+
+
+def is_bound(term, subst):
+    """True if ``term`` is ground under ``subst``."""
+    return substitute(term, subst).is_ground()
+
+
+def rename_apart(rule, suffix):
+    """Return a copy of ``rule`` with every variable renamed by ``suffix``.
+
+    Used by rewritings that splice rule bodies together and must avoid
+    accidental variable capture.
+    """
+    from .atoms import Atom, Comparison, Negation
+    from .rules import Rule
+
+    def rename_term(term):
+        if isinstance(term, Variable):
+            return Variable(term.name + suffix)
+        if isinstance(term, Compound):
+            return Compound(
+                term.functor, tuple(rename_term(a) for a in term.args)
+            )
+        return term
+
+    def rename_literal(lit):
+        if isinstance(lit, Atom):
+            return Atom(lit.pred, tuple(rename_term(a) for a in lit.args))
+        if isinstance(lit, Negation):
+            return Negation(rename_literal(lit.atom))
+        if isinstance(lit, Comparison):
+            return Comparison(
+                lit.op, rename_term(lit.left), rename_term(lit.right)
+            )
+        raise TypeError("unknown literal %r" % (lit,))
+
+    return Rule(
+        rename_literal(rule.head),
+        tuple(rename_literal(lit) for lit in rule.body),
+        label=rule.label,
+    )

@@ -1,0 +1,208 @@
+"""Whole-query validation and method-applicability diagnostics.
+
+:func:`validate_query` bundles every static check the pipeline relies
+on — parseability is assumed (the caller holds an AST), then safety,
+stratification, recursion structure and, per rewriting method, the
+applicability verdict with the reason a method is ruled out.  The CLI's
+``check`` subcommand renders the report; libraries embedding repro can
+use it to explain *why* a query will or won't benefit from counting
+before touching any data.
+"""
+
+from ..errors import NotApplicableError, NotStratifiedError, SafetyError
+from .analysis import ProgramAnalysis
+from .rules import Query
+from .safety import check_rule_safety
+
+
+class MethodVerdict:
+    """Applicability of one rewriting method to a query."""
+
+    __slots__ = ("method", "applicable", "reason")
+
+    def __init__(self, method, applicable, reason):
+        self.method = method
+        self.applicable = applicable
+        self.reason = reason
+
+    def __repr__(self):
+        flag = "yes" if self.applicable else "no"
+        return "MethodVerdict(%s: %s — %s)" % (self.method, flag,
+                                               self.reason)
+
+
+class ValidationReport:
+    """Everything :func:`validate_query` found out."""
+
+    __slots__ = ("query", "safety_errors", "stratification_error",
+                 "is_linear", "goal_is_recursive", "clique_predicates",
+                 "rule_shapes", "verdicts")
+
+    def __init__(self, query):
+        self.query = query
+        #: list of (rule label, message) pairs.
+        self.safety_errors = []
+        self.stratification_error = None
+        self.is_linear = False
+        self.goal_is_recursive = False
+        self.clique_predicates = ()
+        #: rule label -> right-linear/left-linear/general (goal clique).
+        self.rule_shapes = {}
+        #: list of :class:`MethodVerdict`, counting methods + magic.
+        self.verdicts = []
+
+    def ok(self):
+        """True when the query can be evaluated at all."""
+        return not self.safety_errors and \
+            self.stratification_error is None
+
+    def verdict_for(self, method):
+        for verdict in self.verdicts:
+            if verdict.method == method:
+                return verdict
+        raise KeyError(method)
+
+    def render(self):
+        lines = []
+        if self.safety_errors:
+            for label, message in self.safety_errors:
+                lines.append("UNSAFE %s: %s" % (label, message))
+        if self.stratification_error:
+            lines.append("NOT STRATIFIED: %s" % self.stratification_error)
+        if self.ok():
+            lines.append("program is safe and stratified")
+        lines.append(
+            "goal %s recursive; program %s linear"
+            % ("is" if self.goal_is_recursive else "is not",
+               "is" if self.is_linear else "is not")
+        )
+        if self.clique_predicates:
+            lines.append(
+                "goal clique: %s"
+                % ", ".join(
+                    "%s/%d" % key for key in sorted(self.clique_predicates)
+                )
+            )
+        for label, shape in sorted(self.rule_shapes.items()):
+            lines.append("rule %s: %s" % (label, shape))
+        for verdict in self.verdicts:
+            flag = "applicable" if verdict.applicable else "ruled out"
+            lines.append(
+                "%-20s %s (%s)" % (verdict.method, flag, verdict.reason)
+            )
+        return "\n".join(lines)
+
+
+def validate_query(query):
+    """Build a :class:`ValidationReport` for ``query``."""
+    if not isinstance(query, Query):
+        raise TypeError("expected a Query")
+    report = ValidationReport(query)
+
+    for rule in query.program:
+        try:
+            check_rule_safety(rule)
+        except SafetyError as exc:
+            report.safety_errors.append((rule.label, str(exc)))
+
+    analysis = ProgramAnalysis(query.program)
+    from ..engine.stratify import check_stratified
+
+    try:
+        check_stratified(analysis)
+    except NotStratifiedError as exc:
+        report.stratification_error = str(exc)
+    report.is_linear = analysis.is_linear()
+
+    if not report.ok():
+        report.verdicts.append(
+            MethodVerdict("naive", False, "program is invalid")
+        )
+        return report
+
+    report.verdicts.append(
+        MethodVerdict("naive", True, "always applicable")
+    )
+    report.verdicts.append(
+        MethodVerdict("magic", True, "always applicable")
+    )
+
+    from ..rewriting.adornment import adorn_query
+    from ..rewriting.canonical import canonicalize_clique
+    from ..rewriting.counting import check_classical_applicability
+    from ..rewriting.linearity import clique_shapes, is_mixed_linear
+    from ..rewriting.support import goal_clique_of
+
+    adorned = adorn_query(query)
+    try:
+        clique, _support = goal_clique_of(adorned)
+    except NotApplicableError as exc:
+        reason = str(exc)
+        for method in ("classical_counting", "extended_counting",
+                       "cyclic_counting", "reduced_counting"):
+            report.verdicts.append(MethodVerdict(method, False, reason))
+        return report
+    report.goal_is_recursive = True
+    report.clique_predicates = tuple(clique.predicates)
+
+    try:
+        canonical = canonicalize_clique(clique, adorned)
+    except NotApplicableError as exc:
+        reason = str(exc)
+        from ..rewriting.linearize import is_square_rule
+
+        if any(is_square_rule(rule) for rule in clique.recursive_rules):
+            reason += (
+                "; however the clique contains a square rule — "
+                "`optimize` will try square-rule linearization before "
+                "falling back to magic"
+            )
+        for method in ("classical_counting", "extended_counting",
+                       "cyclic_counting", "reduced_counting"):
+            report.verdicts.append(MethodVerdict(method, False, reason))
+        return report
+
+    report.rule_shapes = clique_shapes(canonical)
+
+    try:
+        check_classical_applicability(canonical)
+        report.verdicts.append(
+            MethodVerdict(
+                "classical_counting", True,
+                "single rule, no shared variables; needs acyclic data",
+            )
+        )
+    except NotApplicableError as exc:
+        report.verdicts.append(
+            MethodVerdict("classical_counting", False, str(exc))
+        )
+
+    report.verdicts.append(
+        MethodVerdict(
+            "extended_counting", True,
+            "linear clique; needs an acyclic left graph at run time",
+        )
+    )
+    report.verdicts.append(
+        MethodVerdict(
+            "cyclic_counting", True,
+            "linear clique; applies to cyclic data too (Algorithm 2)",
+        )
+    )
+    if is_mixed_linear(canonical):
+        report.verdicts.append(
+            MethodVerdict(
+                "reduced_counting", True,
+                "mixed-linear clique: the path argument disappears "
+                "(Algorithm 3); safe on any data",
+            )
+        )
+    else:
+        report.verdicts.append(
+            MethodVerdict(
+                "reduced_counting", True,
+                "reduction applies but the path argument survives; "
+                "needs an acyclic left graph at run time",
+            )
+        )
+    return report

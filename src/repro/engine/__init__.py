@@ -1,0 +1,38 @@
+"""Bottom-up evaluation engine: relations, database, stratified
+semi-naive fixpoint and instrumentation."""
+
+from .builtins import eval_comparison
+from .database import Database
+from .fixpoint import QueryResult, evaluate_query, goal_filter, project_free
+from .instrumentation import EvalStats
+from .join import evaluate_body, evaluate_rule, ground_head, match_atom
+from .planner import reorder_body, reorder_program_rules
+from .relation import EmptyRelation, Relation, WILDCARD
+from .seminaive import SemiNaiveEngine, evaluate_program
+from .stratify import check_stratified, is_stratified
+from .tracing import DerivationNode, DerivationTrace
+
+__all__ = [
+    "Database",
+    "DerivationNode",
+    "DerivationTrace",
+    "EmptyRelation",
+    "EvalStats",
+    "reorder_body",
+    "reorder_program_rules",
+    "QueryResult",
+    "Relation",
+    "SemiNaiveEngine",
+    "WILDCARD",
+    "check_stratified",
+    "eval_comparison",
+    "evaluate_body",
+    "evaluate_program",
+    "evaluate_query",
+    "evaluate_rule",
+    "goal_filter",
+    "ground_head",
+    "is_stratified",
+    "match_atom",
+    "project_free",
+]

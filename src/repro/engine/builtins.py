@@ -1,0 +1,76 @@
+"""Evaluation of built-in comparison literals.
+
+Given a substitution, :func:`eval_comparison` yields the (possibly
+extended) substitutions under which the comparison holds:
+
+* test operators (``= != < <= > >=``) succeed or fail on ground values;
+  ``=`` additionally binds a still-unbound plain-variable side;
+* ``X is Expr`` evaluates the arithmetic expression and binds/tests
+  ``X``;
+* ``X in S`` enumerates the members of a bound set/list value ``S`` and
+  binds ``X`` to each (the cyclic counting method's ``A in T`` goals).
+"""
+
+from ..datalog.terms import Constant
+from ..datalog.unify import resolve, unify
+from ..errors import EvaluationError
+
+
+def _ordered(op, a, b):
+    try:
+        if op == "<":
+            return a < b
+        if op == "<=":
+            return a <= b
+        if op == ">":
+            return a > b
+        if op == ">=":
+            return a >= b
+    except TypeError:
+        raise EvaluationError(
+            "cannot order values %r and %r" % (a, b)
+        ) from None
+    raise EvaluationError("unknown ordering operator %r" % op)
+
+
+def eval_comparison(comparison, subst):
+    """Yield substitutions under which ``comparison`` holds."""
+    op = comparison.op
+    left = resolve(comparison.left, subst)
+    right = resolve(comparison.right, subst)
+    if op in ("is", "in"):
+        if not isinstance(right, Constant):
+            raise EvaluationError(
+                "right side of %r is not ground: %r" % (op, right)
+            )
+        if op == "is":
+            extended = unify(left, right, subst)
+            if extended is not None:
+                yield extended
+            return
+        members = right.value
+        if isinstance(members, (tuple, frozenset, set)):
+            for member in members:
+                extended = unify(left, Constant(member), subst)
+                if extended is not None:
+                    yield extended
+            return
+        raise EvaluationError(
+            "right side of 'in' is not a collection: %r" % (members,)
+        )
+    if op == "=":
+        extended = unify(left, right, subst)
+        if extended is not None:
+            yield extended
+        return
+    if not isinstance(left, Constant) or not isinstance(right, Constant):
+        raise EvaluationError(
+            "comparison %s on non-ground terms %r, %r" % (op, left, right)
+        )
+    a, b = left.value, right.value
+    if op == "!=":
+        if a != b:
+            yield subst
+        return
+    if _ordered(op, a, b):
+        yield subst

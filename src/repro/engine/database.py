@@ -1,0 +1,131 @@
+"""The extensional database: a mapping from predicate keys to relations.
+
+Facts can be loaded three ways:
+
+* programmatically with :meth:`Database.add_fact`;
+* from an iterable of ``(name, values)`` pairs with :meth:`add_facts`;
+* from program text containing ground facts via :meth:`Database.from_text`.
+
+The database only ever stores plain Python values (strings, ints,
+tuples, frozensets) — terms are normalized before insertion.
+"""
+
+from ..datalog.parser import parse_program
+from .relation import EmptyRelation, Relation
+
+
+class Database:
+    """A collection of named base relations."""
+
+    def __init__(self):
+        self._relations = {}
+
+    @classmethod
+    def from_facts(cls, facts):
+        """Build a database from ``(predicate_name, values_tuple)`` pairs."""
+        db = cls()
+        db.add_facts(facts)
+        return db
+
+    @classmethod
+    def from_text(cls, text):
+        """Build a database from program text of ground facts."""
+        program = parse_program(text)
+        db = cls()
+        for rule in program:
+            if not rule.is_fact():
+                raise ValueError(
+                    "database text contains a rule: %r" % (rule,)
+                )
+            if not rule.head.is_ground():
+                raise ValueError(
+                    "database fact is not ground: %r" % (rule.head,)
+                )
+        for key, values in program.facts():
+            db.relation(key[0], key[1]).add(values)
+        return db
+
+    def add_fact(self, name, *values):
+        """Insert one fact, e.g. ``db.add_fact("up", "a", "b")``."""
+        self.relation(name, len(values)).add(tuple(values))
+
+    def add_facts(self, facts):
+        for name, values in facts:
+            self.relation(name, len(values)).add(tuple(values))
+
+    def relation(self, name, arity):
+        """The relation for ``name/arity``, created empty on first use."""
+        key = (name, arity)
+        rel = self._relations.get(key)
+        if rel is None:
+            rel = Relation(name, arity)
+            self._relations[key] = rel
+        return rel
+
+    def get(self, key):
+        """The relation for ``key`` or an empty stand-in."""
+        rel = self._relations.get(key)
+        if rel is None:
+            return EmptyRelation(key[0], key[1])
+        return rel
+
+    def keys(self):
+        return set(self._relations)
+
+    def predicates(self):
+        """Predicate keys that actually hold tuples."""
+        return {k for k, rel in self._relations.items() if len(rel)}
+
+    def total_facts(self):
+        return sum(len(rel) for rel in self._relations.values())
+
+    def constants(self, keys=None):
+        """All constant values appearing in the given relations.
+
+        With ``keys=None`` every relation contributes.  Used to bound
+        the classical counting index for divergence detection.
+        """
+        values = set()
+        relations = (
+            self._relations.values()
+            if keys is None
+            else [self.get(key) for key in keys]
+        )
+        for rel in relations:
+            for row in rel:
+                values.update(row)
+        return values
+
+    def copy(self):
+        clone = Database()
+        for key, rel in self._relations.items():
+            clone._relations[key] = rel.copy()
+        return clone
+
+    def to_text(self):
+        """Serialize as program text; inverse of :meth:`from_text`.
+
+        Relations and rows are emitted in sorted order, so the output
+        is deterministic and diff-friendly.
+        """
+        from ..datalog.pretty import format_value
+
+        lines = []
+        for key in sorted(self._relations):
+            relation = self._relations[key]
+            for row in sorted(relation, key=repr):
+                lines.append(
+                    "%s(%s)."
+                    % (key[0], ", ".join(format_value(v) for v in row))
+                )
+        return "\n".join(lines)
+
+    def __contains__(self, key):
+        return key in self._relations
+
+    def __repr__(self):
+        inner = ", ".join(
+            "%s/%d:%d" % (k[0], k[1], len(rel))
+            for k, rel in sorted(self._relations.items())
+        )
+        return "Database(%s)" % inner

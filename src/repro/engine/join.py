@@ -1,0 +1,124 @@
+"""Rule body evaluation: index nested-loop joins over relations.
+
+The central entry point is :func:`evaluate_rule`, which takes a rule and
+a *resolver* — a callable mapping ``(literal_index, atom)`` to the
+relation that the occurrence should scan.  Semi-naive evaluation uses
+the resolver to substitute the delta relation for one designated
+occurrence of a recursive predicate while all other occurrences read the
+full relation.
+
+Matching an atom against a relation works in two steps: positions whose
+argument resolves to a ground constant become index lookups; positions
+holding variables or partial structures (e.g. the list pattern
+``[(r1, C) | L]``) are checked by unification against the stored value.
+"""
+
+from ..datalog.atoms import Atom, Comparison, Negation
+from ..datalog.terms import Constant
+from ..datalog.unify import resolve, unify
+from ..errors import EvaluationError
+from .builtins import eval_comparison
+from .relation import WILDCARD
+
+
+def match_atom(atom, relation, subst, stats=None):
+    """Yield substitutions extending ``subst`` that match ``atom``."""
+    resolved = [resolve(arg, subst) for arg in atom.args]
+    pattern = tuple(
+        arg.value if isinstance(arg, Constant) else WILDCARD
+        for arg in resolved
+    )
+    open_positions = [
+        i for i, arg in enumerate(resolved)
+        if not isinstance(arg, Constant)
+    ]
+    for row in relation.match(pattern):
+        if stats is not None:
+            stats.tuples_scanned += 1
+        extended = subst
+        for i in open_positions:
+            extended = unify(resolved[i], Constant(row[i]), extended)
+            if extended is None:
+                break
+        if extended is not None:
+            yield extended
+
+
+def _atom_holds(atom, relation, subst):
+    """True if the fully ground ``atom`` is present in ``relation``."""
+    resolved = [resolve(arg, subst) for arg in atom.args]
+    values = []
+    for arg in resolved:
+        if not isinstance(arg, Constant):
+            raise EvaluationError(
+                "negated atom %s not ground at evaluation time" % atom.pred
+            )
+        values.append(arg.value)
+    return tuple(values) in relation
+
+
+def evaluate_body(body, resolver, subst, stats=None):
+    """Yield substitutions satisfying all literals of ``body`` in order."""
+    stack = [(0, subst)]
+    # Depth-first enumeration without recursion: each frame is the index
+    # of the next literal and the substitution accumulated so far.
+    while stack:
+        index, current = stack.pop()
+        if index == len(body):
+            yield current
+            continue
+        lit = body[index]
+        if isinstance(lit, Atom):
+            relation = resolver(index, lit)
+            for extended in match_atom(lit, relation, current, stats):
+                stack.append((index + 1, extended))
+        elif isinstance(lit, Negation):
+            relation = resolver(index, lit.atom)
+            if not _atom_holds(lit.atom, relation, current):
+                stack.append((index + 1, current))
+        elif isinstance(lit, Comparison):
+            for extended in eval_comparison(lit, current):
+                stack.append((index + 1, extended))
+        else:
+            raise EvaluationError("unknown literal %r" % (lit,))
+
+
+def ground_head(head, subst):
+    """Resolve the head atom to a ground value tuple.
+
+    Head arguments may be arithmetic expressions (``I + 1``); they fold
+    to constants here.  Raises if any argument stays non-ground — safe
+    rules never do.
+    """
+    values = []
+    for arg in head.args:
+        resolved = resolve(arg, subst)
+        if not isinstance(resolved, Constant):
+            raise EvaluationError(
+                "head argument of %s not ground: %r" % (head.pred, resolved)
+            )
+        values.append(resolved.value)
+    return tuple(values)
+
+
+def ground_atom(atom, subst):
+    """Resolve a (positive) body atom to its ground value tuple."""
+    values = []
+    for arg in atom.args:
+        resolved = resolve(arg, subst)
+        if not isinstance(resolved, Constant):
+            raise EvaluationError(
+                "body atom %s not ground under result substitution"
+                % atom.pred
+            )
+        values.append(resolved.value)
+    return tuple(values)
+
+
+def evaluate_rule(rule, resolver, stats=None, initial_subst=None):
+    """Yield ground head tuples derivable by one pass over ``rule``."""
+    if stats is not None:
+        stats.rule_firings += 1
+    subst = {} if initial_subst is None else initial_subst
+    for result in evaluate_body(rule.body, resolver, subst, stats):
+        yield ground_head(rule.head, result)

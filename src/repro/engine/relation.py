@@ -1,0 +1,151 @@
+"""In-memory relations with lazily built hash indexes.
+
+A :class:`Relation` stores a set of ground tuples and answers
+``match(pattern)`` queries, where a pattern fixes some positions to
+values and leaves the rest as :data:`WILDCARD`.  The first query for a
+given set of bound positions builds a hash index on those positions;
+subsequent queries and insertions keep every existing index current.
+
+Indexes make the nested-loop joins of the engine behave like index
+nested-loop joins, which is the performance model assumed by the paper
+(the pointer-based counting implementation is "a direct access to the
+memory").
+"""
+
+
+class _Wildcard:
+    __slots__ = ()
+
+    def __repr__(self):
+        return "WILDCARD"
+
+
+#: Placeholder for unbound positions in match patterns.  ``None`` is not
+#: usable because ``nil`` is a legal constant value.
+WILDCARD = _Wildcard()
+
+
+class Relation:
+    """A named set of fixed-arity ground tuples.
+
+    ``use_indexes=False`` disables hash indexes — every match becomes a
+    full scan with per-row filtering.  Kept as an ablation switch
+    (benchmark A3); production paths never set it.
+    """
+
+    __slots__ = ("name", "arity", "tuples", "_indexes", "use_indexes")
+
+    def __init__(self, name, arity, use_indexes=True):
+        self.name = name
+        self.arity = arity
+        self.tuples = set()
+        self._indexes = {}
+        self.use_indexes = use_indexes
+
+    def __len__(self):
+        return len(self.tuples)
+
+    def __iter__(self):
+        return iter(self.tuples)
+
+    def __contains__(self, row):
+        return row in self.tuples
+
+    def add(self, row):
+        """Insert ``row``; returns True if it was new."""
+        if len(row) != self.arity:
+            raise ValueError(
+                "arity mismatch for %s: expected %d, got %r"
+                % (self.name, self.arity, row)
+            )
+        if row in self.tuples:
+            return False
+        self.tuples.add(row)
+        for positions, index in self._indexes.items():
+            key = tuple(row[i] for i in positions)
+            index.setdefault(key, []).append(row)
+        return True
+
+    def add_all(self, rows):
+        """Insert many rows; returns the list of rows that were new."""
+        added = []
+        for row in rows:
+            if self.add(row):
+                added.append(row)
+        return added
+
+    def _index_for(self, positions):
+        index = self._indexes.get(positions)
+        if index is None:
+            index = {}
+            for row in self.tuples:
+                key = tuple(row[i] for i in positions)
+                index.setdefault(key, []).append(row)
+            self._indexes[positions] = index
+        return index
+
+    def match(self, pattern):
+        """Yield rows matching ``pattern``.
+
+        ``pattern`` is a tuple of length ``arity`` whose entries are
+        either concrete values or :data:`WILDCARD`.
+        """
+        if len(pattern) != self.arity:
+            raise ValueError(
+                "pattern arity mismatch for %s: %r" % (self.name, pattern)
+            )
+        positions = tuple(
+            i for i, v in enumerate(pattern) if v is not WILDCARD
+        )
+        if not positions:
+            return iter(self.tuples)
+        if not self.use_indexes:
+            return (
+                row
+                for row in self.tuples
+                if all(row[i] == pattern[i] for i in positions)
+            )
+        if len(positions) == self.arity:
+            row = tuple(pattern)
+            return iter((row,)) if row in self.tuples else iter(())
+        index = self._index_for(positions)
+        key = tuple(pattern[i] for i in positions)
+        return iter(index.get(key, ()))
+
+    def copy(self):
+        clone = Relation(self.name, self.arity,
+                         use_indexes=self.use_indexes)
+        clone.tuples = set(self.tuples)
+        return clone
+
+    def __repr__(self):
+        return "Relation(%s/%d, %d tuples)" % (
+            self.name,
+            self.arity,
+            len(self.tuples),
+        )
+
+
+class EmptyRelation:
+    """A read-only stand-in for relations with no tuples."""
+
+    __slots__ = ("name", "arity")
+
+    def __init__(self, name, arity):
+        self.name = name
+        self.arity = arity
+
+    def __len__(self):
+        return 0
+
+    def __iter__(self):
+        return iter(())
+
+    def __contains__(self, row):
+        return False
+
+    def match(self, pattern):
+        return iter(())
+
+    def __repr__(self):
+        return "EmptyRelation(%s/%d)" % (self.name, self.arity)

@@ -1,0 +1,39 @@
+"""Stratification checking for negation.
+
+The engine evaluates recursive cliques bottom-up in topological order,
+so negation is sound as long as no negated atom refers to a predicate in
+the *same* clique as the rule head.  :func:`check_stratified` verifies
+exactly that and raises :class:`NotStratifiedError` otherwise.
+
+The paper's Algorithm 2 produces *weakly stratified* programs whose
+counting rules negate predicates of their own clique; those programs are
+not run through the generic engine — the dedicated evaluators in
+:mod:`repro.exec` implement the Bushy-Depth-First computation the paper
+prescribes for them (see DESIGN.md).
+"""
+
+from ..errors import NotStratifiedError
+
+
+def check_stratified(analysis):
+    """Validate that ``analysis``'s program is stratified.
+
+    ``analysis`` is a :class:`~repro.datalog.analysis.ProgramAnalysis`.
+    """
+    for clique in analysis.components:
+        for rule in clique.rules:
+            for atom in rule.negated_atoms():
+                if atom.key in clique.predicates:
+                    raise NotStratifiedError(
+                        "rule for %s negates %s inside the same recursive "
+                        "clique; the program is not stratified"
+                        % (rule.head.pred, atom.pred)
+                    )
+
+
+def is_stratified(analysis):
+    try:
+        check_stratified(analysis)
+    except NotStratifiedError:
+        return False
+    return True

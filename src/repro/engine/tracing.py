@@ -1,0 +1,107 @@
+"""Derivation tracing: why is this fact in the result?
+
+Pass a :class:`DerivationTrace` to the engine and every *first*
+derivation of a fact is recorded as ``(rule label, premises)``, where
+premises are the ground body atoms of the firing.  :meth:`explain`
+then unwinds the records into a derivation tree — handy when a
+rewritten program produces a surprising answer and you want to see
+which counting tuples and base facts support it.
+
+Only the first derivation is kept (facts are set-valued; later
+re-derivations add nothing), so the tree is finite even for recursive
+programs, and memory stays linear in the number of derived facts.
+"""
+
+
+class Derivation:
+    """One recorded rule firing."""
+
+    __slots__ = ("rule_label", "premises")
+
+    def __init__(self, rule_label, premises):
+        self.rule_label = rule_label
+        #: tuple of ((name, arity), values) ground body atoms.
+        self.premises = tuple(premises)
+
+    def __repr__(self):
+        return "Derivation(%s, %d premises)" % (
+            self.rule_label, len(self.premises)
+        )
+
+
+class DerivationNode:
+    """A node of an explanation tree."""
+
+    __slots__ = ("key", "values", "rule_label", "children")
+
+    def __init__(self, key, values, rule_label, children):
+        self.key = key
+        self.values = values
+        #: None for base facts.
+        self.rule_label = rule_label
+        self.children = tuple(children)
+
+    def is_base(self):
+        return self.rule_label is None
+
+    def render(self, indent=0):
+        pad = "  " * indent
+        label = "" if self.is_base() else "   [%s]" % self.rule_label
+        head = "%s%s(%s)%s" % (
+            pad, self.key[0],
+            ", ".join(_fmt(v) for v in self.values), label,
+        )
+        lines = [head]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+    def size(self):
+        return 1 + sum(child.size() for child in self.children)
+
+
+def _fmt(value):
+    from ..datalog.pretty import format_value
+
+    return format_value(value)
+
+
+class DerivationTrace:
+    """Fact -> first derivation mapping, filled by the engine."""
+
+    def __init__(self):
+        self._records = {}
+
+    def record(self, key, values, rule_label, premises):
+        fact = (key, tuple(values))
+        if fact not in self._records:
+            self._records[fact] = Derivation(rule_label, premises)
+
+    def derivation_of(self, key, values):
+        return self._records.get((key, tuple(values)))
+
+    def __len__(self):
+        return len(self._records)
+
+    def explain(self, key, values, max_depth=100):
+        """Build the derivation tree for one fact.
+
+        Facts without a record are base facts (leaves).  ``max_depth``
+        caps pathological nesting; recorded first-derivations cannot be
+        cyclic, so the cap is a safety net only.
+        """
+        values = tuple(values)
+
+        def build(fact_key, fact_values, depth):
+            derivation = self._records.get((fact_key, fact_values))
+            if derivation is None or depth >= max_depth:
+                return DerivationNode(fact_key, fact_values, None, ())
+            children = [
+                build(p_key, p_values, depth + 1)
+                for p_key, p_values in derivation.premises
+            ]
+            return DerivationNode(
+                fact_key, fact_values, derivation.rule_label, children
+            )
+
+        return build(key, values, 0)

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  The subclasses mirror the stages of
+the pipeline: parsing, static analysis, rewriting applicability and runtime
+evaluation.
+"""
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by this library."""
+
+
+class ParseError(ReproError):
+    """Raised when a program or query text cannot be parsed.
+
+    Carries the source position so callers can point at the offending
+    token.
+    """
+
+    def __init__(self, message, line=None, column=None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = "line %d, column %d: %s" % (line, column, message)
+        super().__init__(message)
+
+
+class SafetyError(ReproError):
+    """Raised when a rule violates the safety (range restriction) rules."""
+
+
+class AnalysisError(ReproError):
+    """Raised for malformed programs detected during static analysis."""
+
+
+class NotStratifiedError(AnalysisError):
+    """Raised when a program uses negation inside a recursive clique."""
+
+
+class RewritingError(ReproError):
+    """Base class for errors raised by the rewriting algorithms."""
+
+
+class NotApplicableError(RewritingError):
+    """A rewriting method's preconditions are not met for this query.
+
+    The message explains which precondition failed (e.g. a non-linear
+    recursive rule for the counting method, or a cyclic left-part graph
+    for the acyclic variants).
+    """
+
+
+class CountingDivergenceError(RewritingError):
+    """The classical counting method diverged on cyclic data.
+
+    The classical counting set is infinite when the graph of the left
+    part of the recursive rule contains a cycle reachable from the query
+    constant; the executor detects indexes exceeding the number of
+    reachable nodes and raises this error instead of looping forever.
+    """
+
+
+class EvaluationError(ReproError):
+    """Raised for runtime evaluation failures (e.g. unbound arithmetic)."""

@@ -1,0 +1,49 @@
+"""Dedicated evaluators and uniform strategy executors."""
+
+from .counting_engine import CountingEngine, CountingRow, CountingTable
+from .magic_counting import MagicCountingEngine, recurring_nodes
+from .qsq import QSQEngine, qsq_evaluate
+from .weak_stratification import (
+    tables_equivalent,
+    wavefront_counting_table,
+    weakly_stratified_counting_table,
+)
+from .strategies import (
+    STRATEGIES,
+    ExecutionResult,
+    run_classical_counting,
+    run_cyclic_counting,
+    run_extended_counting,
+    run_magic,
+    run_magic_counting,
+    run_naive,
+    run_pointer_counting,
+    run_qsq,
+    run_reduced_counting,
+    run_strategy,
+)
+
+__all__ = [
+    "CountingEngine",
+    "CountingRow",
+    "CountingTable",
+    "ExecutionResult",
+    "MagicCountingEngine",
+    "QSQEngine",
+    "STRATEGIES",
+    "qsq_evaluate",
+    "run_qsq",
+    "recurring_nodes",
+    "run_classical_counting",
+    "run_cyclic_counting",
+    "run_extended_counting",
+    "run_magic",
+    "run_magic_counting",
+    "run_naive",
+    "run_pointer_counting",
+    "run_reduced_counting",
+    "run_strategy",
+    "tables_equivalent",
+    "wavefront_counting_table",
+    "weakly_stratified_counting_table",
+]

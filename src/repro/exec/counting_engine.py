@@ -1,0 +1,385 @@
+"""Pointer-based counting evaluator (§3.4 and Algorithm 2).
+
+This module is the executable form of the paper's implementation notes:
+instead of evaluating the weakly-stratified rewritten program through a
+generic engine, the counting set is built directly during the DFS over
+the left-part graph (the paper's Bushy-Depth-First fixpoint), back-arc
+information is folded into the counting tuples (making the predicate
+``f`` unnecessary), and the answer phase navigates tuple identifiers —
+"a direct access to the memory".
+
+Data model
+----------
+
+* A *node* is a pair ``(predicate key, bound-argument values)`` — the
+  clique may contain several mutually recursive predicates.
+* The :class:`CountingTable` holds one row per node reachable from the
+  query constants.  Each row carries the set of *in-triples*
+  ``(rule label, shared values, predecessor id)`` — one per left-part
+  arc entering the node, ahead and back arcs alike.  The source row
+  carries the sentinel triple ``(None, (), None)``.
+* The answer phase derives *states* ``(predicate key, answer values,
+  row id)``: the predicate instance holds at ``(row.values, answer
+  values)``.  Exit rules seed states; each modified-rule step consumes
+  one in-triple of the state's row, applies the source rule's right
+  part and moves to the predecessor row.  A state whose row is the
+  source row yields an answer.
+
+The state space is finite — at most ``|answers| × |rows|`` states — for
+*any* database, cyclic or not, which is the effective content of
+Theorem 2(3).  On acyclic data the table coincides with the §3.4
+pointer implementation; the back-arc triples are exactly the extra
+information Algorithm 2 adds.
+"""
+
+from ..datalog.terms import Constant, Variable
+from ..datalog.unify import resolve
+from ..engine.instrumentation import EvalStats
+from ..engine.join import evaluate_body
+from ..errors import NotApplicableError
+from ..graph.dfs import classify_arcs
+
+#: Sentinel triple marking the source row.
+SOURCE_TRIPLE = (None, (), None)
+
+
+class CountingRow:
+    """One node of the counting set."""
+
+    __slots__ = ("id", "pred", "values", "triples")
+
+    def __init__(self, row_id, pred, values):
+        self.id = row_id
+        self.pred = pred
+        self.values = values
+        #: list of (rule label, shared values, predecessor row id)
+        self.triples = []
+
+    def __repr__(self):
+        return "CountingRow(o%d, %s%r, %d triples)" % (
+            self.id, self.pred[0], self.values, len(self.triples)
+        )
+
+
+class CountingTable:
+    """The per-node counting set with predecessor triples."""
+
+    __slots__ = ("rows", "index", "source_id", "back_arc_count",
+                 "ahead_arc_count")
+
+    def __init__(self):
+        self.rows = []
+        self.index = {}
+        self.source_id = 0
+        self.back_arc_count = 0
+        self.ahead_arc_count = 0
+
+    def row_for(self, pred, values):
+        key = (pred, values)
+        row_id = self.index.get(key)
+        if row_id is None:
+            row_id = len(self.rows)
+            self.index[key] = row_id
+            self.rows.append(CountingRow(row_id, pred, values))
+        return self.rows[row_id]
+
+    def __len__(self):
+        return len(self.rows)
+
+    @property
+    def triple_count(self):
+        """Total in-triples: the §3.4 per-arc counting-set size."""
+        return sum(len(row.triples) for row in self.rows)
+
+    def is_acyclic(self):
+        return self.back_arc_count == 0
+
+    def render(self):
+        """The paper's notation for counting sets, e.g.
+        ``o4 : (d, {(r1, [], o3), (r1, [], o5)})``."""
+        from ..datalog.pretty import format_value
+
+        def fmt_id(row_id):
+            return "nil" if row_id is None else "o%d" % (row_id + 1)
+
+        lines = []
+        for row in self.rows:
+            triples = ", ".join(
+                "(%s, %s, %s)" % (
+                    label if label is not None else "r0",
+                    format_value(tuple(shared)),
+                    fmt_id(prev),
+                )
+                for label, shared, prev in row.triples
+            )
+            values = ", ".join(format_value(v) for v in row.values)
+            lines.append(
+                "%s : (%s, {%s})" % (fmt_id(row.id), values, triples)
+            )
+        return "\n".join(lines)
+
+
+class CountingEngine:
+    """Two-phase counting evaluation of one canonical clique.
+
+    Parameters
+    ----------
+    canonical : :class:`~repro.rewriting.canonical.CanonicalClique`
+    goal_key : adorned predicate key of the query goal.
+    source_values : tuple of the goal's bound constants.
+    get_relation : callable key -> relation (database plus support
+        predicates materialized by lower cliques).
+    stats : optional shared :class:`EvalStats`.
+    require_acyclic : raise :class:`NotApplicableError` if the left
+        graph has back arcs (the §3.4 acyclic pointer method).
+    """
+
+    def __init__(self, canonical, goal_key, source_values, get_relation,
+                 stats=None, require_acyclic=False, answer_order="bfs"):
+        self.canonical = canonical
+        self.goal_key = goal_key
+        self.source_values = tuple(source_values)
+        self.get_relation = get_relation
+        self.stats = stats if stats is not None else EvalStats()
+        self.require_acyclic = require_acyclic
+        if answer_order not in ("bfs", "dfs"):
+            raise ValueError("answer_order must be 'bfs' or 'dfs'")
+        #: Exploration order of the answer phase.  ``"dfs"`` is the
+        #: Bushy-Depth-First discipline of the LDL prototype [7] the
+        #: paper's implementation notes assume: each exit tuple is
+        #: unwound to the source before the next is touched, keeping
+        #: the frontier small.  Both orders visit the same state set.
+        self.answer_order = answer_order
+        self.rules_by_label = {
+            rule.label: rule for rule in canonical.recursive_rules
+        }
+        self.table = None
+        self._answers = None
+        self._parents = {}
+        self._state_count = 0
+        #: Largest pending-frontier size seen (memory high-water mark).
+        self.max_frontier = 0
+
+    # -- phase 1: counting set ---------------------------------------
+
+    def _resolver(self, _index, atom):
+        return self.get_relation(atom.key)
+
+    def _successors(self, node):
+        """Left-graph successors of ``node`` with (label, shared) labels."""
+        pred, values = node
+        results = []
+        for rule in self.canonical.recursive_rules:
+            if rule.head_key != pred:
+                continue
+            if rule.is_left_linear_shape():
+                # Empty left part: the rule contributes no arc to G_L;
+                # the answer phase applies it in place (same row).
+                continue
+            subst = {
+                name: Constant(value)
+                for name, value in zip(rule.bound_vars, values)
+            }
+            self.stats.rule_firings += 1
+            for result in evaluate_body(
+                rule.left, self._resolver, subst, self.stats
+            ):
+                target = _bind_values(rule.rec_bound_vars, result)
+                shared = _bind_values(rule.shared_vars, result)
+                results.append(
+                    ((rule.rec_key, target), (rule.label, shared))
+                )
+        return results
+
+    def build_counting_set(self):
+        """DFS the left graph and materialize the counting table."""
+        source = (self.goal_key, self.source_values)
+        classification = classify_arcs(source, self._successors)
+        if self.require_acyclic and not classification.is_acyclic():
+            raise NotApplicableError(
+                "left-part graph contains %d back arcs; the acyclic "
+                "pointer method does not apply"
+                % len(classification.back)
+            )
+        table = CountingTable()
+        source_row = table.row_for(*source)
+        table.source_id = source_row.id
+        source_row.triples.append(SOURCE_TRIPLE)
+        # Discovery order assigns ids; arcs become in-triples.
+        for node in classification.order:
+            table.row_for(*node)
+        for arc in classification.ahead:
+            target = table.row_for(*arc.target)
+            source_id = table.row_for(*arc.source).id
+            label, shared = arc.label
+            target.triples.append((label, shared, source_id))
+            table.ahead_arc_count += 1
+            self.stats.facts_derived += 1
+        for arc in classification.back:
+            target = table.row_for(*arc.target)
+            source_id = table.row_for(*arc.source).id
+            label, shared = arc.label
+            target.triples.append((label, shared, source_id))
+            table.back_arc_count += 1
+            self.stats.facts_derived += 1
+        self.table = table
+        return table
+
+    # -- phase 2: answers ---------------------------------------------
+
+    def _exit_states(self):
+        """Seed states from the exit rules at every counting node."""
+        for row in self.table.rows:
+            exit_rules, _ = self.canonical.rules_by_head(row.pred)
+            for exit_rule in exit_rules:
+                subst = {
+                    name: Constant(value)
+                    for name, value in zip(exit_rule.bound_vars, row.values)
+                }
+                self.stats.rule_firings += 1
+                for result in evaluate_body(
+                    exit_rule.body, self._resolver, subst, self.stats
+                ):
+                    values = _bind_values(exit_rule.free_vars, result)
+                    yield (row.pred, values, row.id), exit_rule.label
+
+    def _apply_left_linear(self, state):
+        """Apply left-linear rules in place (no triple is consumed).
+
+        A left-linear rule has an empty left part and carries the bound
+        arguments through unchanged, so it transforms the answer values
+        while staying at the same counting row.
+        """
+        pred, values, row_id = state
+        row = self.table.rows[row_id]
+        for rule in self.canonical.recursive_rules:
+            if not rule.is_left_linear_shape():
+                continue
+            if rule.head_key != pred:
+                continue
+            subst = {}
+            for name, value in zip(rule.rec_free_vars, values):
+                subst[name] = Constant(value)
+            for name, value in zip(rule.bound_vars, row.values):
+                subst[name] = Constant(value)
+            self.stats.rule_firings += 1
+            for result in evaluate_body(
+                rule.right, self._resolver, subst, self.stats
+            ):
+                out = _bind_values(rule.free_vars, result)
+                yield (rule.head_key, out, row_id), rule.label
+
+    def _unwind(self, state):
+        """Apply one pop step: consume a triple of the state's row."""
+        pred, values, row_id = state
+        row = self.table.rows[row_id]
+        for label, shared, prev_id in row.triples:
+            if label is None:
+                continue
+            rule = self.rules_by_label[label]
+            if rule.rec_key != pred:
+                continue
+            prev_row = self.table.rows[prev_id]
+            subst = {}
+            for name, value in zip(rule.rec_free_vars, values):
+                subst[name] = Constant(value)
+            for name, value in zip(rule.shared_vars, shared):
+                subst[name] = Constant(value)
+            for name, value in zip(rule.bound_vars, prev_row.values):
+                subst[name] = Constant(value)
+            for name, value in zip(rule.rec_bound_vars, row.values):
+                subst[name] = Constant(value)
+            self.stats.rule_firings += 1
+            for result in evaluate_body(
+                rule.right, self._resolver, subst, self.stats
+            ):
+                out = _bind_values(rule.free_vars, result)
+                yield (rule.head_key, out, prev_id), rule.label
+
+    def compute_answers(self):
+        """Run the answer phase; returns the set of answer tuples.
+
+        Answers are projections onto the goal's free arguments: states
+        that reach the source row with the goal predicate.
+        """
+        from collections import deque
+
+        if self.table is None:
+            self.build_counting_set()
+        parents = {}
+        answers = set()
+        pending = deque()
+        for state, label in self._exit_states():
+            if state not in parents:
+                parents[state] = (label, None)
+                pending.append(state)
+            else:
+                self.stats.facts_duplicate += 1
+        self.max_frontier = len(pending)
+        while pending:
+            self.stats.iterations += 1
+            if self.answer_order == "dfs":
+                state = pending.pop()
+            else:
+                state = pending.popleft()
+            if (
+                state[2] == self.table.source_id
+                and state[0] == self.goal_key
+            ):
+                answers.add(state[1])
+            for producer in (self._unwind, self._apply_left_linear):
+                for new_state, label in producer(state):
+                    if new_state in parents:
+                        self.stats.facts_duplicate += 1
+                        continue
+                    parents[new_state] = (label, state)
+                    self.stats.facts_derived += 1
+                    pending.append(new_state)
+            self.max_frontier = max(self.max_frontier, len(pending))
+        self._answers = frozenset(answers)
+        self._parents = parents
+        self._state_count = len(parents)
+        return self._answers
+
+    def answer_path(self, answer_values):
+        """The derivation steps behind one answer tuple.
+
+        Returns the list of ``(rule_label, node_values, answer_values)``
+        steps from the exit tuple to the source row — the unwinding of
+        the counting prefix.  The first entry is the exit-rule firing.
+        Raises :class:`KeyError` for values that are not answers.
+        """
+        state = (self.goal_key, tuple(answer_values),
+                 self.table.source_id)
+        if state not in self._parents:
+            raise KeyError(answer_values)
+        steps = []
+        while state is not None:
+            label, parent = self._parents[state]
+            pred, values, row_id = state
+            steps.append(
+                (label, self.table.rows[row_id].values, values)
+            )
+            state = parent
+        steps.reverse()
+        return steps
+
+    @property
+    def state_count(self):
+        """Number of distinct answer-phase states (Theorem 2 bound)."""
+        return self._state_count
+
+    def run(self):
+        """Build the counting set and compute the answers."""
+        self.build_counting_set()
+        return self.compute_answers()
+
+
+def _bind_values(names, subst):
+    values = []
+    for name in names:
+        term = resolve(Variable(name), subst)
+        if not isinstance(term, Constant):
+            raise ValueError("variable %s not bound" % name)
+        values.append(term.value)
+    return tuple(values)

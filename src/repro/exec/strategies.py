@@ -1,0 +1,457 @@
+"""Uniform executors for every evaluation strategy.
+
+Each ``run_*`` function takes the *original* query and a database and
+returns an :class:`ExecutionResult` whose ``answers`` are projections
+onto the original goal's free argument positions — so results of
+different methods compare directly.  ``extras`` carries method-specific
+measurements (magic-set size, counting-set size, pointer-table rows and
+triples, answer-state counts) used by the benchmark harness.
+
+Strategies
+----------
+
+``naive``              semi-naive evaluation of the original program,
+                       goal filter applied afterwards (no binding
+                       propagation — the paper's worst baseline).
+``magic``              magic-set rewriting + semi-naive engine.
+``sup_magic``          supplementary magic sets [6] (prefixes
+                       materialized once).
+``qsq``                top-down query-subquery evaluation (the memoing
+                       family's direct formulation).
+``classical_counting`` classical counting (Example 1); raises
+                       :class:`CountingDivergenceError` on cyclic data.
+``encoded_counting``   the [15] integer-encoded rule log (historical;
+                       exponential value growth).
+``extended_counting``  Algorithm 1 (list path arguments) + generic
+                       engine; requires an acyclic left graph (more
+                       precisely: no cycle through a pushing rule).
+``reduced_counting``   Algorithm 1 + Algorithm 3 reduction; safe on
+                       any data when the path argument disappears.
+``pointer_counting``   §3.4 pointer implementation (dedicated
+                       evaluator); requires an acyclic left graph.
+``cyclic_counting``    Algorithm 2 (dedicated evaluator); applies to
+                       cyclic and acyclic data alike.
+``magic_counting``     the [16] hybrid: counting on the non-recurring
+                       part, magic on the recurring part.
+"""
+
+import time
+
+from ..datalog.rules import Query
+from ..engine.database import Database
+from ..engine.fixpoint import goal_filter, project_free
+from ..engine.instrumentation import EvalStats
+from ..engine.seminaive import SemiNaiveEngine
+from ..errors import CountingDivergenceError, EvaluationError
+from ..graph.dfs import classify_arcs
+from ..rewriting.adornment import adorn_query
+from ..rewriting.canonical import canonicalize_clique, query_constants
+from ..rewriting.counting import classical_counting_rewrite
+from ..rewriting.extended import extended_counting_rewrite
+from ..rewriting.magic import magic_rewrite, magic_set_size
+from ..rewriting.reduction import reduce_rewriting
+from ..rewriting.support import goal_clique_of
+from .counting_engine import CountingEngine
+
+
+class ExecutionResult:
+    """Answers plus measurements for one strategy run."""
+
+    __slots__ = ("method", "answers", "stats", "extras", "rewriting",
+                 "elapsed")
+
+    def __init__(self, method, answers, stats, extras=None, rewriting=None,
+                 elapsed=0.0):
+        self.method = method
+        self.answers = frozenset(answers)
+        self.stats = stats
+        self.extras = dict(extras or {})
+        self.rewriting = rewriting
+        #: Wall-clock seconds of the run (rewriting + evaluation).
+        self.elapsed = elapsed
+
+    def __repr__(self):
+        return "ExecutionResult(%s, %d answers, work=%d)" % (
+            self.method, len(self.answers), self.stats.total_work
+        )
+
+
+def _run_engine(query, db, stats, max_iterations=None):
+    engine = SemiNaiveEngine(
+        query.program, db, stats=stats, max_iterations=max_iterations
+    )
+    derived = engine.run()
+    goal = query.goal
+    relation = engine.relation(goal.key)
+    tuples = set(goal_filter(goal, relation))
+    return project_free(goal, tuples), derived
+
+
+def _relation_sizes(derived, keys):
+    return sum(len(derived[key]) for key in keys if key in derived)
+
+
+def run_naive(query, db):
+    """Evaluate the original program without binding propagation."""
+    stats = EvalStats()
+    started = time.perf_counter()
+    answers, derived = _run_engine(query, db, stats)
+    elapsed = time.perf_counter() - started
+    extras = {
+        "derived_facts": sum(len(rel) for rel in derived.values()),
+    }
+    return ExecutionResult("naive", answers, stats, extras,
+                           elapsed=elapsed)
+
+
+def run_magic(query, db):
+    """Magic-set rewriting followed by semi-naive evaluation."""
+    stats = EvalStats()
+    started = time.perf_counter()
+    rewriting = magic_rewrite(query)
+    answers, derived = _run_engine(rewriting.query, db, stats)
+    elapsed = time.perf_counter() - started
+    extras = {
+        "magic_set_size": magic_set_size(derived, rewriting),
+        "derived_facts": sum(len(rel) for rel in derived.values()),
+    }
+    return ExecutionResult("magic", answers, stats, extras, rewriting,
+                           elapsed)
+
+
+def run_sup_magic(query, db):
+    """Supplementary magic sets: prefixes materialized once."""
+    from ..rewriting.supplementary import supplementary_magic_rewrite
+
+    stats = EvalStats()
+    started = time.perf_counter()
+    rewriting = supplementary_magic_rewrite(query)
+    answers, derived = _run_engine(rewriting.query, db, stats)
+    elapsed = time.perf_counter() - started
+    extras = {
+        "sup_facts": sum(
+            len(rel) for key, rel in derived.items()
+            if key[0].startswith("sup_")
+        ),
+        "derived_facts": sum(len(rel) for rel in derived.values()),
+    }
+    return ExecutionResult("sup_magic", answers, stats, extras,
+                           rewriting, elapsed)
+
+
+def _divergence_bound(db):
+    """Iteration bound for the classical counting clique.
+
+    On acyclic data the counting index never exceeds the number of
+    database constants, so a fixpoint running longer than that has hit
+    a cycle.
+    """
+    return len(db.constants()) + 2
+
+
+def run_classical_counting(query, db):
+    """Classical counting; divergence-guarded for cyclic data."""
+    stats = EvalStats()
+    started = time.perf_counter()
+    rewriting = classical_counting_rewrite(query)
+    try:
+        answers, derived = _run_engine(
+            rewriting.query, db, stats,
+            max_iterations=_divergence_bound(db),
+        )
+    except EvaluationError as exc:
+        raise CountingDivergenceError(
+            "classical counting diverged (cyclic left-part relation?): %s"
+            % exc
+        ) from exc
+    elapsed = time.perf_counter() - started
+    extras = {
+        "counting_set_size": _relation_sizes(
+            derived, [rewriting.counting_pred]
+        ),
+        "derived_facts": sum(len(rel) for rel in derived.values()),
+    }
+    return ExecutionResult("classical_counting", answers, stats, extras,
+                           rewriting, elapsed)
+
+
+def run_encoded_counting(query, db):
+    """The [15] integer-encoded counting method (historical baseline).
+
+    The rule log rides a single integer; divergence-guarded like the
+    classical method.  ``extras`` reports the largest encoded value's
+    bit length — the exponential growth §3.4 criticizes.
+    """
+    from ..rewriting.encoded import encoded_counting_rewrite
+
+    stats = EvalStats()
+    started = time.perf_counter()
+    rewriting = encoded_counting_rewrite(query)
+    try:
+        answers, derived = _run_engine(
+            rewriting.query, db, stats,
+            max_iterations=_divergence_bound(db),
+        )
+    except EvaluationError as exc:
+        raise CountingDivergenceError(
+            "encoded counting diverged (cyclic left-part relation?): %s"
+            % exc
+        ) from exc
+    elapsed = time.perf_counter() - started
+    counting = derived.get(rewriting.counting_pred)
+    max_bits = 0
+    size = 0
+    if counting is not None:
+        size = len(counting)
+        for row in counting:
+            max_bits = max(max_bits, int(row[-1]).bit_length())
+    extras = {
+        "counting_set_size": size,
+        "max_index_bits": max_bits,
+        "derived_facts": sum(len(rel) for rel in derived.values()),
+    }
+    return ExecutionResult("encoded_counting", answers, stats, extras,
+                           rewriting, elapsed)
+
+
+def _check_left_graph_acyclic(adorned, db, stats, method):
+    """Raise if the path argument would grow without bound.
+
+    The list-based programs diverge exactly when the reachable left
+    graph contains a cycle through a *pushing* arc — one generated by a
+    rule that is neither left- nor right-linear shaped (those rules are
+    the ones extending the path argument).
+    """
+    from ..graph.properties import strongly_connected_components
+    from ..rewriting.linearity import GENERAL, rule_shape
+
+    clique, support_rules = goal_clique_of(adorned)
+    canonical = canonicalize_clique(clique, adorned)
+    get_relation = _support_resolver(adorned, support_rules, db, stats)
+    engine = CountingEngine(
+        canonical,
+        adorned.goal.key,
+        query_constants(adorned.goal),
+        get_relation,
+        stats=EvalStats(),
+    )
+    source = (adorned.goal.key, tuple(query_constants(adorned.goal)))
+    classification = classify_arcs(source, engine._successors)
+    if classification.is_acyclic():
+        return
+    pushing = {
+        rule.label
+        for rule in canonical.recursive_rules
+        if rule_shape(rule) == GENERAL
+    }
+    adjacency = {}
+    for arc in classification.arcs:
+        adjacency.setdefault(arc.source, set()).add(arc.target)
+    sccs = strongly_connected_components(adjacency)
+    for arc in classification.arcs:
+        label = arc.label[0]
+        if label not in pushing:
+            continue
+        if sccs.get(arc.source) == sccs.get(arc.target):
+            raise CountingDivergenceError(
+                "%s: the left graph has a cycle through pushing rule %s; "
+                "the path argument would grow without bound"
+                % (method, label)
+            )
+
+
+def _support_resolver(adorned, support_rules, db, stats):
+    """Materialize support (lower-clique) rules over the database.
+
+    Returns a lookup ``key -> relation`` that consults the materialized
+    support relations first and the database second.
+    """
+    if not support_rules:
+        return db.get
+    from ..datalog.rules import Program
+
+    engine = SemiNaiveEngine(Program(support_rules), db, stats=stats)
+    engine.run()
+    return engine.relation
+
+
+def run_extended_counting(query, db, check_acyclic=True):
+    """Algorithm 1 (list path arguments) on the generic engine."""
+    stats = EvalStats()
+    started = time.perf_counter()
+    rewriting = extended_counting_rewrite(query)
+    if check_acyclic:
+        _check_left_graph_acyclic(
+            rewriting.adorned, db, stats, "extended counting"
+        )
+    answers, derived = _run_engine(rewriting.query, db, stats)
+    elapsed = time.perf_counter() - started
+    extras = {
+        "counting_set_size": _relation_sizes(
+            derived, list(rewriting.counting_preds.values())
+        ),
+        "derived_facts": sum(len(rel) for rel in derived.values()),
+    }
+    return ExecutionResult("extended_counting", answers, stats, extras,
+                           rewriting, elapsed)
+
+
+def run_reduced_counting(query, db, check_acyclic=True):
+    """Algorithm 1 followed by the Algorithm 3 reduction."""
+    stats = EvalStats()
+    started = time.perf_counter()
+    rewriting = reduce_rewriting(extended_counting_rewrite(query))
+    path_free = (
+        rewriting.path_deleted_counting and rewriting.path_deleted_answer
+    )
+    if check_acyclic and not path_free:
+        # A surviving path argument still grows along cycles.
+        _check_left_graph_acyclic(
+            rewriting.source.adorned, db, stats, "reduced counting"
+        )
+    answers, derived = _run_engine(rewriting.query, db, stats)
+    elapsed = time.perf_counter() - started
+    extras = {
+        "counting_set_size": _relation_sizes(
+            derived, list(rewriting.source.counting_preds.values())
+        ) + _relation_sizes(
+            derived,
+            [
+                (name, arity - 1)
+                for name, arity in rewriting.source.counting_preds.values()
+            ],
+        ),
+        "path_deleted": path_free,
+        "derived_facts": sum(len(rel) for rel in derived.values()),
+    }
+    return ExecutionResult("reduced_counting", answers, stats, extras,
+                           rewriting, elapsed)
+
+
+def _counting_engine_for(query, db, stats, require_acyclic):
+    adorned = query if hasattr(query, "origins") else adorn_query(query)
+    clique, support_rules = goal_clique_of(adorned)
+    canonical = canonicalize_clique(clique, adorned)
+    get_relation = _support_resolver(adorned, support_rules, db, stats)
+    return CountingEngine(
+        canonical,
+        adorned.goal.key,
+        query_constants(adorned.goal),
+        get_relation,
+        stats=stats,
+        require_acyclic=require_acyclic,
+    )
+
+
+def run_pointer_counting(query, db):
+    """§3.4 pointer-based implementation (acyclic databases)."""
+    stats = EvalStats()
+    started = time.perf_counter()
+    engine = _counting_engine_for(query, db, stats, require_acyclic=True)
+    answers = engine.run()
+    elapsed = time.perf_counter() - started
+    extras = {
+        "counting_rows": len(engine.table),
+        "counting_triples": engine.table.triple_count,
+        "answer_states": engine.state_count,
+        "max_frontier": engine.max_frontier,
+    }
+    return ExecutionResult("pointer_counting", answers, stats, extras,
+                           elapsed=elapsed)
+
+
+def run_cyclic_counting(query, db):
+    """Algorithm 2: extended counting for arbitrary (cyclic) data."""
+    stats = EvalStats()
+    started = time.perf_counter()
+    engine = _counting_engine_for(query, db, stats, require_acyclic=False)
+    answers = engine.run()
+    elapsed = time.perf_counter() - started
+    extras = {
+        "counting_rows": len(engine.table),
+        "counting_triples": engine.table.triple_count,
+        "back_arcs": engine.table.back_arc_count,
+        "answer_states": engine.state_count,
+        "max_frontier": engine.max_frontier,
+    }
+    return ExecutionResult("cyclic_counting", answers, stats, extras,
+                           elapsed=elapsed)
+
+
+def run_magic_counting(query, db):
+    """The magic-counting hybrid [16]: counting on the non-recurring
+    part of the left graph, magic sets on the recurring part."""
+    from ..rewriting.canonical import canonicalize_clique
+    from .magic_counting import MagicCountingEngine
+
+    stats = EvalStats()
+    started = time.perf_counter()
+    adorned = query if hasattr(query, "origins") else adorn_query(query)
+    clique, support_rules = goal_clique_of(adorned)
+    canonical = canonicalize_clique(clique, adorned)
+    get_relation = _support_resolver(adorned, support_rules, db, stats)
+    engine = MagicCountingEngine(
+        canonical,
+        adorned.goal.key,
+        query_constants(adorned.goal),
+        get_relation,
+        stats=stats,
+    )
+    answers = engine.run()
+    elapsed = time.perf_counter() - started
+    extras = {
+        "recurring_nodes": len(engine.recurring),
+        "counting_rows": 0 if engine.table is None else len(engine.table),
+        "answer_states": engine.state_count,
+    }
+    return ExecutionResult("magic_counting", answers, stats, extras,
+                           elapsed=elapsed)
+
+
+def run_qsq(query, db):
+    """Top-down query-subquery evaluation (the memoing family's
+    direct formulation; work profile tracks magic sets)."""
+    from .qsq import qsq_evaluate
+
+    stats = EvalStats()
+    started = time.perf_counter()
+    answers, engine = qsq_evaluate(query, db, stats=stats)
+    elapsed = time.perf_counter() - started
+    extras = {
+        "subqueries": engine.subquery_count(),
+        "memo_facts": sum(len(rel) for rel in engine.answers.values()),
+    }
+    return ExecutionResult("qsq", answers, stats, extras,
+                           elapsed=elapsed)
+
+
+#: Registry used by the benchmark harness and the optimizer pipeline.
+STRATEGIES = {
+    "naive": run_naive,
+    "magic": run_magic,
+    "classical_counting": run_classical_counting,
+    "extended_counting": run_extended_counting,
+    "reduced_counting": run_reduced_counting,
+    "pointer_counting": run_pointer_counting,
+    "cyclic_counting": run_cyclic_counting,
+    "magic_counting": run_magic_counting,
+    "sup_magic": run_sup_magic,
+    "encoded_counting": run_encoded_counting,
+    "qsq": run_qsq,
+}
+
+
+def run_strategy(name, query, db):
+    """Run one registered strategy by name."""
+    try:
+        runner = STRATEGIES[name]
+    except KeyError:
+        raise ValueError(
+            "unknown strategy %r; available: %s"
+            % (name, ", ".join(sorted(STRATEGIES)))
+        ) from None
+    if not isinstance(query, Query):
+        raise TypeError("expected a Query")
+    if not isinstance(db, Database):
+        raise TypeError("expected a Database")
+    return runner(query, db)

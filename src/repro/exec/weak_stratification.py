@@ -1,0 +1,127 @@
+"""Wavefront evaluation of the node-keyed counting program (§3.4/§4).
+
+The paper's per-node counting program is *weakly stratified*: its
+counting rule negates its own predicate,
+
+    c_p(X1, <(R, C, Id)>)  <-  Id : c_p(X, _), ahead(X, X1, C, R),
+                               not (ahead(W, X1, _, _), W != X,
+                                    not c_p(W, _)).
+
+meaning a node enters the counting set only once **all** of its ahead
+predecessors have entered it — so each node receives a single
+identifier carrying the full set of predecessor triples.  Theorem 2(1)
+states the rewritten program is weakly stratified; this module
+implements the corresponding evaluation discipline directly: a
+wavefront (Kahn-style) pass over the ahead-arc DAG that fires the rule
+for a node exactly when the negated subgoal has become definitively
+false.
+
+The result is, by construction, the same model the Bushy-Depth-First
+fixpoint computes — and the same table
+:class:`~repro.exec.counting_engine.CountingEngine` builds during its
+DFS.  ``tests/test_weak_stratification.py`` checks that agreement on
+the paper's examples and on random graphs, which is the executable
+content of Theorem 2(1) in this reproduction.
+"""
+
+from ..graph.dfs import classify_arcs
+from .counting_engine import SOURCE_TRIPLE, CountingTable
+
+
+def wavefront_counting_table(classification):
+    """Build the per-node counting table by weakly stratified rounds.
+
+    ``classification`` is the DFS arc classification of the reachable
+    left graph.  Nodes are admitted in rounds: a node fires when every
+    ahead predecessor has already been admitted (the negation in the
+    counting rule is then definitively false).  Back arcs never gate
+    admission — they are re-attached afterwards, exactly like the
+    paper's ``cycle`` rules.
+
+    Returns a :class:`CountingTable`; row ids reflect admission order.
+    """
+    ahead_preds = classification.ahead_predecessors()
+    back_preds = classification.back_predecessors()
+    table = CountingTable()
+    source = classification.source
+
+    # Admission: Kahn topological order over ahead arcs.
+    remaining = {
+        node: len(arcs) for node, arcs in ahead_preds.items()
+    }
+    admitted = []
+    ready = [source]
+    seen = {source}
+    out_arcs = {}
+    for arc in classification.ahead:
+        out_arcs.setdefault(arc.source, []).append(arc)
+    while ready:
+        # Each pop is one firing of the weakly stratified rule: the
+        # node's negated subgoal just became false.
+        node = ready.pop(0)
+        admitted.append(node)
+        for arc in out_arcs.get(node, ()):
+            remaining[arc.target] -= 1
+            if remaining[arc.target] == 0 and arc.target not in seen:
+                seen.add(arc.target)
+                ready.append(arc.target)
+
+    if len(admitted) != len(classification.order):
+        # Cannot happen: ahead arcs form a DAG (tests assert this).
+        raise AssertionError(
+            "wavefront did not admit every reachable node"
+        )
+
+    source_row = table.row_for(*source)
+    table.source_id = source_row.id
+    source_row.triples.append(SOURCE_TRIPLE)
+    for node in admitted:
+        table.row_for(*node)
+    for node in admitted:
+        row = table.row_for(*node)
+        for arc in ahead_preds.get(node, ()):
+            label, shared = arc.label
+            row.triples.append(
+                (label, shared, table.row_for(*arc.source).id)
+            )
+            table.ahead_arc_count += 1
+    # Cycle rules: back arcs join after the counting set is complete.
+    for node, arcs in back_preds.items():
+        row = table.row_for(*node)
+        for arc in arcs:
+            label, shared = arc.label
+            row.triples.append(
+                (label, shared, table.row_for(*arc.source).id)
+            )
+            table.back_arc_count += 1
+    return table
+
+
+def tables_equivalent(left, right):
+    """Structural equality of two counting tables up to id renaming.
+
+    Ids are local to each construction (DFS discovery order vs
+    wavefront admission order); equivalence means: same node set, and
+    for every node the same multiset of (rule, shared, predecessor
+    *node*) in-triples.
+    """
+    def normalize(table):
+        node_of = {
+            row.id: (row.pred, row.values) for row in table.rows
+        }
+        normalized = {}
+        for row in table.rows:
+            triples = sorted(
+                (label, shared,
+                 None if prev is None else node_of[prev])
+                for label, shared, prev in row.triples
+            )
+            normalized[(row.pred, row.values)] = triples
+        return normalized
+
+    return normalize(left) == normalize(right)
+
+
+def weakly_stratified_counting_table(source, successors):
+    """Classify arcs from ``source`` and build the wavefront table."""
+    return wavefront_counting_table(classify_arcs(source, successors))

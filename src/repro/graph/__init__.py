@@ -1,0 +1,39 @@
+"""Graph substrate: DFS arc classification, node classes and query
+graphs (Section 2 of the paper)."""
+
+from .dfs import Arc, ArcClassification, adjacency_successors, classify_arcs
+from .properties import (
+    MULTIPLE,
+    RECURRING,
+    SINGLE,
+    elementary_cycles,
+    is_acyclic,
+    is_tree,
+    node_classes,
+)
+from .querygraph import (
+    EdgeSpec,
+    LeftGraph,
+    QueryGraph,
+    enumerate_arcs,
+    left_classification,
+)
+
+__all__ = [
+    "Arc",
+    "ArcClassification",
+    "EdgeSpec",
+    "LeftGraph",
+    "MULTIPLE",
+    "QueryGraph",
+    "RECURRING",
+    "SINGLE",
+    "adjacency_successors",
+    "classify_arcs",
+    "elementary_cycles",
+    "enumerate_arcs",
+    "is_acyclic",
+    "is_tree",
+    "left_classification",
+    "node_classes",
+]

@@ -1,0 +1,170 @@
+"""Depth-first search arc classification (Tarjan [18], §2 of the paper).
+
+Given a source node and a successor function, :func:`classify_arcs`
+partitions the arcs reachable from the source into the four classical
+classes:
+
+* *tree* arcs — arcs of the DFS tree;
+* *forward* arcs — to a proper descendant that is not a child;
+* *cross* arcs — between nodes unrelated by ancestry;
+* *back* arcs — to an ancestor (including self-loops).
+
+Tree, forward and cross arcs together form the *ahead* arcs; the graph
+restricted to ahead arcs is acyclic, which is what makes the cyclic
+counting method's counting set finite (Section 4).
+
+The classification depends on the DFS visit order; the paper notes that
+"more than one different partitions are possible".  We fix a
+deterministic order (sorted successors) so results are reproducible.
+"""
+
+
+class Arc:
+    """A labeled arc ``source -> target``."""
+
+    __slots__ = ("source", "target", "label")
+
+    def __init__(self, source, target, label=None):
+        self.source = source
+        self.target = target
+        self.label = label
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Arc)
+            and other.source == self.source
+            and other.target == self.target
+            and other.label == self.label
+        )
+
+    def __hash__(self):
+        return hash((self.source, self.target, self.label))
+
+    def __repr__(self):
+        if self.label is None:
+            return "Arc(%r -> %r)" % (self.source, self.target)
+        return "Arc(%r -> %r : %r)" % (self.source, self.target, self.label)
+
+
+class ArcClassification:
+    """Result of :func:`classify_arcs`."""
+
+    __slots__ = ("source", "tree", "forward", "cross", "back", "order")
+
+    def __init__(self, source, tree, forward, cross, back, order):
+        self.source = source
+        self.tree = tuple(tree)
+        self.forward = tuple(forward)
+        self.cross = tuple(cross)
+        self.back = tuple(back)
+        #: Nodes in DFS discovery order (the reachable node set).
+        self.order = tuple(order)
+
+    @property
+    def ahead(self):
+        """Tree + forward + cross arcs: the acyclic skeleton."""
+        return self.tree + self.forward + self.cross
+
+    @property
+    def arcs(self):
+        return self.ahead + self.back
+
+    @property
+    def nodes(self):
+        return frozenset(self.order)
+
+    def is_acyclic(self):
+        """True if the reachable subgraph contains no back arc."""
+        return not self.back
+
+    def ahead_predecessors(self):
+        """Map node -> tuple of ahead arcs entering it."""
+        preds = {node: [] for node in self.order}
+        for arc in self.ahead:
+            preds[arc.target].append(arc)
+        return {node: tuple(arcs) for node, arcs in preds.items()}
+
+    def back_predecessors(self):
+        """Map node -> tuple of back arcs entering it."""
+        preds = {}
+        for arc in self.back:
+            preds.setdefault(arc.target, []).append(arc)
+        return {node: tuple(arcs) for node, arcs in preds.items()}
+
+    def __repr__(self):
+        return (
+            "ArcClassification(%d nodes, %d tree, %d forward, %d cross, "
+            "%d back)"
+            % (
+                len(self.order),
+                len(self.tree),
+                len(self.forward),
+                len(self.cross),
+                len(self.back),
+            )
+        )
+
+
+def _sort_key(item):
+    """Deterministic ordering for successor lists of mixed types."""
+    target, label = item
+    return (repr(target), repr(label))
+
+
+def classify_arcs(source, successors):
+    """Classify all arcs reachable from ``source``.
+
+    ``successors(node)`` must yield ``(target, label)`` pairs; the same
+    pair may be yielded once per distinct arc.
+    """
+    discovery = {}
+    finished = set()
+    on_stack = set()
+    tree, forward, cross, back = [], [], [], []
+    order = []
+    clock = [0]
+
+    def discover(node):
+        discovery[node] = clock[0]
+        clock[0] += 1
+        order.append(node)
+        on_stack.add(node)
+
+    discover(source)
+    stack = [(source, iter(sorted(successors(source), key=_sort_key)))]
+    while stack:
+        node, edges = stack[-1]
+        advanced = False
+        for target, label in edges:
+            arc = Arc(node, target, label)
+            if target not in discovery:
+                tree.append(arc)
+                discover(target)
+                stack.append(
+                    (target, iter(sorted(successors(target), key=_sort_key)))
+                )
+                advanced = True
+                break
+            if target in on_stack:
+                back.append(arc)
+            elif discovery[target] > discovery[node]:
+                forward.append(arc)
+            else:
+                cross.append(arc)
+        if not advanced:
+            stack.pop()
+            on_stack.discard(node)
+            finished.add(node)
+    return ArcClassification(source, tree, forward, cross, back, order)
+
+
+def adjacency_successors(arcs):
+    """Build a successor function from an iterable of ``Arc`` objects."""
+    adjacency = {}
+    for arc in arcs:
+        adjacency.setdefault(arc.source, []).append((arc.target, arc.label))
+
+    def successors(node):
+        return adjacency.get(node, ())
+
+    return successors

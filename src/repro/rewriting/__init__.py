@@ -1,0 +1,79 @@
+"""Rewriting methods: adornment, magic sets, classical counting,
+extended counting (Algorithms 1-2), reduction (Algorithm 3) and the
+unified optimizer."""
+
+from .adornment import AdornedQuery, adorn_query, adorned_name, split_adorned
+from .canonical import (
+    CanonicalClique,
+    CanonicalExitRule,
+    CanonicalRecursiveRule,
+    canonicalize_clique,
+    canonicalize_exit_rule,
+    canonicalize_rule,
+    query_constants,
+)
+from .counting import ClassicalCountingRewriting, classical_counting_rewrite
+from .cyclic import cyclic_counting_program_text
+from .encoded import EncodedCountingRewriting, encoded_counting_rewrite
+from .extended import ExtendedCountingRewriting, extended_counting_rewrite
+from .linearity import (
+    GENERAL,
+    LEFT_LINEAR,
+    RIGHT_LINEAR,
+    clique_shapes,
+    is_left_linear_program,
+    is_mixed_linear,
+    is_right_linear_program,
+    rule_shape,
+)
+from .linearize import is_square_rule, linearize_square_rules
+from .magic import MagicRewriting, magic_rewrite, magic_set_size
+from .pipeline import OptimizationPlan, choose_method, optimize
+from .reduction import ReducedCountingRewriting, reduce_rewriting
+from .supplementary import (
+    SupplementaryMagicRewriting,
+    supplementary_magic_rewrite,
+)
+from .support import goal_clique_of
+
+__all__ = [
+    "AdornedQuery",
+    "CanonicalClique",
+    "CanonicalExitRule",
+    "CanonicalRecursiveRule",
+    "ClassicalCountingRewriting",
+    "EncodedCountingRewriting",
+    "ExtendedCountingRewriting",
+    "encoded_counting_rewrite",
+    "GENERAL",
+    "LEFT_LINEAR",
+    "MagicRewriting",
+    "OptimizationPlan",
+    "RIGHT_LINEAR",
+    "ReducedCountingRewriting",
+    "adorn_query",
+    "adorned_name",
+    "canonicalize_clique",
+    "canonicalize_exit_rule",
+    "canonicalize_rule",
+    "choose_method",
+    "classical_counting_rewrite",
+    "clique_shapes",
+    "cyclic_counting_program_text",
+    "extended_counting_rewrite",
+    "goal_clique_of",
+    "is_left_linear_program",
+    "is_mixed_linear",
+    "is_right_linear_program",
+    "is_square_rule",
+    "linearize_square_rules",
+    "magic_rewrite",
+    "magic_set_size",
+    "optimize",
+    "query_constants",
+    "reduce_rewriting",
+    "rule_shape",
+    "split_adorned",
+    "SupplementaryMagicRewriting",
+    "supplementary_magic_rewrite",
+]

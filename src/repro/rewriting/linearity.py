@@ -1,0 +1,59 @@
+"""Left-, right- and mixed-linear program classification (Section 5).
+
+A recursive rule is *right-linear* with respect to an adornment when the
+recursive call carries the head's free arguments unchanged and there is
+no right part (the answer of the call *is* the answer of the head); it
+is *left-linear* when the call carries the bound arguments unchanged and
+there is no left part.  A *mixed-linear* program has a single recursive
+predicate and only left-/right-linear recursive rules.
+
+These shapes are what Algorithm 3 exploits: right-linear rules never pop
+the path argument and left-linear rules never push it, so for mixed
+programs the whole path argument disappears (Example 6, Fact 1).
+"""
+
+RIGHT_LINEAR = "right-linear"
+LEFT_LINEAR = "left-linear"
+GENERAL = "general"
+
+
+def rule_shape(canonical_rule):
+    """Classify one canonical recursive rule."""
+    if canonical_rule.is_right_linear_shape():
+        return RIGHT_LINEAR
+    if canonical_rule.is_left_linear_shape():
+        return LEFT_LINEAR
+    return GENERAL
+
+
+def clique_shapes(canonical):
+    """Shape of every recursive rule of a canonical clique."""
+    return {
+        rule.label: rule_shape(rule)
+        for rule in canonical.recursive_rules
+    }
+
+
+def is_mixed_linear(canonical):
+    """True if the clique matches the paper's mixed-linear class."""
+    if len({r.head_key for r in canonical.recursive_rules}
+           | {r.rec_key for r in canonical.recursive_rules}) > 1:
+        return False
+    return all(
+        rule_shape(rule) != GENERAL
+        for rule in canonical.recursive_rules
+    )
+
+
+def is_right_linear_program(canonical):
+    return is_mixed_linear(canonical) and all(
+        rule_shape(rule) == RIGHT_LINEAR
+        for rule in canonical.recursive_rules
+    )
+
+
+def is_left_linear_program(canonical):
+    return is_mixed_linear(canonical) and all(
+        rule_shape(rule) == LEFT_LINEAR
+        for rule in canonical.recursive_rules
+    )

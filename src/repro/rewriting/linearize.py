@@ -1,0 +1,174 @@
+"""Linearization of square recursive rules (the §5/§6 extension
+direction: "our technique ... can be extended to classes of non-linear
+programs").
+
+The classic non-linear offender is the *square* transitive-closure
+rule::
+
+    tc(X, Y) :- tc(X, Z), tc(Z, Y).
+
+None of the counting methods apply to it (two recursive body atoms).
+But when the square rule is a clique's **only** recursive rule, its
+least fixpoint over the exit relation ``E`` is exactly the transitive
+closure ``E+``, which the right-linear program computes as well::
+
+    tc(X, Y) :- E(X, Y).
+    tc(X, Y) :- E(X, Z), tc(Z, Y).
+
+:func:`linearize_square_rules` performs that rewriting: each square
+rule is replaced by one right-linear rule per exit rule, with the exit
+body inlined as the step relation (variables renamed apart).  The
+result is linear, so the whole counting toolchain — Algorithms 1-3,
+the pointer/cyclic evaluators — applies; the optimizer tries it before
+falling back to magic sets.
+
+Soundness (tested on random graphs in ``tests/test_linearize.py``):
+with ``S`` the union of the exit-rule bodies, the square program's
+model is the least ``T ⊇ S`` with ``T ∘ T ⊆ T``, i.e. ``S+``; the
+right-linear program computes ``S ∪ S ∘ S+ = S+`` too.  The argument
+needs the clique to contain exactly the square rule and its exit
+rules — any other recursive rule voids it, and the function refuses.
+"""
+
+from ..datalog.analysis import ProgramAnalysis
+from ..datalog.atoms import Atom
+from ..datalog.rules import Program, Rule
+from ..datalog.terms import Variable
+from ..datalog.unify import rename_apart
+from ..errors import NotApplicableError
+
+
+def is_square_rule(rule):
+    """True for ``p(X, Y) :- p(X, Z), p(Z, Y).`` exactly (any names).
+
+    The head arguments must be two distinct variables, the body two
+    atoms over the head predicate chained through one fresh variable,
+    and nothing else in the body.
+    """
+    head = rule.head
+    if head.arity != 2:
+        return False
+    if len(rule.body) != 2:
+        return False
+    first, second = rule.body
+    if not (isinstance(first, Atom) and isinstance(second, Atom)):
+        return False
+    if first.key != head.key or second.key != head.key:
+        return False
+    args = list(head.args) + list(first.args) + list(second.args)
+    if not all(isinstance(a, Variable) for a in args):
+        return False
+    x, y = head.args
+    if x.name == y.name:
+        return False
+    fx, fz1 = first.args
+    sz2, sy = second.args
+    return (
+        fx.name == x.name
+        and sy.name == y.name
+        and fz1.name == sz2.name
+        and fz1.name not in (x.name, y.name)
+    )
+
+
+def linearize_square_rules(program):
+    """Replace every eligible square rule by right-linear rules.
+
+    A square rule is eligible when it is the *only* recursive rule of
+    its clique and the clique has at least one exit rule.  Returns the
+    rewritten program; raises :class:`NotApplicableError` when no
+    square rule exists or one exists but is not eligible (another
+    recursive rule shares the clique — the equivalence argument then
+    fails).
+    """
+    analysis = ProgramAnalysis(program)
+    replacements = {}
+    found = False
+    for clique in analysis.recursive_cliques():
+        squares = [
+            rule for rule in clique.recursive_rules
+            if is_square_rule(rule)
+        ]
+        if not squares:
+            continue
+        found = True
+        if len(clique.recursive_rules) != len(squares):
+            raise NotApplicableError(
+                "clique %s mixes square and other recursive rules; "
+                "linearization is not sound there"
+                % sorted(p[0] for p in clique.predicates)
+            )
+        if len(squares) > 1:
+            # Duplicate square rules collapse to one.
+            squares = squares[:1]
+        if not clique.exit_rules:
+            raise NotApplicableError(
+                "square rule for %s has no exit rules" %
+                squares[0].head.pred
+            )
+        replacements[squares[0].head.key] = (squares[0],
+                                             clique.exit_rules)
+
+    if not found:
+        raise NotApplicableError("no square recursive rule found")
+
+    out = []
+    counter = [0]
+    for rule in program:
+        key = rule.head.key
+        if key in replacements and is_square_rule(rule):
+            square, exit_rules = replacements[key]
+            x_var, y_var = rule.head.args
+            for exit_rule in exit_rules:
+                counter[0] += 1
+                fresh = rename_apart(exit_rule, "_lz%d" % counter[0])
+                # fresh: p(Xe, Ye) :- E.  Step = E with Ye renamed to a
+                # middle variable; recursive call continues from there.
+                ex, ey = fresh.head.args
+                middle = Variable("Z_lz%d" % counter[0])
+                from ..datalog.unify import substitute
+
+                mapping = {}
+                if isinstance(ex, Variable):
+                    mapping[ex.name] = x_var
+                if isinstance(ey, Variable):
+                    mapping[ey.name] = middle
+                body = tuple(
+                    _apply_literal(lit, mapping) for lit in fresh.body
+                )
+                head_ok = (
+                    isinstance(ex, Variable)
+                    and isinstance(ey, Variable)
+                )
+                if not head_ok:
+                    raise NotApplicableError(
+                        "exit rule %s has non-variable head arguments; "
+                        "normalize it first" % exit_rule.label
+                    )
+                out.append(
+                    Rule(
+                        Atom(rule.head.pred, (x_var, y_var)),
+                        body + (Atom(rule.head.pred, (middle, y_var)),),
+                        label="%s_lin%d" % (rule.label, counter[0]),
+                    )
+                )
+            continue
+        out.append(rule)
+    return Program(out)
+
+
+def _apply_literal(lit, mapping):
+    from ..datalog.atoms import Comparison, Negation
+    from ..datalog.unify import substitute
+
+    def fix_term(term):
+        return substitute(term, mapping)
+
+    if isinstance(lit, Atom):
+        return Atom(lit.pred, tuple(fix_term(a) for a in lit.args))
+    if isinstance(lit, Negation):
+        return Negation(_apply_literal(lit.atom, mapping))
+    if isinstance(lit, Comparison):
+        return Comparison(lit.op, fix_term(lit.left),
+                          fix_term(lit.right))
+    raise NotApplicableError("unknown literal %r" % (lit,))

@@ -1,0 +1,146 @@
+"""Magic-set rewriting (the paper's baseline method [3, 17, 4]).
+
+Given an adorned query, the rewriting produces:
+
+* a *magic seed* — the fact ``m_g(a)`` for the goal's bound constants;
+* *magic rules* — for every occurrence of a derived atom ``q`` in an
+  adorned rule body, a rule deriving ``m_q`` from the head's magic
+  predicate and the body prefix before the occurrence;
+* *modified rules* — every adorned rule guarded by the magic predicate
+  of its head.
+
+Magic sets apply to **all** programs, which is why the paper uses them
+as the general-purpose comparison point for the counting methods.
+
+Negation caveat: restricting a predicate that appears *negated* can
+break stratification (the magic rule for the negated occurrence makes
+the negated predicate depend on the negating clique).  Predicates with
+negated occurrences are therefore left unrestricted — no magic rules
+from negated occurrences and no guard on their own rules — which is a
+sound superset and keeps the rewritten program stratified.
+"""
+
+from ..datalog.atoms import Atom, Negation
+from ..datalog.rules import Program, Query, Rule
+from .adornment import adorn_query
+
+#: Prefix of magic predicate names.
+MAGIC_PREFIX = "m_"
+
+
+def magic_name(adorned_pred):
+    return MAGIC_PREFIX + adorned_pred
+
+
+def magic_atom(atom, adornment):
+    """The magic atom for ``atom``: bound-position arguments only."""
+    args = tuple(
+        arg for arg, letter in zip(atom.args, adornment) if letter == "b"
+    )
+    return Atom(magic_name(atom.pred), args)
+
+
+class MagicRewriting:
+    """Result of :func:`magic_rewrite`."""
+
+    __slots__ = ("adorned", "query", "magic_rules", "modified_rules",
+                 "seed")
+
+    def __init__(self, adorned, query, magic_rules, modified_rules, seed):
+        self.adorned = adorned
+        #: The rewritten query: same goal atom over the magic program.
+        self.query = query
+        self.magic_rules = tuple(magic_rules)
+        self.modified_rules = tuple(modified_rules)
+        self.seed = seed
+
+    @property
+    def program(self):
+        return self.query.program
+
+
+def magic_rewrite(query):
+    """Apply the magic-set transformation to ``query``.
+
+    Accepts a plain :class:`Query` (it is adorned first) or an
+    already-adorned :class:`AdornedQuery`.
+    """
+    adorned = query if hasattr(query, "origins") else adorn_query(query)
+    program = adorned.program
+    goal = adorned.goal
+    adornments = {
+        key: adornment for key, (_, adornment) in adorned.origins.items()
+    }
+    if goal.key not in adornments:
+        # Goal over a base predicate: nothing to rewrite.
+        return MagicRewriting(adorned, adorned.query, (), (), None)
+
+    # Predicates with negated occurrences stay unrestricted (see the
+    # module docstring) — and so does everything their rules call,
+    # since no magic seeds flow out of unguarded rules.
+    unrestricted = set()
+    for rule in program:
+        for atom in rule.negated_atoms():
+            if atom.key in adornments:
+                unrestricted.add(atom.key)
+    changed = True
+    while changed:
+        changed = False
+        for rule in program:
+            if rule.head.key not in unrestricted:
+                continue
+            for atom in rule.body_atoms() + rule.negated_atoms():
+                if atom.key in adornments and \
+                        atom.key not in unrestricted:
+                    unrestricted.add(atom.key)
+                    changed = True
+
+    seed = Rule(magic_atom(goal, adornments[goal.key]), (), label="m_seed")
+    magic_rules = [seed]
+    modified_rules = []
+    for rule in program:
+        head_adornment = adornments[rule.head.key]
+        if rule.head.key in unrestricted:
+            modified_rules.append(rule)
+            continue
+        guard = magic_atom(rule.head, head_adornment)
+        # Magic rules: one per positive derived body occurrence.
+        for index, lit in enumerate(rule.body):
+            if not isinstance(lit, Atom) or lit.key not in adornments:
+                continue
+            if lit.key in unrestricted:
+                continue
+            body = (guard,) + rule.body[:index]
+            magic_rules.append(
+                Rule(
+                    magic_atom(lit, adornments[lit.key]),
+                    body,
+                    label="m_%s_%d" % (rule.label, index),
+                )
+            )
+        modified_rules.append(
+            Rule(rule.head, (guard,) + rule.body, label=rule.label)
+        )
+    rewritten = Program(tuple(magic_rules) + tuple(modified_rules))
+    rewritten_query = Query(goal, rewritten)
+    return MagicRewriting(
+        adorned, rewritten_query, magic_rules, modified_rules, seed
+    )
+
+
+def magic_predicates(rewriting):
+    """Keys of the magic predicates of a rewriting."""
+    keys = set()
+    for rule in rewriting.magic_rules:
+        keys.add(rule.head.key)
+    return keys
+
+
+def magic_set_size(derived_relations, rewriting):
+    """Total number of magic tuples computed in an evaluation."""
+    total = 0
+    for key in magic_predicates(rewriting):
+        relation = derived_relations.get(key)
+        if relation is not None:
+            total += len(relation)
+    return total

@@ -1,0 +1,215 @@
+"""Program reduction — Algorithm 3 (Section 5).
+
+Applied to the output of the extended counting rewriting, the reduction
+performs two simplifications:
+
+1. *Deletion of the path argument.*  The path argument of a set of
+   mutually recursive predicates can be dropped when no rule of the set
+   modifies it.  The counting predicates and the answer predicates form
+   two separate recursive cliques, so the test runs independently for
+   each: counting rules push unless the source rule is right-linear,
+   modified rules pop unless the source rule is left-linear.
+
+2. *Deletion of disconnected counting atoms.*  A counting atom in a
+   modified rule body whose variables are disjoint from the rest of the
+   rule (head included) contributes nothing once the path argument is
+   gone and is removed.
+
+A final dead-rule sweep drops rules for predicates no longer reachable
+from the goal, and collapses rules that became identical.  For mixed
+linear programs this reproduces the specialized optimizations of
+Naughton et al. [14] (Fact 1; tested in ``tests/test_reduction.py``).
+"""
+
+from ..datalog.atoms import Atom, Negation
+from ..datalog.rules import Program, Query, Rule
+from .extended import ExtendedCountingRewriting
+from .linearity import LEFT_LINEAR, RIGHT_LINEAR, rule_shape
+
+
+class ReducedCountingRewriting:
+    """Result of :func:`reduce_rewriting`."""
+
+    __slots__ = (
+        "source",
+        "query",
+        "path_deleted_counting",
+        "path_deleted_answer",
+        "removed_counting_atoms",
+        "dropped_rules",
+    )
+
+    def __init__(self, source, query, path_deleted_counting,
+                 path_deleted_answer, removed_counting_atoms,
+                 dropped_rules):
+        #: The unreduced :class:`ExtendedCountingRewriting`.
+        self.source = source
+        self.query = query
+        self.path_deleted_counting = path_deleted_counting
+        self.path_deleted_answer = path_deleted_answer
+        self.removed_counting_atoms = removed_counting_atoms
+        self.dropped_rules = tuple(dropped_rules)
+
+    @property
+    def program(self):
+        return self.query.program
+
+    @property
+    def adorned(self):
+        return self.source.adorned
+
+
+def _counting_clique_static(canonical):
+    """True if no counting rule modifies the path argument.
+
+    Counting rules exist only for non-left-linear rules and push unless
+    the rule is right-linear, so the clique is static exactly when every
+    recursive rule is left- or right-linear shaped.
+    """
+    return all(
+        rule_shape(rule) in (RIGHT_LINEAR, LEFT_LINEAR)
+        for rule in canonical.recursive_rules
+    )
+
+
+def _answer_clique_static(canonical):
+    """True if no modified rule modifies the path argument.
+
+    Modified rules exist only for non-right-linear rules and pop unless
+    the rule is left-linear; with Algorithm 1's push/pop special cases
+    the condition coincides with the counting clique's, but Algorithm 3
+    states them independently and we keep them separate for clarity.
+    """
+    return all(
+        rule_shape(rule) in (LEFT_LINEAR, RIGHT_LINEAR)
+        for rule in canonical.recursive_rules
+    )
+
+
+def _drop_last_arg(atom):
+    return Atom(atom.pred, atom.args[:-1])
+
+
+def _strip_paths(rule, target_names):
+    """Drop the last argument of every atom over ``target_names``."""
+
+    def fix_atom(atom):
+        if atom.pred in target_names:
+            return _drop_last_arg(atom)
+        return atom
+
+    head = fix_atom(rule.head)
+    body = []
+    for lit in rule.body:
+        if isinstance(lit, Atom):
+            body.append(fix_atom(lit))
+        elif isinstance(lit, Negation):
+            body.append(Negation(fix_atom(lit.atom)))
+        else:
+            body.append(lit)
+    return Rule(head, tuple(body), label=rule.label)
+
+
+def _remove_disconnected_counting(rule, counting_names):
+    """Apply reduction rule 2 to one modified rule."""
+    removed = 0
+    body = list(rule.body)
+    changed = True
+    while changed:
+        changed = False
+        for index, lit in enumerate(body):
+            if not isinstance(lit, Atom) or lit.pred not in counting_names:
+                continue
+            other_vars = set(rule.head.variables())
+            for j, other in enumerate(body):
+                if j != index:
+                    other_vars |= other.variables()
+            if lit.variables() & other_vars:
+                continue
+            del body[index]
+            removed += 1
+            changed = True
+            break
+    if not removed:
+        return rule, 0
+    return Rule(rule.head, tuple(body), label=rule.label), removed
+
+
+def _reachable_rules(rules, goal_key):
+    by_head = {}
+    for rule in rules:
+        by_head.setdefault(rule.head.key, []).append(rule)
+    needed = set()
+    stack = [goal_key]
+    while stack:
+        key = stack.pop()
+        if key in needed:
+            continue
+        needed.add(key)
+        for rule in by_head.get(key, ()):
+            for atom in rule.body_atoms() + rule.negated_atoms():
+                stack.append(atom.key)
+    kept = []
+    dropped = []
+    for rule in rules:
+        if rule.head.key in needed:
+            kept.append(rule)
+        else:
+            dropped.append(rule)
+    return kept, dropped
+
+
+def reduce_rewriting(rewriting):
+    """Apply Algorithm 3 to an extended counting rewriting."""
+    if not isinstance(rewriting, ExtendedCountingRewriting):
+        raise TypeError("reduce_rewriting expects an "
+                        "ExtendedCountingRewriting")
+    canonical = rewriting.canonical
+    counting_names = {name for name, _ in rewriting.counting_preds.values()}
+    answer_names = {name for name, _ in rewriting.answer_preds.values()}
+
+    reduce_counting = _counting_clique_static(canonical)
+    reduce_answer = _answer_clique_static(canonical)
+
+    rules = list(rewriting.counting_rules) + list(rewriting.modified_rules)
+    goal = rewriting.query.goal
+    if reduce_counting:
+        rules = [_strip_paths(rule, counting_names) for rule in rules]
+        if goal.pred in counting_names:
+            goal = _drop_last_arg(goal)
+    if reduce_answer:
+        rules = [_strip_paths(rule, answer_names) for rule in rules]
+        if goal.pred in answer_names:
+            goal = _drop_last_arg(goal)
+
+    removed_atoms = 0
+    cleaned = []
+    for rule in rules:
+        if rule.head.pred in answer_names:
+            rule, removed = _remove_disconnected_counting(
+                rule, counting_names
+            )
+            removed_atoms += removed
+        cleaned.append(rule)
+
+    # Collapse duplicates created by argument deletion, preserving order.
+    unique = []
+    seen = set()
+    for rule in cleaned:
+        signature = (rule.head, rule.body)
+        if signature in seen:
+            continue
+        seen.add(signature)
+        unique.append(rule)
+
+    all_rules = unique + list(rewriting.support_rules)
+    kept, dropped = _reachable_rules(all_rules, goal.key)
+    program = Program(kept)
+    return ReducedCountingRewriting(
+        rewriting,
+        Query(goal, program),
+        reduce_counting,
+        reduce_answer,
+        removed_atoms,
+        dropped,
+    )

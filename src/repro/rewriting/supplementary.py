@@ -1,0 +1,181 @@
+"""Supplementary magic sets (Beeri & Ramakrishnan [6], the refinement
+of the basic method the comparisons in [4] use).
+
+The basic magic rewriting re-evaluates a rule's body prefix twice: once
+inside the magic rule deriving the next binding and once inside the
+modified rule deriving answers.  The supplementary variant materializes
+each prefix once:
+
+    sup_r_0(V0)   :- m_p(Xb).                  % the guard
+    m_q(X1b)      :- sup_r_{j-1}(V), prefix_j.  % next binding
+    sup_r_j(Vj)   :- sup_r_{j-1}(V), prefix_j, q(...).
+    p(head)       :- sup_r_k(Vk), suffix.
+
+``Vj`` keeps exactly the variables bound so far that are still needed —
+by later literals or by the head.  For rules without derived body atoms
+the rewriting degenerates to the basic guarded rule, and for rules with
+a single derived atom (every linear rule) it saves one prefix
+re-evaluation per round.
+
+Whether the materialization pays off is workload-dependent: it wins
+when prefixes are long or shared between several derived occurrences,
+and loses when the supplementary relations are larger than the scans
+they save (e.g. same generation over trees, where ``sup`` stores an
+(X, Y1) pair per partial match — see E1).  The paper compares counting
+against the magic-set *family*; benchmarks include ``sup_magic`` so the
+counting advantage is shown against both variants.
+"""
+
+from ..datalog.atoms import Atom, Comparison, Negation
+from ..datalog.rules import Program, Query, Rule
+from ..datalog.terms import Variable
+from .adornment import adorn_query
+from .magic import magic_atom
+
+SUP_PREFIX = "sup_"
+
+
+class SupplementaryMagicRewriting:
+    """Result of :func:`supplementary_magic_rewrite`."""
+
+    __slots__ = ("adorned", "query", "magic_rules", "sup_rules",
+                 "modified_rules", "seed")
+
+    def __init__(self, adorned, query, magic_rules, sup_rules,
+                 modified_rules, seed):
+        self.adorned = adorned
+        self.query = query
+        self.magic_rules = tuple(magic_rules)
+        self.sup_rules = tuple(sup_rules)
+        self.modified_rules = tuple(modified_rules)
+        self.seed = seed
+
+    @property
+    def program(self):
+        return self.query.program
+
+
+def _bound_after(literals, initial):
+    """Variables bound after evaluating ``literals`` from ``initial``."""
+    bound = set(initial)
+    for lit in literals:
+        if isinstance(lit, Atom):
+            bound |= lit.variables()
+        elif isinstance(lit, Comparison):
+            if lit.op in ("is", "in") and isinstance(lit.left, Variable):
+                bound.add(lit.left.name)
+            elif lit.op == "=":
+                if lit.left.variables() <= bound:
+                    bound |= lit.right.variables()
+                elif lit.right.variables() <= bound:
+                    bound |= lit.left.variables()
+    return bound
+
+
+def _needed_after(literals, head):
+    needed = set(head.variables())
+    for lit in literals:
+        needed |= lit.variables()
+    return needed
+
+
+def supplementary_magic_rewrite(query):
+    """Apply the supplementary magic transformation to ``query``."""
+    adorned = query if hasattr(query, "origins") else adorn_query(query)
+    program = adorned.program
+    goal = adorned.goal
+    adornments = {
+        key: adornment for key, (_, adornment) in adorned.origins.items()
+    }
+    if goal.key not in adornments:
+        return SupplementaryMagicRewriting(
+            adorned, adorned.query, (), (), (), None
+        )
+
+    # Same stratification safeguard as the basic rewriting: predicates
+    # with negated occurrences — and everything their rules call — are
+    # evaluated unrestricted.
+    unrestricted = set()
+    for rule in program:
+        for atom in rule.negated_atoms():
+            if atom.key in adornments:
+                unrestricted.add(atom.key)
+    changed = True
+    while changed:
+        changed = False
+        for rule in program:
+            if rule.head.key not in unrestricted:
+                continue
+            for atom in rule.body_atoms() + rule.negated_atoms():
+                if atom.key in adornments and \
+                        atom.key not in unrestricted:
+                    unrestricted.add(atom.key)
+                    changed = True
+
+    seed = Rule(magic_atom(goal, adornments[goal.key]), (),
+                label="m_seed")
+    magic_rules = [seed]
+    sup_rules = []
+    modified_rules = []
+    # Adorned variants of one source rule share its label, so sup
+    # predicate names are keyed by the rule's position in the adorned
+    # program instead.
+    for rule_index, rule in enumerate(program):
+        if rule.head.key in unrestricted:
+            modified_rules.append(rule)
+            continue
+        guard = magic_atom(rule.head, adornments[rule.head.key])
+        occurrences = [
+            index
+            for index, lit in enumerate(rule.body)
+            if isinstance(lit, Atom)
+            and lit.key in adornments
+            and lit.key not in unrestricted
+        ]
+        if not occurrences:
+            modified_rules.append(
+                Rule(rule.head, (guard,) + rule.body, label=rule.label)
+            )
+            continue
+        previous = guard
+        start = 0
+        for j, index in enumerate(occurrences):
+            lit = rule.body[index]
+            atom = lit.atom if isinstance(lit, Negation) else lit
+            prefix = rule.body[start:index]
+            magic_rules.append(
+                Rule(
+                    magic_atom(atom, adornments[atom.key]),
+                    (previous,) + prefix,
+                    label="m_%s_%d" % (rule.label, index),
+                )
+            )
+            bound = _bound_after(
+                rule.body[: index + 1], guard.variables()
+            )
+            needed = _needed_after(rule.body[index + 1:], rule.head)
+            kept = tuple(sorted(bound & needed))
+            sup_head = Atom(
+                "%sr%d_%d" % (SUP_PREFIX, rule_index, j + 1),
+                tuple(Variable(name) for name in kept),
+            )
+            sup_rules.append(
+                Rule(
+                    sup_head,
+                    (previous,) + prefix + (lit,),
+                    label="s_%s_%d" % (rule.label, j + 1),
+                )
+            )
+            previous = sup_head
+            start = index + 1
+        suffix = rule.body[start:]
+        modified_rules.append(
+            Rule(rule.head, (previous,) + suffix, label=rule.label)
+        )
+    rewritten = Program(
+        tuple(magic_rules) + tuple(sup_rules) + tuple(modified_rules)
+    )
+    return SupplementaryMagicRewriting(
+        adorned, Query(goal, rewritten), magic_rules, sup_rules,
+        modified_rules, seed,
+    )

@@ -1,0 +1,39 @@
+"""Shared helpers for the rewriting modules.
+
+The counting rewritings transform only the *goal clique* — the
+recursive clique of the (adorned) query predicate.  Rules of lower
+cliques (which the goal clique treats like database relations, per the
+paper's topological evaluation order) are carried over unchanged as
+*support rules*.
+"""
+
+from ..datalog.analysis import ProgramAnalysis
+from ..errors import NotApplicableError
+
+
+def goal_clique_of(adorned):
+    """The goal's recursive clique and the remaining support rules.
+
+    ``adorned`` is an :class:`~repro.rewriting.adornment.AdornedQuery`.
+    Returns ``(clique, support_rules)`` where ``support_rules`` are all
+    adorned rules whose head predicate is outside the clique.  Raises
+    :class:`NotApplicableError` if the goal predicate has no rules or is
+    not recursive.
+    """
+    program = adorned.program
+    goal = adorned.goal
+    analysis = ProgramAnalysis(program)
+    clique = analysis.clique_of(goal.key)
+    if clique is None:
+        raise NotApplicableError(
+            "goal predicate %s/%d is not a derived predicate" % goal.key
+        )
+    if not clique.is_recursive():
+        raise NotApplicableError(
+            "goal predicate %s/%d is not recursive; no binding-passing "
+            "rewriting is needed" % goal.key
+        )
+    support_rules = tuple(
+        rule for rule in program if rule.head.key not in clique.predicates
+    )
+    return clique, support_rules

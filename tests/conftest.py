@@ -1,0 +1,91 @@
+"""Shared fixtures: the paper's example programs and databases."""
+
+import pytest
+
+from repro import Database, parse_query
+
+
+@pytest.fixture
+def sg_query():
+    """Example 1: the same-generation program with query sg(a, Y)."""
+    return parse_query("""
+        sg(X, Y) :- flat(X, Y).
+        sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).
+        ?- sg(a, Y).
+    """)
+
+
+@pytest.fixture
+def sg_db():
+    """A small acyclic same-generation database."""
+    return Database.from_text("""
+        up(a, b). up(b, c).
+        flat(c, c1). flat(b, b1). flat(z, z1).
+        down(c1, d1). down(d1, e1). down(b1, f1).
+    """)
+
+
+@pytest.fixture
+def example3_query():
+    """Example 3: two recursive rules."""
+    return parse_query("""
+        sg(X, Y) :- flat(X, Y).
+        sg(X, Y) :- up1(X, X1), sg(X1, Y1), down1(Y1, Y).
+        sg(X, Y) :- up2(X, X1), sg(X1, Y1), down2(Y1, Y).
+        ?- sg(a, Y).
+    """)
+
+
+@pytest.fixture
+def example4_query():
+    """Example 4: shared variables between left and right parts."""
+    return parse_query("""
+        p(X, Y) :- flat(X, Y).
+        p(X, Y) :- up1(X, X1, W), p(X1, Y1), down1(Y1, Y, W).
+        p(X, Y) :- up2(X, X1), p(X1, Y1), down2(Y1, Y, X).
+        ?- p(a, Y).
+    """)
+
+
+@pytest.fixture
+def example4_db_a():
+    return Database.from_text("""
+        up1(a, b, 1). flat(b, c). down1(c, d, 2). down1(c, e, 1).
+    """)
+
+
+@pytest.fixture
+def example4_db_b():
+    return Database.from_text("""
+        up2(a, b). flat(b, c). down2(c, d, b). down2(c, e, a).
+    """)
+
+
+@pytest.fixture
+def example5_db():
+    """The exact cyclic database of Example 5."""
+    return Database.from_text("""
+        up(a, b). up(b, c). up(c, d). up(d, e). up(e, d). up(b, e).
+        flat(e, f).
+        down(f, g). down(g, h). down(h, i). down(i, j). down(j, k).
+        down(k, l).
+    """)
+
+
+@pytest.fixture
+def example6_query():
+    """Example 6: a mixed-linear program."""
+    return parse_query("""
+        p(X, Y) :- flat(X, Y).
+        p(X, Y) :- up(X, X1), p(X1, Y).
+        p(X, Y) :- p(X, Y1), down(Y1, Y).
+        ?- p(a, Y).
+    """)
+
+
+@pytest.fixture
+def example6_db():
+    return Database.from_text("""
+        up(a, b). up(b, c). flat(c, u). flat(b, v).
+        down(u, w). down(w, x). down(v, y).
+    """)

@@ -1,0 +1,29 @@
+"""Regenerate the golden rewriting outputs.
+
+Run from the repository root after an *intentional* change to a
+rewriting or the pretty-printer::
+
+    python tests/golden/regen.py
+
+then review the diff before committing.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__)))))
+
+from tests.test_golden_rewritings import CASES, GOLDEN_DIR  # noqa: E402
+
+
+def main():
+    for name, render in sorted(CASES.items()):
+        path = os.path.join(GOLDEN_DIR, name)
+        with open(path, "w") as handle:
+            handle.write(render() + "\n")
+        print("regenerated", path)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,252 @@
+"""Adornment and canonicalization tests (Sections 2 and 3.3)."""
+
+import pytest
+
+from repro import parse_query
+from repro.datalog import ProgramAnalysis
+from repro.errors import NotApplicableError
+from repro.rewriting.adornment import (
+    adorn_query,
+    adorned_name,
+    split_adorned,
+)
+from repro.rewriting.canonical import (
+    canonicalize_clique,
+    canonicalize_rule,
+    query_constants,
+)
+from repro.rewriting.support import goal_clique_of
+
+
+class TestAdornmentNames:
+    def test_roundtrip(self):
+        name = adorned_name("sg", "bf")
+        assert name == "sg__bf"
+        assert split_adorned(name) == ("sg", "bf")
+
+    def test_split_non_adorned(self):
+        assert split_adorned("plain") == ("plain", None)
+        assert split_adorned("x__weird") == ("x__weird", None)
+
+
+class TestAdornQuery:
+    def test_sg_bf(self, sg_query):
+        adorned = adorn_query(sg_query)
+        assert adorned.goal.pred == "sg__bf"
+        keys = {rule.head.key for rule in adorned.program}
+        assert keys == {("sg__bf", 2)}
+
+    def test_recursive_call_adorned(self, sg_query):
+        adorned = adorn_query(sg_query)
+        rec = [r for r in adorned.program if len(r.body) == 3][0]
+        assert rec.body[1].pred == "sg__bf"
+
+    def test_base_predicates_untouched(self, sg_query):
+        adorned = adorn_query(sg_query)
+        body_preds = set()
+        for rule in adorned.program:
+            for atom in rule.body_atoms():
+                body_preds.add(atom.pred)
+        assert {"up", "flat", "down"} <= body_preds
+
+    def test_origin_mapping(self, sg_query):
+        adorned = adorn_query(sg_query)
+        assert adorned.original_key(("sg__bf", 2)) == ("sg", 2)
+        assert adorned.adornment_of(("sg__bf", 2)) == "bf"
+        assert adorned.adornment_of(("up", 2)) is None
+
+    def test_multiple_adornments(self):
+        query = parse_query("""
+            p(X, Y) :- q(X, Y).
+            q(X, Y) :- edge(X, Y).
+            q(X, Y) :- q(X, Z), q(Z, Y).
+            ?- p(a, Y).
+        """)
+        adorned = adorn_query(query)
+        names = {rule.head.pred for rule in adorned.program}
+        # q is called with bf from p, and with bf again inside itself.
+        assert "q__bf" in names
+
+    def test_second_argument_bound(self):
+        query = parse_query("""
+            sg(X, Y) :- flat(X, Y).
+            sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).
+            ?- sg(X, b).
+        """)
+        adorned = adorn_query(query)
+        assert adorned.goal.pred == "sg__fb"
+        # Under left-to-right SIP the base atom up(X, X1) binds X1
+        # before the recursive call, so the call is adorned bf even
+        # though the head is fb — the body adornment differing from the
+        # head's is exactly the situation §3.1 says the extended method
+        # now covers.
+        rec = [
+            r for r in adorned.program
+            if r.head.pred == "sg__fb" and len(r.body) == 3
+        ][0]
+        assert rec.body[1].pred == "sg__bf"
+        names = {rule.head.pred for rule in adorned.program}
+        assert names == {"sg__fb", "sg__bf"}
+
+    def test_base_goal_passthrough(self):
+        query = parse_query("""
+            p(X) :- q(X).
+            ?- arc(a, Y).
+        """)
+        adorned = adorn_query(query)
+        assert adorned.goal.pred == "arc"
+        assert len(adorned.program) == len(query.program)
+
+    def test_unused_rules_dropped(self):
+        query = parse_query("""
+            sg(X, Y) :- flat(X, Y).
+            other(X) :- up(X, X1).
+            ?- sg(a, Y).
+        """)
+        adorned = adorn_query(query)
+        assert {r.head.pred for r in adorned.program} == {"sg__bf"}
+
+
+class TestCanonicalization:
+    def canonical(self, query):
+        adorned = adorn_query(query)
+        clique, _support = goal_clique_of(adorned)
+        return canonicalize_clique(clique, adorned)
+
+    def test_example1_shape(self, sg_query):
+        canonical = self.canonical(sg_query)
+        assert len(canonical.exit_rules) == 1
+        assert len(canonical.recursive_rules) == 1
+        rule = canonical.recursive_rules[0]
+        assert rule.bound_vars == ("X",)
+        assert rule.free_vars == ("Y",)
+        assert rule.rec_bound_vars == ("X1",)
+        assert rule.rec_free_vars == ("Y1",)
+        assert [a.pred for a in rule.left] == ["up"]
+        assert [a.pred for a in rule.right] == ["down"]
+        assert rule.shared_vars == ()
+        assert rule.bound_in_right == ()
+
+    def test_example4_shared_and_bound(self, example4_query):
+        canonical = self.canonical(example4_query)
+        by_label = {r.rule.label: r for r in canonical.recursive_rules}
+        r1, r2 = sorted(by_label)
+        # Rule with up1/down1 shares W; rule with up2/down2 uses X.
+        shared = {
+            tuple(by_label[r1].shared_vars),
+            tuple(by_label[r2].shared_vars),
+        }
+        assert ("W",) in shared
+        bound = {
+            tuple(by_label[r1].bound_in_right),
+            tuple(by_label[r2].bound_in_right),
+        }
+        assert ("X",) in bound
+
+    def test_example6_shapes(self, example6_query):
+        canonical = self.canonical(example6_query)
+        shapes = {
+            r.rule.label: (r.is_right_linear_shape(),
+                           r.is_left_linear_shape())
+            for r in canonical.recursive_rules
+        }
+        assert (True, False) in shapes.values()
+        assert (False, True) in shapes.values()
+
+    def test_nonlinear_rejected(self):
+        query = parse_query("""
+            tc(X, Y) :- arc(X, Y).
+            tc(X, Y) :- tc(X, Z), tc(Z, Y).
+            ?- tc(a, Y).
+        """)
+        adorned = adorn_query(query)
+        clique, _support = goal_clique_of(adorned)
+        with pytest.raises(NotApplicableError):
+            canonicalize_clique(clique, adorned)
+
+    def test_no_exit_rule_rejected(self):
+        query = parse_query("""
+            p(X, Y) :- up(X, X1), p(X1, Y).
+            ?- p(a, Y).
+        """)
+        adorned = adorn_query(query)
+        clique, _support = goal_clique_of(adorned)
+        with pytest.raises(NotApplicableError):
+            canonicalize_clique(clique, adorned)
+
+    def test_unbindable_left_not_counting_treatable(self):
+        # X1 appears nowhere before the recursive call: the call is
+        # adorned ff, so the goal's bf clique is not recursive at all
+        # and the counting pipeline refuses it (magic still applies).
+        query = parse_query("""
+            p(X, Y) :- flat(X, Y).
+            p(X, Y) :- p(X1, Y1), link(X, X1), down(Y1, Y).
+            ?- p(a, Y).
+        """)
+        adorned = adorn_query(query)
+        with pytest.raises(NotApplicableError):
+            goal_clique_of(adorned)
+
+    def test_repeated_head_var_normalized(self):
+        query = parse_query("""
+            p(X, X) :- loop(X).
+            p(X, Y) :- up(X, X1), p(X1, Y1), down(Y1, Y).
+            ?- p(a, Y).
+        """)
+        canonical = self.canonical(query)
+        exit_rule = [
+            e for e in canonical.exit_rules
+            if any(a.pred == "loop" for a in e.rule.body_atoms())
+        ][0]
+        # Head arguments must now be distinct variables; an equality
+        # constraint appears in the body.
+        head_args = exit_rule.rule.head.args
+        assert len({a.name for a in head_args}) == 2
+        assert exit_rule.rule.comparisons()
+
+    def test_constant_in_rec_atom_normalized(self, example4_query):
+        query = parse_query("""
+            p(X, Y) :- flat(X, Y).
+            p(X, Y) :- up(X, X1), p(b, Y1), down(Y1, Y).
+            ?- p(a, Y).
+        """)
+        canonical = self.canonical(query)
+        rule = canonical.recursive_rules[0]
+        assert all(not a.is_ground() for a in rule.rec_atom.args)
+
+    def test_repeated_free_var_constraint_goes_right(self):
+        # The recursive call repeats W at two free positions;
+        # normalization replaces the second occurrence by a fresh
+        # variable whose equality constraint mentions the call's free
+        # variables, so it can only be checked in the answer phase and
+        # must land in the right part.
+        query = parse_query("""
+            p(X, Y, Z) :- flat(X, Y, Z).
+            p(X, Y, Z) :- up(X, X1), p(X1, W, W), d(W, Y, Z).
+            ?- p(a, Y, Z).
+        """)
+        canonical = self.canonical(query)
+        rule = canonical.recursive_rules[0]
+        assert [a.pred for a in rule.left] == ["up"]
+        assert len({a.name for a in rule.rec_atom.args}) == 3
+        right_comparisons = [
+            lit for lit in rule.right if not hasattr(lit, "pred")
+        ]
+        assert right_comparisons, "expected the = constraint on the right"
+
+    def test_query_constants(self, sg_query):
+        adorned = adorn_query(sg_query)
+        assert query_constants(adorned.goal) == ("a",)
+
+    def test_mutual_recursion_canonicalizes(self):
+        query = parse_query("""
+            even(X, Y) :- flat(X, Y).
+            even(X, Y) :- up(X, X1), odd(X1, Y1), down(Y1, Y).
+            odd(X, Y) :- up(X, X1), even(X1, Y1), down(Y1, Y).
+            ?- even(a, Y).
+        """)
+        adorned = adorn_query(query)
+        clique, _support = goal_clique_of(adorned)
+        canonical = canonicalize_clique(clique, adorned)
+        rec_keys = {r.rec_key[0] for r in canonical.recursive_rules}
+        assert rec_keys == {"even__bf", "odd__bf"}

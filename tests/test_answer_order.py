@@ -1,0 +1,90 @@
+"""Answer-phase exploration order: BFS vs Bushy-Depth-First ([7])."""
+
+import pytest
+
+from repro import Database, parse_query
+from repro.exec.counting_engine import CountingEngine
+from repro.rewriting.adornment import adorn_query
+from repro.rewriting.canonical import canonicalize_clique, query_constants
+from repro.rewriting.support import goal_clique_of
+
+
+def make_engine(query, db, order):
+    adorned = adorn_query(query)
+    clique, support = goal_clique_of(adorned)
+    assert not support
+    canonical = canonicalize_clique(clique, adorned)
+    return CountingEngine(
+        canonical,
+        adorned.goal.key,
+        query_constants(adorned.goal),
+        db.get,
+        answer_order=order,
+    )
+
+
+SG = parse_query("""
+    sg(X, Y) :- flat(X, Y).
+    sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).
+    ?- sg(a, Y).
+""")
+
+
+def wide_db(width=8, depth=6):
+    """Branching ``down`` relation: each unwinding step fans out, so
+    breadth-first exploration carries a whole level of states at once
+    while depth-first drains one branch at a time."""
+    db = Database()
+    prev = "a"
+    for i in range(depth):
+        db.add_fact("up", prev, "x%d" % i)
+        prev = "x%d" % i
+    db.add_fact("flat", prev, "m0")
+    counter = [0]
+    frontier = ["m0"]
+    for _level in range(depth):
+        next_frontier = []
+        for node in frontier:
+            for _child in range(2):
+                counter[0] += 1
+                child = "m%d" % counter[0]
+                db.add_fact("down", node, child)
+                next_frontier.append(child)
+        frontier = next_frontier[: width * 4]
+    return db
+
+
+class TestOrders:
+    def test_same_answers(self):
+        db = wide_db()
+        bfs = make_engine(SG, db, "bfs")
+        dfs = make_engine(SG, db, "dfs")
+        assert bfs.run() == dfs.run()
+
+    def test_same_state_count(self):
+        db = wide_db()
+        bfs = make_engine(SG, db, "bfs")
+        dfs = make_engine(SG, db, "dfs")
+        bfs.run()
+        dfs.run()
+        assert bfs.state_count == dfs.state_count
+
+    def test_dfs_frontier_smaller(self):
+        db = wide_db(width=12, depth=8)
+        bfs = make_engine(SG, db, "bfs")
+        dfs = make_engine(SG, db, "dfs")
+        bfs.run()
+        dfs.run()
+        assert dfs.max_frontier < bfs.max_frontier
+
+    def test_same_answers_on_cycles(self, example5_db):
+        bfs = make_engine(SG, example5_db, "bfs")
+        dfs = make_engine(SG, example5_db, "dfs")
+        assert bfs.run() == dfs.run() == frozenset(
+            {("h",), ("j",), ("l",)}
+        )
+
+    def test_invalid_order_rejected(self):
+        db = wide_db()
+        with pytest.raises(ValueError):
+            make_engine(SG, db, "random")

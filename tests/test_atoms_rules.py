@@ -1,0 +1,139 @@
+"""Unit tests for literals, rules, programs and queries."""
+
+import pytest
+
+from repro.datalog.atoms import Atom, Comparison, Negation
+from repro.datalog.rules import Program, Query, Rule
+from repro.datalog.terms import Constant, Variable
+
+
+def atom(pred, *names):
+    return Atom(pred, tuple(Variable(n) if n[0].isupper() else Constant(n)
+                            for n in names))
+
+
+class TestAtom:
+    def test_key(self):
+        assert atom("p", "X", "Y").key == ("p", 2)
+
+    def test_variables(self):
+        assert atom("p", "X", "a").variables() == {"X"}
+
+    def test_ground(self):
+        assert atom("p", "a").is_ground()
+        assert not atom("p", "X").is_ground()
+
+    def test_rejects_non_terms(self):
+        with pytest.raises(TypeError):
+            Atom("p", ("oops",))
+
+    def test_with_args(self):
+        replaced = atom("p", "X").with_args((Constant("a"),))
+        assert replaced.pred == "p"
+        assert replaced.is_ground()
+
+
+class TestNegation:
+    def test_wraps_atom_only(self):
+        with pytest.raises(TypeError):
+            Negation(Comparison("=", Variable("X"), Constant(1)))
+
+    def test_variables_passthrough(self):
+        assert Negation(atom("p", "X")).variables() == {"X"}
+
+
+class TestComparison:
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Comparison("~", Variable("X"), Constant(1))
+
+    def test_binds_left(self):
+        assert Comparison("is", Variable("X"), Constant(1)).binds_left()
+        assert Comparison("in", Variable("X"), Constant(())).binds_left()
+        assert not Comparison("<", Variable("X"), Constant(1)).binds_left()
+
+
+class TestRule:
+    def test_fact(self):
+        assert Rule(atom("p", "a")).is_fact()
+        assert not Rule(atom("p", "X"), (atom("q", "X"),)).is_fact()
+
+    def test_partitions_body(self):
+        rule = Rule(
+            atom("p", "X"),
+            (
+                atom("q", "X"),
+                Negation(atom("r", "X")),
+                Comparison("<", Variable("X"), Constant(9)),
+            ),
+        )
+        assert rule.body_atoms() == (atom("q", "X"),)
+        assert rule.negated_atoms() == (atom("r", "X"),)
+        assert len(rule.comparisons()) == 1
+
+    def test_variables(self):
+        rule = Rule(atom("p", "X"), (atom("q", "X", "Y"),))
+        assert rule.variables() == {"X", "Y"}
+
+    def test_head_must_be_atom(self):
+        with pytest.raises(TypeError):
+            Rule(Comparison("=", Variable("X"), Constant(1)))
+
+
+class TestProgram:
+    def test_auto_labels_unique(self):
+        program = Program([
+            Rule(atom("p", "X"), (atom("q", "X"),)),
+            Rule(atom("p", "X"), (atom("r", "X"),)),
+        ])
+        labels = [rule.label for rule in program]
+        assert len(set(labels)) == 2
+
+    def test_explicit_labels_preserved(self):
+        rule = Rule(atom("p", "X"), (atom("q", "X"),), label="mine")
+        program = Program([rule])
+        assert program.rules[0].label == "mine"
+
+    def test_head_predicates_exclude_pure_facts(self):
+        program = Program([
+            Rule(atom("p", "a")),
+            Rule(atom("q", "X"), (atom("p", "X"),)),
+        ])
+        assert program.head_predicates() == {("q", 1)}
+        assert program.derived_predicates() == {("p", 1), ("q", 1)}
+
+    def test_facts_extraction(self):
+        program = Program([Rule(atom("p", "a")), Rule(atom("p", "X"),
+                                                      (atom("q", "X"),))])
+        assert program.facts() == [(("p", 1), ("a",))]
+        assert len(program.without_facts()) == 1
+
+    def test_rules_for(self):
+        program = Program([
+            Rule(atom("p", "X"), (atom("q", "X"),)),
+            Rule(atom("q", "X"), (atom("r", "X"),)),
+        ])
+        assert len(program.rules_for(("p", 1))) == 1
+
+    def test_extended(self):
+        program = Program([Rule(atom("p", "X"), (atom("q", "X"),))])
+        bigger = program.extended([Rule(atom("s", "X"), (atom("p", "X"),))])
+        assert len(bigger) == 2
+        assert len(program) == 1
+
+
+class TestQuery:
+    def test_adornment(self):
+        q = Query(atom("sg", "a", "Y"), Program([]))
+        assert q.adornment() == "bf"
+        assert q.bound_positions() == (0,)
+
+    def test_all_free(self):
+        q = Query(atom("sg", "X", "Y"), Program([]))
+        assert q.adornment() == "ff"
+
+    def test_type_checks(self):
+        with pytest.raises(TypeError):
+            Query("sg(a, Y)", Program([]))
+        with pytest.raises(TypeError):
+            Query(atom("p", "X"), [])

@@ -1,0 +1,115 @@
+"""Benchmark harness tests."""
+
+import pytest
+
+from repro.bench import (
+    format_table,
+    matrix_table,
+    run_matrix,
+    speedup,
+    summarize,
+    sweep,
+)
+from repro.data import WORKLOADS
+
+
+class TestRunMatrix:
+    def test_rows_per_method(self, sg_query, sg_db):
+        rows = run_matrix(sg_query, sg_db, ["naive", "magic"])
+        assert [row.method for row in rows] == ["naive", "magic"]
+        assert all(row.error is None for row in rows)
+        assert all(row.answers == 2 for row in rows)
+
+    def test_error_recorded_not_raised(self, sg_query, example5_db):
+        rows = run_matrix(
+            sg_query, example5_db,
+            ["magic", "classical_counting", "cyclic_counting"],
+        )
+        by_method = {row.method: row for row in rows}
+        assert by_method["classical_counting"].error is not None
+        assert by_method["magic"].work is not None
+
+    def test_disagreement_detected(self, sg_query, sg_db, monkeypatch):
+        import repro.bench.harness as harness
+
+        real = harness.run_strategy
+
+        def broken(method, query, db):
+            result = real(method, query, db)
+            if method == "magic":
+                result.answers = frozenset({("wrong",)})
+            return result
+
+        monkeypatch.setattr(harness, "run_strategy", broken)
+        with pytest.raises(AssertionError):
+            run_matrix(sg_query, sg_db, ["naive", "magic"])
+
+
+class TestSweep:
+    def test_grid(self):
+        workload = WORKLOADS["sg_chain"]
+        rows = sweep(
+            workload.query,
+            workload.make_db,
+            ["naive", "magic"],
+            [dict(depth=4), dict(depth=8)],
+            label_key="depth",
+        )
+        assert len(rows) == 4
+        labels = {row.label for row in rows}
+        assert labels == {"depth=4", "depth=8"}
+
+    def test_params_recorded(self):
+        workload = WORKLOADS["sg_chain"]
+        rows = sweep(
+            workload.query, workload.make_db, ["naive"],
+            [dict(depth=4)],
+        )
+        assert rows[0].params == {"depth": 4}
+
+
+class TestRendering:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"], [["a", 1], ["longer", 22]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert len(lines) == 5
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.12345], [1e-9], [None]])
+        assert "0.1234" in text or "0.1235" in text
+        assert "e-" in text
+        assert "-" in text
+
+    def test_matrix_table(self, sg_query, sg_db):
+        rows = run_matrix(sg_query, sg_db, ["magic", "pointer_counting"])
+        text = matrix_table(rows, title="demo")
+        assert "demo" in text
+        assert "vs_magic" in text
+        assert "pointer_counting" in text
+
+    def test_matrix_table_shows_errors(self, sg_query, example5_db):
+        rows = run_matrix(sg_query, example5_db,
+                          ["magic", "classical_counting"])
+        text = matrix_table(rows)
+        assert "CountingDivergenceError" in text
+
+    def test_extra_columns(self, sg_query, sg_db):
+        rows = run_matrix(sg_query, sg_db, ["magic"])
+        text = matrix_table(rows, extra_columns=("magic_set_size",))
+        assert "magic_set_size" in text
+
+    def test_speedup(self):
+        assert speedup(100, 50) == "2.0x"
+        assert speedup(100, 0) == "-"
+
+
+class TestSummarize:
+    def test_totals(self, sg_query, sg_db):
+        rows = run_matrix(sg_query, sg_db, ["naive", "magic"])
+        totals = summarize(rows)
+        assert totals["naive"]["runs"] == 1
+        assert totals["magic"]["work"] > 0

@@ -1,0 +1,66 @@
+"""Structural tests for the Algorithm 2 program rendering."""
+
+from repro.rewriting.cyclic import cyclic_counting_program_text
+
+
+class TestExample5Rendering:
+    def text(self, sg_query):
+        return cyclic_counting_program_text(sg_query)
+
+    def test_seed(self, sg_query):
+        assert "c_sg__bf(a, {(r0, [], nil)})." in self.text(sg_query)
+
+    def test_counting_rule_uses_object_id(self, sg_query):
+        text = self.text(sg_query)
+        assert "Id : c_sg__bf(X, _)" in text
+        assert "<(" in text  # grouping set term
+
+    def test_weak_stratification_guard(self, sg_query):
+        # The ¬(ahead(W, X1), W != X, ¬ c(W, _)) guard of Algorithm 2.
+        text = self.text(sg_query)
+        assert "not (ahead_" in text
+        assert "not c_sg__bf(W, _)" in text
+
+    def test_cycle_rule(self, sg_query):
+        text = self.text(sg_query)
+        assert "cycle_sg__bf" in text
+        assert "back_" in text
+
+    def test_predecessor_closure_f(self, sg_query):
+        text = self.text(sg_query)
+        assert "f(A, S) :-" in text
+        assert "if(cycle_sg__bf(X, S2) then S = S1 + S2 else S = S1)" \
+            in text
+
+    def test_modified_rules_navigate_sets(self, sg_query):
+        text = self.text(sg_query)
+        assert "in T" in text
+        assert "f(A, S)" in text
+
+    def test_query_goal(self, sg_query):
+        assert "?- sg__bf(Y, {(r0, [], nil)})." in self.text(sg_query)
+
+
+class TestOtherPrograms:
+    def test_shared_variables_rendered(self, example4_query):
+        text = cyclic_counting_program_text(example4_query)
+        assert "[W]" in text
+
+    def test_bound_head_var_keeps_counting_atom(self, example4_query):
+        text = cyclic_counting_program_text(example4_query)
+        # The D_r != {} rule keeps an object-id counting goal in the
+        # modified rule body.
+        modified = [
+            line for line in text.splitlines()
+            if line.startswith("p__bf(") and "down2" in line
+        ]
+        assert modified and "A : c_p__bf(X, _)" in modified[0]
+
+    def test_left_linear_rules_skipped_in_counting(self, example6_query):
+        text = cyclic_counting_program_text(example6_query)
+        counting_lines = [
+            line for line in text.splitlines()
+            if line.startswith("c_p__bf(") and ":-" in line
+        ]
+        # Only the right-linear rule contributes a counting rule.
+        assert len(counting_lines) == 1

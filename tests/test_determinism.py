@@ -1,0 +1,87 @@
+"""Determinism and accounting invariants of the work counters."""
+
+import pytest
+
+from repro.data import WORKLOADS
+from repro.engine import EvalStats
+from repro.exec.strategies import run_strategy
+
+
+REPEATABLE = (
+    "naive", "magic", "classical_counting", "extended_counting",
+    "reduced_counting", "pointer_counting", "cyclic_counting",
+)
+
+
+class TestRepeatability:
+    @pytest.mark.parametrize("method", REPEATABLE)
+    def test_same_counters_on_repeat(self, method):
+        workload = WORKLOADS["sg_chain"]
+        db, _source = workload.make_db(depth=8)
+        first = run_strategy(method, workload.query, db)
+        second = run_strategy(method, workload.query, db)
+        assert first.answers == second.answers
+        assert first.stats.as_dict() == second.stats.as_dict()
+        assert first.extras.keys() == second.extras.keys()
+
+    def test_fresh_database_same_counters(self):
+        workload = WORKLOADS["sg_tree"]
+        db1, _ = workload.make_db(fanout=2, depth=4)
+        db2, _ = workload.make_db(fanout=2, depth=4)
+        r1 = run_strategy("pointer_counting", workload.query, db1)
+        r2 = run_strategy("pointer_counting", workload.query, db2)
+        assert r1.stats.total_work == r2.stats.total_work
+
+
+class TestAccounting:
+    @pytest.mark.parametrize("method", REPEATABLE)
+    def test_total_work_definition(self, method):
+        workload = WORKLOADS["sg_chain"]
+        db, _source = workload.make_db(depth=8)
+        stats = run_strategy(method, workload.query, db).stats
+        assert stats.total_work == (
+            stats.tuples_scanned + stats.facts_derived
+            + stats.facts_duplicate
+        )
+        assert stats.rule_firings >= 0
+        assert stats.iterations >= 1
+
+    def test_counters_strictly_positive_on_real_work(self):
+        workload = WORKLOADS["sg_chain"]
+        db, _source = workload.make_db(depth=8)
+        stats = run_strategy("magic", workload.query, db).stats
+        assert stats.tuples_scanned > 0
+        assert stats.facts_derived > 0
+
+    def test_stats_isolated_between_runs(self):
+        # A fresh EvalStats per run: no accumulation across strategies.
+        workload = WORKLOADS["sg_chain"]
+        db, _source = workload.make_db(depth=4)
+        small = run_strategy("pointer_counting", workload.query, db)
+        db2, _source = workload.make_db(depth=16)
+        big = run_strategy("pointer_counting", workload.query, db2)
+        db3, _source = workload.make_db(depth=4)
+        small_again = run_strategy("pointer_counting", workload.query,
+                                   db3)
+        assert small.stats.total_work == small_again.stats.total_work
+        assert big.stats.total_work > small.stats.total_work
+
+
+class TestSharedDatabase:
+    def test_multiple_engines_share_base_relations(self):
+        from repro import Database, parse_query
+        from repro.engine import SemiNaiveEngine
+
+        program = parse_query("""
+            tc(X, Y) :- arc(X, Y).
+            tc(X, Y) :- tc(X, Z), arc(Z, Y).
+            ?- tc(a, Y).
+        """).program
+        db = Database.from_text("arc(a, b). arc(b, c).")
+        first = SemiNaiveEngine(program, db)
+        first.run()
+        # Derived facts of one engine must not leak into the next.
+        second = SemiNaiveEngine(program, db)
+        derived = second.run()
+        assert len(derived[("tc", 2)]) == 3
+        assert db.total_facts() == 2  # base data untouched

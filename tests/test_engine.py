@@ -1,0 +1,268 @@
+"""Engine tests: builtins, joins, semi-naive fixpoint, stratification
+and query evaluation."""
+
+import pytest
+
+from repro import Database, evaluate, parse_program, parse_query
+from repro.datalog import ProgramAnalysis
+from repro.datalog.atoms import Comparison
+from repro.datalog.terms import Compound, Constant, Variable
+from repro.engine import (
+    EvalStats,
+    SemiNaiveEngine,
+    evaluate_program,
+    is_stratified,
+)
+from repro.engine.builtins import eval_comparison
+from repro.errors import EvaluationError, NotStratifiedError
+
+
+class TestBuiltins:
+    def run(self, op, left, right, subst=None):
+        return list(
+            eval_comparison(Comparison(op, left, right), subst or {})
+        )
+
+    def test_orderings(self):
+        assert self.run("<", Constant(1), Constant(2))
+        assert not self.run("<", Constant(2), Constant(1))
+        assert self.run(">=", Constant(2), Constant(2))
+
+    def test_neq(self):
+        assert self.run("!=", Constant("a"), Constant("b"))
+        assert not self.run("!=", Constant("a"), Constant("a"))
+
+    def test_eq_binds(self):
+        results = self.run("=", Variable("X"), Constant(3))
+        assert results[0]["X"] == Constant(3)
+
+    def test_is_evaluates(self):
+        results = self.run(
+            "is", Variable("J"),
+            Compound("+", (Constant(1), Constant(2))),
+        )
+        assert results[0]["J"] == Constant(3)
+
+    def test_is_tests_when_bound(self):
+        assert self.run("is", Constant(3),
+                        Compound("+", (Constant(1), Constant(2))))
+        assert not self.run("is", Constant(4),
+                            Compound("+", (Constant(1), Constant(2))))
+
+    def test_in_enumerates_tuple(self):
+        results = self.run("in", Variable("A"), Constant((1, 2, 3)))
+        values = sorted(r["A"].value for r in results)
+        assert values == [1, 2, 3]
+
+    def test_in_enumerates_frozenset(self):
+        results = self.run("in", Variable("A"),
+                           Constant(frozenset({"x", "y"})))
+        assert len(results) == 2
+
+    def test_in_non_collection_raises(self):
+        with pytest.raises(EvaluationError):
+            self.run("in", Variable("A"), Constant(42))
+
+    def test_unordered_values_raise(self):
+        with pytest.raises(EvaluationError):
+            self.run("<", Constant("a"), Constant(1))
+
+    def test_ordering_on_unbound_raises(self):
+        with pytest.raises(EvaluationError):
+            self.run("<", Variable("X"), Constant(1))
+
+
+class TestSemiNaive:
+    def test_transitive_closure(self):
+        program = parse_program("""
+            tc(X, Y) :- arc(X, Y).
+            tc(X, Y) :- tc(X, Z), arc(Z, Y).
+        """)
+        db = Database.from_text("arc(a, b). arc(b, c). arc(c, d).")
+        derived = evaluate_program(program, db)
+        assert len(derived[("tc", 2)]) == 6
+
+    def test_cycle_terminates(self):
+        program = parse_program("""
+            tc(X, Y) :- arc(X, Y).
+            tc(X, Y) :- tc(X, Z), arc(Z, Y).
+        """)
+        db = Database.from_text("arc(a, b). arc(b, a).")
+        derived = evaluate_program(program, db)
+        assert len(derived[("tc", 2)]) == 4
+
+    def test_nonlinear_rule(self):
+        program = parse_program("""
+            tc(X, Y) :- arc(X, Y).
+            tc(X, Y) :- tc(X, Z), tc(Z, Y).
+        """)
+        db = Database.from_text("arc(a, b). arc(b, c). arc(c, d).")
+        derived = evaluate_program(program, db)
+        assert len(derived[("tc", 2)]) == 6
+
+    def test_program_facts_for_derived_pred(self):
+        program = parse_program("""
+            r(a, a).
+            r(X, Y) :- r(X, Z), arc(Z, Y).
+        """)
+        db = Database.from_text("arc(a, b).")
+        derived = evaluate_program(program, db)
+        assert ("a", "b") in derived[("r", 2)]
+
+    def test_seed_only_facts_visible(self):
+        # Regression: a predicate defined only by program facts must be
+        # visible to rules (it is a base predicate overlay).
+        program = parse_program("""
+            seed(a).
+            out(X) :- seed(X).
+        """)
+        derived = evaluate_program(program, Database())
+        assert ("a",) in derived[("out", 1)]
+
+    def test_overlay_merges_with_db(self):
+        program = parse_program("""
+            seed(a).
+            out(X) :- seed(X).
+        """)
+        db = Database.from_text("seed(b).")
+        derived = evaluate_program(program, db)
+        assert len(derived[("out", 1)]) == 2
+
+    def test_stratified_negation(self):
+        program = parse_program("""
+            reach(X) :- start(X).
+            reach(Y) :- reach(X), arc(X, Y).
+            unreachable(X) :- node(X), not reach(X).
+        """)
+        db = Database.from_text("""
+            start(a). arc(a, b). node(a). node(b). node(c).
+        """)
+        derived = evaluate_program(program, db)
+        assert derived[("unreachable", 1)].tuples == {("c",)}
+
+    def test_unstratified_rejected(self):
+        program = parse_program("""
+            p(X) :- node(X), not q(X).
+            q(X) :- node(X), not p(X).
+        """)
+        with pytest.raises(NotStratifiedError):
+            evaluate_program(program, Database.from_text("node(a)."))
+
+    def test_is_stratified_helper(self):
+        good = ProgramAnalysis(parse_program("p(X) :- q(X), not r(X)."))
+        assert is_stratified(good)
+
+    def test_max_iterations_guard(self):
+        program = parse_program("""
+            c(X, J) :- c(X, I), J is I + 1.
+            c(a, 0).
+        """)
+        with pytest.raises(EvaluationError):
+            evaluate_program(program, Database(), max_iterations=10)
+
+    def test_arithmetic_levels(self):
+        program = parse_program("""
+            lvl(a, 0).
+            lvl(Y, J) :- lvl(X, I), arc(X, Y), J is I + 1.
+        """)
+        db = Database.from_text("arc(a, b). arc(b, c).")
+        derived = evaluate_program(program, db)
+        assert ("c", 2) in derived[("lvl", 2)]
+
+    def test_stats_counters(self):
+        program = parse_program("""
+            tc(X, Y) :- arc(X, Y).
+            tc(X, Y) :- tc(X, Z), arc(Z, Y).
+        """)
+        db = Database.from_text("arc(a, b). arc(b, c).")
+        stats = EvalStats()
+        evaluate_program(program, db, stats=stats)
+        assert stats.facts_derived == 3
+        assert stats.iterations >= 2
+        assert stats.tuples_scanned > 0
+        assert stats.total_work >= stats.facts_derived
+
+    def test_stats_merge(self):
+        a, b = EvalStats(), EvalStats()
+        a.facts_derived = 2
+        b.facts_derived = 3
+        b.iterations = 1
+        a.merge(b)
+        assert a.facts_derived == 5
+        assert a.iterations == 1
+        assert "facts_derived" in a.as_dict()
+
+
+class TestEvaluateQuery:
+    def test_projection_onto_free_args(self, sg_query, sg_db):
+        result = evaluate(sg_query, sg_db)
+        assert result.answers == {("e1",), ("f1",)}
+        # Full tuples keep the bound argument.
+        assert ("a", "e1") in result.tuples
+
+    def test_contains_and_len(self, sg_query, sg_db):
+        result = evaluate(sg_query, sg_db)
+        assert ("e1",) in result
+        assert len(result) == 2
+        assert result.sorted() == [("e1",), ("f1",)]
+
+    def test_all_free_goal(self):
+        query = parse_query("""
+            tc(X, Y) :- arc(X, Y).
+            tc(X, Y) :- tc(X, Z), arc(Z, Y).
+            ?- tc(X, Y).
+        """)
+        db = Database.from_text("arc(a, b). arc(b, c).")
+        result = evaluate(query, db)
+        assert len(result) == 3
+
+    def test_fully_bound_goal(self):
+        query = parse_query("""
+            tc(X, Y) :- arc(X, Y).
+            tc(X, Y) :- tc(X, Z), arc(Z, Y).
+            ?- tc(a, c).
+        """)
+        db = Database.from_text("arc(a, b). arc(b, c).")
+        result = evaluate(query, db)
+        # No free positions: one empty answer tuple when true.
+        assert result.answers == {()}
+
+    def test_goal_over_base_predicate(self):
+        query = parse_query("""
+            tc(X, Y) :- arc(X, Y).
+            ?- arc(a, Y).
+        """)
+        db = Database.from_text("arc(a, b). arc(c, d).")
+        result = evaluate(query, db)
+        assert result.answers == {("b",)}
+
+    def test_query_type_checked(self, sg_db):
+        with pytest.raises(TypeError):
+            evaluate("?- p(a).", sg_db)
+
+
+class TestNegationInBody:
+    def test_negation_filters(self):
+        query = parse_query("""
+            ok(X) :- cand(X), not bad(X).
+            ?- ok(X).
+        """)
+        db = Database.from_text("cand(a). cand(b). bad(b).")
+        assert evaluate(query, db).answers == {("a",)}
+
+    def test_unbound_negation_raises_at_runtime(self):
+        # Constructed directly (the safety checker would reject it).
+        from repro.datalog.atoms import Atom, Negation
+        from repro.datalog.rules import Program, Query, Rule
+
+        rule = Rule(
+            Atom("p", (Variable("X"),)),
+            (
+                Atom("q", (Variable("X"),)),
+                Negation(Atom("r", (Variable("Y"),))),
+            ),
+        )
+        query = Query(Atom("p", (Variable("X"),)), Program([rule]))
+        db = Database.from_text("q(a).")
+        with pytest.raises(EvaluationError):
+            evaluate(query, db)

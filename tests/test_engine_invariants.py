@@ -1,0 +1,74 @@
+"""Engine accounting invariants across random inputs."""
+
+import random
+
+import pytest
+
+from repro import Database, parse_program
+from repro.engine import EvalStats, SemiNaiveEngine
+
+
+def random_tc_db(seed, nodes=8, arcs=16):
+    rng = random.Random(seed)
+    db = Database()
+    for _ in range(arcs):
+        db.add_fact("arc", "n%d" % rng.randrange(nodes),
+                    "n%d" % rng.randrange(nodes))
+    return db
+
+
+TC = parse_program("""
+    tc(X, Y) :- arc(X, Y).
+    tc(X, Y) :- tc(X, Z), arc(Z, Y).
+""")
+
+
+class TestDerivationAccounting:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_facts_derived_equals_relation_sizes(self, seed):
+        db = random_tc_db(seed)
+        stats = EvalStats()
+        engine = SemiNaiveEngine(TC, db, stats=stats)
+        derived = engine.run()
+        total = sum(len(rel) for rel in derived.values())
+        assert stats.facts_derived == total
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_naive_mode_same_relations_more_duplicates(self, seed):
+        db = random_tc_db(seed)
+        semi_stats = EvalStats()
+        semi = SemiNaiveEngine(TC, db, stats=semi_stats).run()
+        naive_stats = EvalStats()
+        naive = SemiNaiveEngine(
+            TC, db, stats=naive_stats, seminaive=False
+        ).run()
+        assert semi[("tc", 2)].tuples == naive[("tc", 2)].tuples
+        assert naive_stats.facts_duplicate >= semi_stats.facts_duplicate
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_reorder_same_relations(self, seed):
+        db = random_tc_db(seed)
+        plain = SemiNaiveEngine(TC, db).run()
+        planned = SemiNaiveEngine(TC, db, reorder=True).run()
+        assert plain[("tc", 2)].tuples == planned[("tc", 2)].tuples
+
+    def test_trace_counts_match_stats(self):
+        from repro.engine import DerivationTrace
+
+        db = random_tc_db(3)
+        stats = EvalStats()
+        trace = DerivationTrace()
+        engine = SemiNaiveEngine(TC, db, stats=stats, trace=trace)
+        engine.run()
+        # One first-derivation record per derived fact.
+        assert len(trace) == stats.facts_derived
+
+    def test_traced_and_untraced_agree(self):
+        from repro.engine import DerivationTrace
+
+        db = random_tc_db(4)
+        plain = SemiNaiveEngine(TC, db).run()
+        traced = SemiNaiveEngine(
+            TC, db, trace=DerivationTrace()
+        ).run()
+        assert plain[("tc", 2)].tuples == traced[("tc", 2)].tuples

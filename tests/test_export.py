@@ -1,0 +1,84 @@
+"""CSV/JSON benchmark export tests."""
+
+import csv
+import json
+
+import pytest
+
+from repro.bench import run_matrix, rows_to_records, write_csv, write_json
+
+
+@pytest.fixture
+def rows(sg_query, sg_db):
+    return run_matrix(
+        sg_query, sg_db, ["magic", "pointer_counting"], label="demo",
+        params={"depth": 2},
+    )
+
+
+class TestRecords:
+    def test_base_fields(self, rows):
+        records = rows_to_records(rows)
+        assert len(records) == 2
+        magic = records[0]
+        assert magic["method"] == "magic"
+        assert magic["label"] == "demo"
+        assert magic["answers"] == 2
+        assert magic["work"] > 0
+        assert magic["error"] is None
+        assert magic["param_depth"] == 2
+
+    def test_extras_prefixed(self, rows):
+        records = rows_to_records(rows)
+        by_method = {r["method"]: r for r in records}
+        assert "extra_magic_set_size" in by_method["magic"]
+        assert "extra_counting_rows" in by_method["pointer_counting"]
+
+    def test_error_rows(self, sg_query, example5_db):
+        error_rows = run_matrix(
+            sg_query, example5_db, ["classical_counting"], label="cyc"
+        )
+        [record] = rows_to_records(error_rows)
+        assert record["error"] == "CountingDivergenceError"
+        assert record["work"] is None
+
+
+class TestWriters:
+    def test_csv_round_trip(self, rows, tmp_path):
+        path = str(tmp_path / "out.csv")
+        count = write_csv(rows, path)
+        assert count == 2
+        with open(path) as handle:
+            parsed = list(csv.DictReader(handle))
+        assert len(parsed) == 2
+        assert parsed[0]["method"] == "magic"
+        assert int(parsed[0]["answers"]) == 2
+
+    def test_json_round_trip(self, rows, tmp_path):
+        path = str(tmp_path / "out.json")
+        count = write_json(rows, path)
+        assert count == 2
+        with open(path) as handle:
+            parsed = json.load(handle)
+        assert parsed[0]["method"] == "magic"
+        assert parsed[1]["extra_counting_rows"] == 3
+
+    def test_cli_flags(self, tmp_path):
+        import io
+
+        from repro.cli import main
+
+        csv_path = str(tmp_path / "bench.csv")
+        json_path = str(tmp_path / "bench.json")
+        out = io.StringIO()
+        code = main(
+            ["bench", "sg_chain", "--methods", "naive,magic",
+             "--param", "depth=4", "--csv", csv_path,
+             "--json", json_path],
+            out=out,
+        )
+        assert code == 0
+        with open(csv_path) as handle:
+            assert len(list(csv.DictReader(handle))) == 2
+        with open(json_path) as handle:
+            assert len(json.load(handle)) == 2

@@ -1,0 +1,166 @@
+"""Data generator and workload tests."""
+
+import pytest
+
+from repro.data import WORKLOADS, get_workload
+from repro.data import generators as g
+from repro.engine.database import Database
+from repro.graph import adjacency_successors, classify_arcs, is_acyclic
+from repro.graph.dfs import Arc
+
+
+def arcs_of(facts, pred="arc"):
+    return [Arc(a, b) for p, (a, b) in facts if p == pred]
+
+
+class TestChainAndCycle:
+    def test_chain_length(self):
+        facts = g.chain(5)
+        assert len(facts) == 5
+        assert facts[0] == ("arc", ("n0", "n1"))
+
+    def test_cycle_closes(self):
+        facts = g.cycle(4)
+        assert ("arc", ("n3", "n0")) in facts
+        succ = adjacency_successors(arcs_of(facts))
+        assert not is_acyclic("n0", succ)
+
+    def test_chain_acyclic(self):
+        succ = adjacency_successors(arcs_of(g.chain(6)))
+        assert is_acyclic("n0", succ)
+
+
+class TestTrees:
+    def test_full_tree_node_count(self):
+        facts, root, leaves = g.full_tree(2, 3)
+        assert root == "t0"
+        assert len(leaves) == 8
+        assert len(facts) == 2 + 4 + 8
+
+    def test_inverted_tree_flips(self):
+        facts, _root, _leaves = g.inverted_tree(2, 2)
+        sources = {a for _p, (a, _b) in facts}
+        assert "v0" not in sources  # root has no outgoing arcs
+
+    def test_tree_is_tree(self):
+        facts, root, _leaves = g.full_tree(3, 3)
+        from repro.graph import is_tree
+
+        assert is_tree(root, adjacency_successors(arcs_of(facts)))
+
+
+class TestShortcutChain:
+    def test_many_distances(self):
+        facts = g.shortcut_chain(6)
+        succ = adjacency_successors(arcs_of(facts))
+        assert is_acyclic("s0", succ)
+        # Node s4 reachable at distances 2..4.
+        # Count (node, distance) pairs via BFS levels.
+        levels = {("s0", 0)}
+        frontier = {("s0", 0)}
+        while frontier:
+            new = set()
+            for node, depth in frontier:
+                for target, _lbl in succ(node):
+                    pair = (target, depth + 1)
+                    if pair not in levels:
+                        levels.add(pair)
+                        new.add(pair)
+            frontier = new
+        distances_s4 = {d for n, d in levels if n == "s4"}
+        assert len(distances_s4) >= 2
+
+
+class TestCylinder:
+    def test_shape(self):
+        facts, first, last = g.cylinder(3, 4)
+        assert len(first) == 3
+        assert len(last) == 3
+        assert len(facts) == 3 * 4 * 2
+
+    def test_acyclic(self):
+        facts, first, _last = g.cylinder(3, 4)
+        succ = adjacency_successors(arcs_of(facts))
+        assert is_acyclic(first[0], succ)
+
+
+class TestRandomGraphs:
+    def test_dag_is_acyclic(self):
+        facts = g.random_dag(15, 40, seed=1)
+        succ = adjacency_successors(arcs_of(facts))
+        for node in {a for _p, (a, _b) in facts}:
+            assert is_acyclic(node, succ)
+
+    def test_deterministic(self):
+        assert g.random_dag(10, 20, seed=5) == g.random_dag(10, 20, seed=5)
+        assert g.random_graph(10, 20, 5) == g.random_graph(10, 20, 5)
+
+    def test_arc_counts(self):
+        assert len(g.random_dag(10, 20, seed=2)) == 20
+        assert len(g.random_graph(10, 20, seed=2)) == 20
+
+    def test_caps_at_max_arcs(self):
+        facts = g.random_dag(4, 100, seed=0)
+        assert len(facts) == 6
+
+
+class TestSgBuilders:
+    def test_sg_tree_db(self):
+        db, root = g.sg_tree_db(2, 3)
+        assert isinstance(db, Database)
+        assert len(db.relation("up", 2)) == 14
+        assert len(db.relation("down", 2)) == 14
+        assert len(db.relation("flat", 2)) == 8
+        assert root == "a0"
+
+    def test_sg_chain_db(self):
+        db, source = g.sg_chain_db(5)
+        assert source == "x0"
+        assert len(db.relation("flat", 2)) == 6
+
+    def test_sg_cyclic_db_has_cycle(self):
+        db, source = g.sg_cyclic_db(4, 10)
+        arcs = [Arc(a, b) for a, b in db.relation("up", 2)]
+        succ = adjacency_successors(arcs)
+        assert not is_acyclic(source, succ)
+
+    def test_duplication_dag(self):
+        db, source = g.duplication_dag_db(3, 4, 2, seed=9)
+        assert source == "root"
+        assert len(db.relation("flat", 2)) == 4
+        classification = classify_arcs(
+            source,
+            adjacency_successors(
+                [Arc(a, b) for a, b in db.relation("up", 2)]
+            ),
+        )
+        assert classification.is_acyclic()
+
+    def test_duplication_increases_with_parents(self):
+        low, _ = g.duplication_dag_db(3, 4, 0, seed=9)
+        high, _ = g.duplication_dag_db(3, 4, 3, seed=9)
+        assert (len(high.relation("up", 2))
+                > len(low.relation("up", 2)))
+
+
+class TestWorkloadRegistry:
+    def test_get_workload(self):
+        assert get_workload("sg_tree").name == "sg_tree"
+        with pytest.raises(ValueError):
+            get_workload("nope")
+
+    def test_all_workloads_build(self):
+        for name, workload in WORKLOADS.items():
+            db, source = workload.make_db()
+            assert db.total_facts() > 0, name
+            assert source == "a"
+
+    def test_queries_parse_with_goal_constant_a(self):
+        for workload in WORKLOADS.values():
+            goal = workload.query.goal
+            assert goal.args[0].is_ground()
+
+    def test_descriptions_present(self):
+        for workload in WORKLOADS.values():
+            assert workload.description
+            assert workload.applicable

@@ -1,0 +1,166 @@
+"""Graph substrate tests, anchored on the paper's Example 2."""
+
+from repro.graph import (
+    MULTIPLE,
+    RECURRING,
+    SINGLE,
+    Arc,
+    adjacency_successors,
+    classify_arcs,
+    elementary_cycles,
+    is_acyclic,
+    is_tree,
+    node_classes,
+)
+from repro.graph.properties import strongly_connected_components
+
+
+def successors_of(arc_pairs):
+    return adjacency_successors(
+        [Arc(a, b) for a, b in arc_pairs]
+    )
+
+
+EXAMPLE2 = [
+    ("a", "b"), ("a", "c"), ("d", "b"),
+    ("c", "b"), ("b", "c"), ("a", "d"),
+]
+
+
+class TestExample2:
+    """The paper's Example 2 classification, verbatim."""
+
+    def classification(self):
+        return classify_arcs("a", successors_of(EXAMPLE2))
+
+    def arc_set(self, arcs):
+        return {(arc.source, arc.target) for arc in arcs}
+
+    def test_tree_arcs(self):
+        assert self.arc_set(self.classification().tree) == {
+            ("a", "b"), ("b", "c"), ("a", "d")
+        }
+
+    def test_forward_arc(self):
+        assert self.arc_set(self.classification().forward) == {("a", "c")}
+
+    def test_cross_arc(self):
+        assert self.arc_set(self.classification().cross) == {("d", "b")}
+
+    def test_back_arc(self):
+        assert self.arc_set(self.classification().back) == {("c", "b")}
+
+    def test_ahead_is_rest(self):
+        classification = self.classification()
+        assert len(classification.ahead) == 5
+        assert not classification.is_acyclic()
+
+    def test_node_classes(self):
+        classes = node_classes("a", successors_of(EXAMPLE2))
+        assert classes["a"] == SINGLE
+        assert classes["d"] == SINGLE
+        assert classes["b"] == RECURRING
+        assert classes["c"] == RECURRING
+
+    def test_elementary_cycle(self):
+        cycles = elementary_cycles("a", successors_of(EXAMPLE2))
+        assert any(set(c) == {"b", "c"} for c in cycles)
+        assert all(len(set(c)) == len(c) for c in cycles)
+
+
+class TestClassification:
+    def test_chain_all_tree(self):
+        pairs = [("a", "b"), ("b", "c"), ("c", "d")]
+        classification = classify_arcs("a", successors_of(pairs))
+        assert len(classification.tree) == 3
+        assert classification.is_acyclic()
+        assert classification.order == ("a", "b", "c", "d")
+
+    def test_unreachable_excluded(self):
+        pairs = [("a", "b"), ("x", "y")]
+        classification = classify_arcs("a", successors_of(pairs))
+        assert classification.nodes == {"a", "b"}
+
+    def test_self_loop_is_back_arc(self):
+        pairs = [("a", "a")]
+        classification = classify_arcs("a", successors_of(pairs))
+        assert len(classification.back) == 1
+        assert not classification.is_acyclic()
+
+    def test_diamond_multiple(self):
+        pairs = [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+        classes = node_classes("a", successors_of(pairs))
+        assert classes["d"] == MULTIPLE
+        assert classes["b"] == SINGLE
+        assert is_acyclic("a", successors_of(pairs))
+        assert not is_tree("a", successors_of(pairs))
+
+    def test_tree_predicate(self):
+        pairs = [("a", "b"), ("a", "c")]
+        assert is_tree("a", successors_of(pairs))
+
+    def test_ahead_predecessors(self):
+        classification = classify_arcs("a", successors_of(EXAMPLE2))
+        preds = classification.ahead_predecessors()
+        assert {arc.source for arc in preds["b"]} == {"a", "d"}
+
+    def test_back_predecessors(self):
+        classification = classify_arcs("a", successors_of(EXAMPLE2))
+        preds = classification.back_predecessors()
+        assert {arc.source for arc in preds["b"]} == {"c"}
+
+    def test_labels_preserved(self):
+        arcs = [Arc("a", "b", ("r1", (7,)))]
+        classification = classify_arcs(
+            "a", adjacency_successors(arcs)
+        )
+        assert classification.tree[0].label == ("r1", (7,))
+
+    def test_parallel_labeled_arcs(self):
+        arcs = [Arc("a", "b", "r1"), Arc("a", "b", "r2")]
+        classification = classify_arcs("a", adjacency_successors(arcs))
+        # One becomes the tree arc, the other a forward arc.
+        assert len(classification.tree) == 1
+        assert len(classification.forward) == 1
+
+
+class TestAheadAcyclicInvariant:
+    def test_ahead_subgraph_is_acyclic(self):
+        # The ahead arcs of any classification form a DAG — the
+        # property Algorithm 2's finiteness rests on.
+        import random
+
+        rng = random.Random(42)
+        for _ in range(25):
+            n = rng.randrange(3, 12)
+            pairs = [
+                (rng.randrange(n), rng.randrange(n))
+                for _ in range(rng.randrange(2, 25))
+            ]
+            pairs = [(a, b) for a, b in pairs if a != b or rng.random() < .3]
+            classification = classify_arcs(0, successors_of(pairs))
+            ahead_pairs = [
+                (arc.source, arc.target) for arc in classification.ahead
+            ]
+            sub = classify_arcs(0, successors_of(ahead_pairs))
+            assert sub.is_acyclic()
+
+    def test_partition_is_complete(self):
+        classification = classify_arcs("a", successors_of(EXAMPLE2))
+        assert len(classification.arcs) == len(EXAMPLE2)
+
+
+class TestSCC:
+    def test_components(self):
+        adjacency = {
+            "a": ["b"], "b": ["c"], "c": ["b", "d"], "d": [],
+        }
+        sccs = strongly_connected_components(adjacency)
+        assert sccs["b"] == sccs["c"]
+        assert sccs["a"] != sccs["b"]
+        assert sccs["d"] != sccs["b"]
+
+    def test_singletons(self):
+        adjacency = {"x": ["y"], "y": []}
+        sccs = strongly_connected_components(adjacency)
+        assert len(set(sccs.values())) == 2

@@ -1,0 +1,132 @@
+"""Magic-set rewriting tests, anchored on Example 1's magic program."""
+
+import pytest
+
+from repro import Database, parse_query
+from repro.engine import evaluate_query
+from repro.rewriting.magic import (
+    magic_atom,
+    magic_name,
+    magic_rewrite,
+    magic_predicates,
+)
+
+
+class TestStructure:
+    def test_example1_rule_count(self, sg_query):
+        rewriting = magic_rewrite(sg_query)
+        # Seed + one magic rule (from the recursive occurrence) + two
+        # modified rules: the paper's Example 1 program.
+        assert len(rewriting.magic_rules) == 2
+        assert len(rewriting.modified_rules) == 2
+
+    def test_seed_from_goal(self, sg_query):
+        rewriting = magic_rewrite(sg_query)
+        seed = rewriting.seed
+        assert seed.head.pred == "m_sg__bf"
+        assert seed.head.is_ground()
+        assert seed.is_fact()
+
+    def test_magic_rule_matches_paper(self, sg_query):
+        rewriting = magic_rewrite(sg_query)
+        rule = [r for r in rewriting.magic_rules if not r.is_fact()][0]
+        # m_sg(X1) :- m_sg(X), up(X, X1).
+        assert rule.head.pred == "m_sg__bf"
+        body_preds = [a.pred for a in rule.body_atoms()]
+        assert body_preds == ["m_sg__bf", "up"]
+
+    def test_modified_rules_guarded(self, sg_query):
+        rewriting = magic_rewrite(sg_query)
+        for rule in rewriting.modified_rules:
+            assert rule.body[0].pred == "m_sg__bf"
+
+    def test_goal_unchanged(self, sg_query):
+        rewriting = magic_rewrite(sg_query)
+        assert rewriting.query.goal.pred == "sg__bf"
+
+    def test_magic_predicates(self, sg_query):
+        rewriting = magic_rewrite(sg_query)
+        assert magic_predicates(rewriting) == {("m_sg__bf", 1)}
+
+    def test_magic_atom_projects_bound(self):
+        from repro.datalog import parse_atom
+
+        atom = parse_atom("sg(a, Y)")
+        magic = magic_atom(atom, "bf")
+        assert magic.pred == magic_name("sg")
+        assert magic.arity == 1
+
+    def test_base_goal_noop(self):
+        query = parse_query("p(X) :- q(X). ?- base(a, Y).")
+        rewriting = magic_rewrite(query)
+        assert rewriting.magic_rules == ()
+        assert rewriting.query.goal == query.goal
+
+
+class TestSemantics:
+    def test_example1_answers(self, sg_query, sg_db):
+        rewriting = magic_rewrite(sg_query)
+        result = evaluate_query(rewriting.query, sg_db)
+        assert result.answers == {("e1",), ("f1",)}
+
+    def test_restricts_computation(self, sg_query):
+        # Facts reachable only from z must not be derived.
+        db = Database.from_text("""
+            up(a, b). flat(b, b1). down(b1, c1).
+            up(z, w). flat(w, w1). down(w1, w2).
+        """)
+        rewriting = magic_rewrite(sg_query)
+        result = evaluate_query(rewriting.query, db)
+        assert result.answers == {("c1",)}
+        # The magic set contains only nodes reachable from a.
+        from repro.engine import SemiNaiveEngine
+
+        engine = SemiNaiveEngine(rewriting.query.program, db)
+        derived = engine.run()
+        magic_rel = derived[("m_sg__bf", 1)]
+        assert magic_rel.tuples == {("a",), ("b",)}
+
+    def test_cyclic_data_terminates(self, sg_query, example5_db):
+        rewriting = magic_rewrite(sg_query)
+        result = evaluate_query(rewriting.query, example5_db)
+        assert result.answers == {("h",), ("j",), ("l",)}
+
+    def test_nonlinear_program(self):
+        query = parse_query("""
+            tc(X, Y) :- arc(X, Y).
+            tc(X, Y) :- tc(X, Z), tc(Z, Y).
+            ?- tc(a, Y).
+        """)
+        db = Database.from_text("arc(a, b). arc(b, c). arc(x, y).")
+        rewriting = magic_rewrite(query)
+        result = evaluate_query(rewriting.query, db)
+        assert result.answers == {("b",), ("c",)}
+
+    def test_multiple_adornments(self):
+        query = parse_query("""
+            sg(X, Y) :- flat(X, Y).
+            sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).
+            ?- sg(X, b1).
+        """)
+        db = Database.from_text("""
+            up(a, b). flat(b, bb). down(bb, b1). flat(a, b1).
+        """)
+        rewriting = magic_rewrite(query)
+        result = evaluate_query(rewriting.query, db)
+        direct = evaluate_query(query, db)
+        assert result.answers == direct.answers
+
+    def test_negation_in_lower_stratum(self):
+        query = parse_query("""
+            good(X) :- cand(X), not bad(X).
+            reach(X, Y) :- good(Y), arc(X, Y).
+            reach(X, Y) :- reach(X, Z), arc(Z, Y), good(Y).
+            ?- reach(a, Y).
+        """)
+        db = Database.from_text("""
+            cand(b). cand(c). bad(c).
+            arc(a, b). arc(b, c).
+        """)
+        rewriting = magic_rewrite(query)
+        result = evaluate_query(rewriting.query, db)
+        assert result.answers == {("b",)}

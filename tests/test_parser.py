@@ -1,0 +1,193 @@
+"""Parser tests: syntax coverage, error reporting, round-trips."""
+
+import pytest
+
+from repro.datalog import (
+    Atom,
+    Comparison,
+    Negation,
+    format_program,
+    format_rule,
+    parse_atom,
+    parse_program,
+    parse_query,
+)
+from repro.datalog.terms import Compound, Constant, Variable
+from repro.errors import ParseError
+
+
+class TestBasics:
+    def test_fact(self):
+        program = parse_program("up(a, b).")
+        assert len(program) == 1
+        assert program.rules[0].is_fact()
+
+    def test_rule(self):
+        program = parse_program("p(X) :- q(X), r(X).")
+        rule = program.rules[0]
+        assert rule.head == Atom("p", (Variable("X"),))
+        assert len(rule.body) == 2
+
+    def test_zero_arity(self):
+        program = parse_program("flag. go :- flag.")
+        assert program.rules[0].head.arity == 0
+
+    def test_comments_ignored(self):
+        program = parse_program("""
+            % a comment
+            p(a).  % trailing comment
+        """)
+        assert len(program) == 1
+
+    def test_numbers(self):
+        program = parse_program("c(a, 0).")
+        assert program.rules[0].head.args[1] == Constant(0)
+
+    def test_quoted_strings(self):
+        program = parse_program("name(x, 'Hello World').")
+        assert program.rules[0].head.args[1] == Constant("Hello World")
+
+    def test_variables_uppercase_and_underscore(self):
+        program = parse_program("p(X, _tmp) :- q(X, _tmp).")
+        args = program.rules[0].head.args
+        assert args[0] == Variable("X")
+        assert args[1] == Variable("_tmp")
+
+
+class TestLiterals:
+    def test_negation(self):
+        rule = parse_program("p(X) :- q(X), not r(X).").rules[0]
+        assert isinstance(rule.body[1], Negation)
+
+    def test_comparisons(self):
+        rule = parse_program("p(X) :- q(X), X != a, X >= 3.").rules[0]
+        ops = [lit.op for lit in rule.body[1:]]
+        assert ops == ["!=", ">="]
+
+    def test_is_arithmetic(self):
+        rule = parse_program("c(X, J) :- c(X, I), J is I + 1.").rules[0]
+        cmp = rule.body[1]
+        assert isinstance(cmp, Comparison)
+        assert cmp.op == "is"
+        assert isinstance(cmp.right, Compound)
+        assert cmp.right.functor == "+"
+
+    def test_in_membership(self):
+        rule = parse_program("p(A) :- s(T), A in T.").rules[0]
+        assert rule.body[1].op == "in"
+
+    def test_constant_comparison(self):
+        rule = parse_program("p(X) :- q(X), a != X.").rules[0]
+        cmp = rule.body[1]
+        assert cmp.left == Constant("a")
+
+
+class TestStructuredTerms:
+    def test_empty_list(self):
+        rule = parse_program("c(a, []).").rules[0]
+        assert rule.head.args[1] == Constant(())
+
+    def test_closed_list(self):
+        rule = parse_program("p([a, b, 1]).").rules[0]
+        from repro.datalog.terms import ground_value
+
+        assert ground_value(rule.head.args[0]) == ("a", "b", 1)
+
+    def test_open_list(self):
+        rule = parse_program("p(X, [H | T]) :- q(X, H, T).").rules[0]
+        cell = rule.head.args[1]
+        assert isinstance(cell, Compound)
+        assert cell.functor == "."
+
+    def test_path_entry_pattern(self):
+        rule = parse_program(
+            "p(Y, L) :- q(Y1, [(r1, [W]) | L]), d(Y1, Y, W)."
+        ).rules[0]
+        cell = rule.body[0].args[1]
+        entry = cell.args[0]
+        assert entry.functor == "tuple"
+        assert entry.args[0] == Constant("r1")
+
+    def test_nil_constant(self):
+        rule = parse_program("p(nil).").rules[0]
+        assert rule.head.args[0] == Constant(None)
+
+    def test_parenthesized_expression(self):
+        rule = parse_program("p(J) :- q(I), J is (I + 1) * 2.").rules[0]
+        expr = rule.body[1].right
+        assert expr.functor == "*"
+
+
+class TestQueries:
+    def test_parse_query(self):
+        query = parse_query("p(X) :- q(X). ?- p(a).")
+        assert query.goal == Atom("p", (Constant("a"),))
+        assert len(query.program) == 1
+
+    def test_query_required(self):
+        with pytest.raises(ParseError):
+            parse_query("p(X) :- q(X).")
+
+    def test_single_query_only(self):
+        with pytest.raises(ParseError):
+            parse_query("?- p(a). ?- p(b).")
+
+    def test_no_query_in_program(self):
+        with pytest.raises(ParseError):
+            parse_program("?- p(a).")
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            parse_program("p('oops).")
+
+    def test_missing_period(self):
+        with pytest.raises(ParseError):
+            parse_program("p(a)")
+
+    def test_unknown_character(self):
+        with pytest.raises(ParseError):
+            parse_program("p(a) & q(b).")
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as info:
+            parse_program("p(a).\nq(#).")
+        assert info.value.line == 2
+
+    def test_compound_constant_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("p(f(a)).")
+
+
+class TestParseAtom:
+    def test_simple(self):
+        assert parse_atom("sg(a, Y)").key == ("sg", 2)
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_atom("sg(a, Y) extra")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "p(a).",
+            "p(X) :- q(X), not r(X), X != a.",
+            "c(X1, J) :- c(X, I), up(X, X1), J is I + 1.",
+            "p(Y, L) :- q(Y1, [(r1, [W]) | L]), d(Y1, Y, W).",
+            "c(a, []).",
+            "p(X) :- q(X, [a, b, 1]).",
+        ],
+    )
+    def test_format_then_reparse(self, text):
+        program = parse_program(text)
+        rendered = format_program(program)
+        reparsed = parse_program(rendered)
+        assert reparsed.rules[0].head == program.rules[0].head
+        assert reparsed.rules[0].body == program.rules[0].body
+
+    def test_format_rule_matches_text(self):
+        rule = parse_program("p(X) :- q(X), r(X).").rules[0]
+        assert format_rule(rule) == "p(X) :- q(X), r(X)."

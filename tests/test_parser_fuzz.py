@@ -1,0 +1,57 @@
+"""Parser fuzzing: arbitrary text must raise ParseError or parse —
+never crash with anything else."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog import parse_program, parse_query
+from repro.errors import ParseError
+
+printable = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    max_size=120,
+)
+
+tokens = st.lists(
+    st.sampled_from([
+        "p", "q", "Xvar", "Y", "(", ")", "[", "]", "|", ",", ".",
+        ":-", "?-", "not", "is", "in", "=", "!=", "<", "+", "-",
+        "42", "'str'", "nil", "%c",
+    ]),
+    max_size=30,
+).map(" ".join)
+
+
+class TestNoCrash:
+    @settings(max_examples=200, deadline=None)
+    @given(printable)
+    def test_random_text(self, text):
+        try:
+            parse_program(text)
+        except ParseError:
+            pass
+
+    @settings(max_examples=200, deadline=None)
+    @given(tokens)
+    def test_token_soup(self, text):
+        try:
+            parse_program(text)
+        except ParseError:
+            pass
+
+    @settings(max_examples=100, deadline=None)
+    @given(printable)
+    def test_parse_query_random_text(self, text):
+        try:
+            parse_query(text)
+        except ParseError:
+            pass
+
+    @settings(max_examples=100, deadline=None)
+    @given(printable)
+    def test_errors_carry_positions(self, text):
+        try:
+            parse_program(text)
+        except ParseError as exc:
+            assert exc.line is None or exc.line >= 1
+            assert str(exc)

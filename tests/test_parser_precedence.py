@@ -1,0 +1,129 @@
+"""Parser precedence and builtin operator matrix tests."""
+
+import pytest
+
+from repro import Database, evaluate, parse_program, parse_query
+from repro.datalog.terms import Compound, Constant
+
+
+def expr_of(text):
+    rule = parse_program("p(J) :- q(I), J is %s." % text).rules[0]
+    return rule.body[1].right
+
+
+class TestPrecedence:
+    def test_multiplication_binds_tighter(self):
+        expr = expr_of("I + 2 * 3")
+        assert expr.functor == "+"
+        assert expr.args[1].functor == "*"
+
+    def test_left_associativity_of_addition(self):
+        expr = expr_of("I + 1 + 2")
+        assert expr.functor == "+"
+        assert expr.args[0].functor == "+"
+
+    def test_parentheses_override(self):
+        expr = expr_of("(I + 1) * 2")
+        assert expr.functor == "*"
+        assert expr.args[0].functor == "+"
+
+    def test_subtraction_chains(self):
+        expr = expr_of("I - 1 - 2")
+        # (I - 1) - 2
+        assert expr.functor == "-"
+        assert expr.args[0].functor == "-"
+        assert expr.args[1] == Constant(2)
+
+    def test_mixed_evaluates_correctly(self):
+        query = parse_query("""
+            r(J) :- v(I), J is I + 2 * 3 - 1.
+            ?- r(J).
+        """)
+        db = Database.from_text("v(10).")
+        assert evaluate(query, db).answers == {(15,)}
+
+    def test_unary_minus_in_expression(self):
+        query = parse_query("""
+            r(J) :- v(I), J is I + -3.
+            ?- r(J).
+        """)
+        db = Database.from_text("v(10).")
+        assert evaluate(query, db).answers == {(7,)}
+
+
+OPS_TRUTH = [
+    ("=", 3, 3, True), ("=", 3, 4, False),
+    ("!=", 3, 4, True), ("!=", 3, 3, False),
+    ("<", 3, 4, True), ("<", 4, 3, False), ("<", 3, 3, False),
+    ("<=", 3, 3, True), ("<=", 4, 3, False),
+    (">", 4, 3, True), (">", 3, 4, False),
+    (">=", 3, 3, True), (">=", 3, 4, False),
+]
+
+
+class TestComparisonMatrix:
+    @pytest.mark.parametrize("op,a,b,expected", OPS_TRUTH)
+    def test_numeric(self, op, a, b, expected):
+        query = parse_query("""
+            r(ok) :- v(A, B), A %s B.
+            ?- r(X).
+        """ % op)
+        db = Database()
+        db.add_fact("v", a, b)
+        result = evaluate(query, db)
+        assert bool(result.answers) is expected
+
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("<", "apple", "banana", True),
+            (">", "apple", "banana", False),
+            ("=", "x", "x", True),
+            ("!=", "x", "y", True),
+        ],
+    )
+    def test_strings(self, op, a, b, expected):
+        query = parse_query("""
+            r(ok) :- v(A, B), A %s B.
+            ?- r(X).
+        """ % op)
+        db = Database()
+        db.add_fact("v", a, b)
+        assert bool(evaluate(query, db).answers) is expected
+
+
+class TestIsAndIn:
+    def test_is_chain(self):
+        query = parse_query("""
+            r(K) :- v(I), J is I * 2, K is J + 1.
+            ?- r(K).
+        """)
+        db = Database.from_text("v(5).")
+        assert evaluate(query, db).answers == {(11,)}
+
+    def test_in_over_list_value(self):
+        query = parse_query("""
+            set3(S) :- tag(S).
+            r(A) :- set3(S), A in S, A > 1.
+            ?- r(A).
+        """)
+        db = Database()
+        db.add_fact("tag", (1, 2, 3))
+        assert evaluate(query, db).answers == {(2,), (3,)}
+
+    def test_in_deduplicates_via_set_semantics(self):
+        query = parse_query("""
+            r(A) :- v(S), A in S.
+            ?- r(A).
+        """)
+        db = Database()
+        db.add_fact("v", (1, 1, 2))
+        assert evaluate(query, db).answers == {(1,), (2,)}
+
+    def test_eq_as_generator_from_bound_side(self):
+        query = parse_query("""
+            r(B) :- v(A), B = A.
+            ?- r(B).
+        """)
+        db = Database.from_text("v(7).")
+        assert evaluate(query, db).answers == {(7,)}

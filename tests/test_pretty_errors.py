@@ -1,0 +1,126 @@
+"""Pretty-printer edge cases and the error hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.datalog import (
+    Atom,
+    format_atom,
+    format_program,
+    format_query,
+    format_rule,
+    format_term,
+    parse_program,
+    parse_query,
+    pprint,
+)
+from repro.datalog.pretty import format_value
+from repro.datalog.terms import Compound, Constant, Variable, cons
+
+
+class TestFormatValue:
+    def test_nil(self):
+        assert format_value(None) == "nil"
+
+    def test_nested_tuples(self):
+        assert format_value((("r1", (1,)), ("r2", ()))) == \
+            "[[r1, [1]], [r2, []]]"
+
+    def test_frozenset_sorted(self):
+        assert format_value(frozenset({"b", "a"})) == "{a, b}"
+
+    def test_plain_identifier_unquoted(self):
+        assert format_value("abc") == "abc"
+
+    def test_non_identifier_quoted(self):
+        assert format_value("Hello World") == "'Hello World'"
+        assert format_value("X") == "'X'"
+
+    def test_numbers(self):
+        assert format_value(42) == "42"
+        assert format_value(-3) == "-3"
+
+
+class TestFormatTerm:
+    def test_open_list(self):
+        term = cons(Constant("a"), Variable("L"))
+        assert format_term(term) == "[a | L]"
+
+    def test_cons_onto_ground_tail(self):
+        term = cons(Constant("a"), Constant(("b", "c")))
+        assert format_term(term) == "[a, b, c]"
+
+    def test_arithmetic_infix(self):
+        term = Compound("+", (Variable("I"), Constant(1)))
+        assert format_term(term) == "I + 1"
+
+    def test_unary_functor(self):
+        term = Compound("abs", (Variable("X"),))
+        assert format_term(term) == "abs(X)"
+
+
+class TestFormatStructures:
+    def test_zero_arity_atom(self):
+        assert format_atom(Atom("flag", ())) == "flag"
+
+    def test_fact(self):
+        rule = parse_program("p(a).").rules[0]
+        assert format_rule(rule) == "p(a)."
+
+    def test_program_with_labels(self):
+        program = parse_program("p(X) :- q(X).")
+        text = format_program(program, show_labels=True)
+        assert text.startswith("r0:")
+
+    def test_query(self):
+        query = parse_query("p(X) :- q(X). ?- p(a).")
+        text = format_query(query)
+        assert text.endswith("?- p(a).")
+
+    def test_pprint_accepts_everything(self, capsys):
+        query = parse_query("p(X) :- q(X), not r(X), X != a. ?- p(a).")
+        pprint(query)
+        pprint(query.program)
+        pprint(query.program.rules[0])
+        for lit in query.program.rules[0].body:
+            pprint(lit)
+        pprint(Variable("X"))
+        out = capsys.readouterr().out
+        assert "?- p(a)." in out
+        assert "not r(X)" in out
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "subclass",
+        [
+            errors.ParseError,
+            errors.SafetyError,
+            errors.AnalysisError,
+            errors.NotStratifiedError,
+            errors.RewritingError,
+            errors.NotApplicableError,
+            errors.CountingDivergenceError,
+            errors.EvaluationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, subclass):
+        assert issubclass(subclass, errors.ReproError)
+
+    def test_not_stratified_is_analysis_error(self):
+        assert issubclass(errors.NotStratifiedError, errors.AnalysisError)
+
+    def test_counting_divergence_is_rewriting_error(self):
+        assert issubclass(
+            errors.CountingDivergenceError, errors.RewritingError
+        )
+
+    def test_parse_error_position(self):
+        error = errors.ParseError("boom", line=3, column=7)
+        assert "line 3" in str(error)
+        assert error.line == 3
+        assert error.column == 7
+
+    def test_parse_error_without_position(self):
+        error = errors.ParseError("boom")
+        assert str(error) == "boom"

@@ -1,0 +1,81 @@
+"""Property-based tests for the program transformations."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Database, parse_program
+from repro.datalog import Program, Query
+from repro.datalog.transform import unfold_all_nonrecursive
+from repro.engine import evaluate_program, evaluate_query
+from repro.rewriting.linearize import linearize_square_rules
+
+SLOW = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+node_ids = st.integers(min_value=0, max_value=7)
+arc_lists = st.lists(st.tuples(node_ids, node_ids), max_size=18)
+
+
+HELPER_PROGRAM = parse_program("""
+    hop(X, Y) :- up(X, Y).
+    hop(X, Y) :- lift(X, Y).
+    two(X, Z) :- hop(X, Y), hop(Y, Z).
+    tc(X, Y) :- two(X, Y).
+    tc(X, Y) :- tc(X, Z), two(Z, Y).
+""")
+
+
+class TestUnfoldProperty:
+    @SLOW
+    @given(arc_lists, arc_lists)
+    def test_unfold_preserves_models(self, ups, lifts):
+        db = Database()
+        for i, j in ups:
+            db.add_fact("up", "n%d" % i, "n%d" % j)
+        for i, j in lifts:
+            db.add_fact("lift", "n%d" % i, "n%d" % j)
+        flattened = unfold_all_nonrecursive(
+            HELPER_PROGRAM, keep=[("tc", 2)]
+        )
+        original = evaluate_program(HELPER_PROGRAM, db)
+        rewritten = evaluate_program(flattened, db)
+        key = ("tc", 2)
+        left = original[key].tuples if key in original else set()
+        right = rewritten[key].tuples if key in rewritten else set()
+        assert left == right
+
+
+SQUARE = parse_program("""
+    tc(X, Y) :- road(X, Y).
+    tc(X, Y) :- rail(X, Y).
+    tc(X, Y) :- tc(X, Z), tc(Z, Y).
+""")
+
+
+class TestLinearizeProperty:
+    @SLOW
+    @given(arc_lists, arc_lists)
+    def test_linearize_preserves_closure(self, roads, rails):
+        db = Database()
+        for i, j in roads:
+            db.add_fact("road", "n%d" % i, "n%d" % j)
+        for i, j in rails:
+            db.add_fact("rail", "n%d" % i, "n%d" % j)
+        linearized = linearize_square_rules(SQUARE)
+        from repro.datalog import parse_atom
+
+        goal = parse_atom("tc(X, Y)")
+        original = evaluate_query(Query(goal, SQUARE), db)
+        rewritten = evaluate_query(Query(goal, linearized), db)
+        assert original.answers == rewritten.answers
+
+    @SLOW
+    @given(arc_lists)
+    def test_linearized_is_linear(self, roads):
+        from repro.datalog import ProgramAnalysis
+
+        linearized = linearize_square_rules(SQUARE)
+        assert ProgramAnalysis(linearized).is_linear()

@@ -1,0 +1,108 @@
+"""Query graph construction tests (Section 2's G_L, G_R, G_E)."""
+
+import pytest
+
+from repro.datalog import parse_program
+from repro.engine import Database
+from repro.graph.querygraph import (
+    EdgeSpec,
+    LeftGraph,
+    QueryGraph,
+    enumerate_arcs,
+    left_classification,
+)
+
+
+def spec_from_rule(text, source_vars, target_vars, shared_vars=(),
+                   label="r1"):
+    rule = parse_program(text).rules[0]
+    return EdgeSpec(label, rule.body, source_vars, target_vars,
+                    shared_vars)
+
+
+@pytest.fixture
+def up_spec():
+    return spec_from_rule(
+        "edge(X, X1) :- up(X, X1).", ("X",), ("X1",)
+    )
+
+
+@pytest.fixture
+def db():
+    return Database.from_text("""
+        up(a, b). up(b, c). up(b, d). up(x, y).
+        down(m, n).
+        flat(c, m).
+    """)
+
+
+class TestLeftGraph:
+    def test_successors(self, up_spec, db):
+        graph = LeftGraph(db, [up_spec])
+        succ = dict()
+        for target, label in graph.successors(("b",)):
+            succ[target] = label
+        assert set(succ) == {("c",), ("d",)}
+        assert succ[("c",)] == ("r1", ())
+
+    def test_no_successors(self, up_spec, db):
+        graph = LeftGraph(db, [up_spec])
+        assert graph.successors(("zzz",)) == []
+
+    def test_shared_values_on_labels(self, db):
+        db.add_fact("up3", "a", "b", 7)
+        spec = spec_from_rule(
+            "edge(X, X1, W) :- up3(X, X1, W).",
+            ("X",), ("X1",), ("W",),
+        )
+        graph = LeftGraph(db, [spec])
+        [(target, (label, shared))] = graph.successors(("a",))
+        assert target == ("b",)
+        assert shared == (7,)
+
+    def test_multi_literal_left_part(self, db):
+        db.add_fact("color", "b", "blue")
+        spec = spec_from_rule(
+            "edge(X, X1) :- up(X, X1), color(X1, blue).",
+            ("X",), ("X1",),
+        )
+        graph = LeftGraph(db, [spec])
+        targets = {t for t, _l in graph.successors(("a",))}
+        assert targets == {("b",)}
+
+    def test_classification_restricted_to_reachable(self, up_spec, db):
+        classification = left_classification(db, [up_spec], ("a",))
+        nodes = {values[0] for values in classification.nodes}
+        assert nodes == {"a", "b", "c", "d"}  # x, y unreachable
+
+
+class TestEnumerateArcs:
+    def test_full_enumeration(self, up_spec, db):
+        arcs = enumerate_arcs(db, up_spec)
+        assert len(arcs) == 4  # includes the x -> y arc
+
+    def test_labels(self, db):
+        spec = spec_from_rule(
+            "e(Y1, Y) :- down(Y1, Y).", ("Y1",), ("Y",), label="rr"
+        )
+        [arc] = enumerate_arcs(db, spec)
+        assert arc.source == ("m",)
+        assert arc.target == ("n",)
+        assert arc.label == ("rr", ())
+
+
+class TestQueryGraph:
+    def test_build(self, up_spec, db):
+        right = spec_from_rule(
+            "e(Y1, Y) :- down(Y1, Y).", ("Y1",), ("Y",)
+        )
+        exit_spec = spec_from_rule(
+            "e(X, Y) :- flat(X, Y).", ("X",), ("Y",)
+        )
+        graph = QueryGraph.build(
+            db, [up_spec], [right], [exit_spec], ("a",)
+        )
+        assert len(graph.left_arcs) == 3  # reachable from a only
+        assert len(graph.right_arcs) == 1
+        assert len(graph.exit_arcs) == 1
+        assert "QueryGraph" in repr(graph)

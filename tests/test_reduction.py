@@ -1,0 +1,220 @@
+"""Algorithm 3 (reduction) and Section 5 (RLC-linear) tests."""
+
+import pytest
+
+from repro import Database, parse_query
+from repro.datalog import format_rule
+from repro.engine import evaluate_query
+from repro.rewriting.extended import extended_counting_rewrite
+from repro.rewriting.linearity import (
+    GENERAL,
+    LEFT_LINEAR,
+    RIGHT_LINEAR,
+    clique_shapes,
+    is_left_linear_program,
+    is_mixed_linear,
+    is_right_linear_program,
+    rule_shape,
+)
+from repro.rewriting.reduction import reduce_rewriting
+
+
+def reduced(query):
+    return reduce_rewriting(extended_counting_rewrite(query))
+
+
+class TestExample6:
+    def test_path_argument_deleted(self, example6_query):
+        red = reduced(example6_query)
+        assert red.path_deleted_counting
+        assert red.path_deleted_answer
+        goal = red.query.goal
+        assert goal.arity == 1  # just Y, no path
+
+    def test_program_matches_paper(self, example6_query):
+        red = reduced(example6_query)
+        text = {format_rule(rule) for rule in red.query.program}
+        assert text == {
+            "c_p__bf(a).",
+            "c_p__bf(X1) :- c_p__bf(X), up(X, X1).",
+            "p__bf(Y) :- c_p__bf(X), flat(X, Y).",
+            "p__bf(Y) :- p__bf(Y1), down(Y1, Y).",
+        }
+
+    def test_counting_atom_removed(self, example6_query):
+        red = reduced(example6_query)
+        recs = [
+            rule for rule in red.query.program
+            if rule.head.pred == "p__bf"
+            and any(a.pred == "p__bf" for a in rule.body_atoms())
+        ]
+        preds = {a.pred for rule in recs for a in rule.body_atoms()}
+        assert "c_p__bf" not in preds
+
+    def test_answers_preserved(self, example6_query, example6_db):
+        red = reduced(example6_query)
+        result = evaluate_query(red.query, example6_db)
+        naive = evaluate_query(example6_query, example6_db)
+        assert result.answers == naive.answers
+
+    def test_safe_on_cyclic_up(self, example6_query):
+        db = Database.from_text("""
+            up(a, b). up(b, a). flat(b, u). down(u, w).
+        """)
+        red = reduced(example6_query)
+        result = evaluate_query(red.query, db)
+        naive = evaluate_query(example6_query, db)
+        assert result.answers == naive.answers
+
+
+class TestRightLinear:
+    QUERY = """
+        reach(X, Y) :- flat(X, Y).
+        reach(X, Y) :- up(X, X1), reach(X1, Y).
+        ?- reach(a, Y).
+    """
+
+    def test_reduces_to_counting_clique(self):
+        red = reduced(parse_query(self.QUERY))
+        text = {format_rule(rule) for rule in red.query.program}
+        # Fact 1: counting rules plus the modified exit rule only.
+        assert text == {
+            "c_reach__bf(a).",
+            "c_reach__bf(X1) :- c_reach__bf(X), up(X, X1).",
+            "reach__bf(Y) :- c_reach__bf(X), flat(X, Y).",
+        }
+
+    def test_matches_naive(self):
+        query = parse_query(self.QUERY)
+        db = Database.from_text("""
+            up(a, b). up(b, c). flat(a, 1). flat(b, 2). flat(c, 3).
+            up(z, w). flat(w, 9).
+        """)
+        red = reduced(query)
+        assert (
+            evaluate_query(red.query, db).answers
+            == evaluate_query(query, db).answers
+        )
+
+
+class TestLeftLinear:
+    QUERY = """
+        desc(X, Y) :- flat(X, Y).
+        desc(X, Y) :- desc(X, Y1), down(Y1, Y).
+        ?- desc(a, Y).
+    """
+
+    def test_reduces_to_modified_clique(self):
+        red = reduced(parse_query(self.QUERY))
+        text = {format_rule(rule) for rule in red.query.program}
+        # Fact 1: the counting "clique" degenerates to the seed, which
+        # pushes the binding into the exit rule.
+        assert text == {
+            "c_desc__bf(a).",
+            "desc__bf(Y) :- c_desc__bf(X), flat(X, Y).",
+            "desc__bf(Y) :- desc__bf(Y1), down(Y1, Y).",
+        }
+
+    def test_matches_naive(self):
+        query = parse_query(self.QUERY)
+        db = Database.from_text("""
+            flat(a, u). flat(z, zz). down(u, v). down(v, w).
+        """)
+        red = reduced(query)
+        assert (
+            evaluate_query(red.query, db).answers
+            == evaluate_query(query, db).answers
+        )
+
+
+class TestGeneralProgramsNotReduced:
+    def test_sg_keeps_path(self, sg_query):
+        red = reduced(sg_query)
+        assert not red.path_deleted_counting
+        assert not red.path_deleted_answer
+        assert red.query.goal.arity == 2
+
+    def test_sg_answers_unchanged(self, sg_query, sg_db):
+        red = reduced(sg_query)
+        result = evaluate_query(red.query, sg_db)
+        assert result.answers == {("e1",), ("f1",)}
+
+    def test_multi_rule_keeps_path(self, example3_query):
+        red = reduced(example3_query)
+        assert not red.path_deleted_answer
+
+
+class TestLinearityClassification:
+    def canonical(self, text):
+        from repro.rewriting.adornment import adorn_query
+        from repro.rewriting.canonical import canonicalize_clique
+        from repro.rewriting.support import goal_clique_of
+
+        adorned = adorn_query(parse_query(text))
+        clique, _support = goal_clique_of(adorned)
+        return canonicalize_clique(clique, adorned)
+
+    def test_example6_is_mixed(self, example6_query):
+        from repro.rewriting.adornment import adorn_query
+        from repro.rewriting.canonical import canonicalize_clique
+        from repro.rewriting.support import goal_clique_of
+
+        adorned = adorn_query(example6_query)
+        clique, _support = goal_clique_of(adorned)
+        canonical = canonicalize_clique(clique, adorned)
+        assert is_mixed_linear(canonical)
+        shapes = set(clique_shapes(canonical).values())
+        assert shapes == {LEFT_LINEAR, RIGHT_LINEAR}
+
+    def test_pure_right_linear(self):
+        canonical = self.canonical(TestRightLinear.QUERY)
+        assert is_right_linear_program(canonical)
+        assert not is_left_linear_program(canonical)
+
+    def test_pure_left_linear(self):
+        canonical = self.canonical(TestLeftLinear.QUERY)
+        assert is_left_linear_program(canonical)
+        assert not is_right_linear_program(canonical)
+
+    def test_sg_is_general(self):
+        canonical = self.canonical("""
+            sg(X, Y) :- flat(X, Y).
+            sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).
+            ?- sg(a, Y).
+        """)
+        assert not is_mixed_linear(canonical)
+        assert all(
+            shape == GENERAL
+            for shape in clique_shapes(canonical).values()
+        )
+
+    def test_mutual_not_mixed(self):
+        canonical = self.canonical("""
+            even(X, Y) :- flat(X, Y).
+            even(X, Y) :- up(X, X1), odd(X1, Y).
+            odd(X, Y) :- up(X, X1), even(X1, Y).
+            ?- even(a, Y).
+        """)
+        # Right-linear shaped rules but over two predicates: not mixed
+        # linear by the paper's definition (one recursive predicate).
+        assert not is_mixed_linear(canonical)
+
+    def test_rule_shape_direct(self):
+        canonical = self.canonical(TestRightLinear.QUERY)
+        assert rule_shape(canonical.recursive_rules[0]) == RIGHT_LINEAR
+
+
+class TestReductionPlumbing:
+    def test_requires_extended_rewriting(self):
+        with pytest.raises(TypeError):
+            reduce_rewriting("not a rewriting")
+
+    def test_dead_rules_dropped(self):
+        # Right-linear reduction drops the (duplicate) modified rules.
+        red = reduced(parse_query(TestRightLinear.QUERY))
+        labels = [rule.label for rule in red.query.program]
+        assert len(labels) == len(set(labels))
+
+    def test_source_preserved(self, example6_query):
+        red = reduced(example6_query)
+        assert red.source.query.goal.pred == red.query.goal.pred

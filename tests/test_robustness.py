@@ -1,0 +1,159 @@
+"""Failure injection: wrong inputs must fail loudly and precisely."""
+
+import pytest
+
+from repro import (
+    Database,
+    evaluate,
+    optimize,
+    parse_program,
+    parse_query,
+    run_strategy,
+)
+from repro.engine.relation import Relation
+from repro.errors import (
+    EvaluationError,
+    NotApplicableError,
+    ParseError,
+    ReproError,
+    SafetyError,
+)
+
+
+class TestParserRejections:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "p(X :- q(X).",          # unbalanced paren
+            "p(X) :- .",             # empty body
+            "p(X) q(X).",            # missing :-
+            ":- q(X).",              # missing head
+            "p(X) :- q(X)",          # missing period
+            "p([a, b).",             # unbalanced bracket
+            "p(X) :- X is .",        # missing expression
+        ],
+    )
+    def test_garbage_rejected(self, text):
+        with pytest.raises(ParseError):
+            parse_program(text)
+
+
+class TestDatabaseRejections:
+    def test_relation_arity_enforced(self):
+        rel = Relation("p", 2)
+        with pytest.raises(ValueError):
+            rel.add(("only-one",))
+
+    def test_db_text_with_variables_rejected(self):
+        # A "fact" with a variable is a rule with an unsafe head.
+        with pytest.raises((ValueError, ReproError)):
+            Database.from_text("up(X, b).")
+
+    def test_to_text_round_trip(self):
+        db = Database.from_text("""
+            up(a, b). up(b, 3). flat(a, 'odd name').
+        """)
+        again = Database.from_text(db.to_text())
+        for key in db.keys():
+            assert db.get(key).tuples == again.get(key).tuples
+
+
+class TestEvaluationRejections:
+    def test_unsafe_rule_surfaces(self):
+        query = parse_query("p(X, Y) :- q(X). ?- p(a, Y).")
+        with pytest.raises(ReproError):
+            evaluate(query, Database.from_text("q(a)."))
+
+    def test_arithmetic_type_error(self):
+        query = parse_query("""
+            r(J) :- v(I), J is I + 1.
+            ?- r(J).
+        """)
+        with pytest.raises(EvaluationError):
+            evaluate(query, Database.from_text("v(notanumber)."))
+
+    def test_ordering_mixed_types(self):
+        query = parse_query("""
+            r(X) :- v(X), X < 3.
+            ?- r(X).
+        """)
+        db = Database()
+        db.add_fact("v", "text")
+        with pytest.raises(EvaluationError):
+            evaluate(query, db)
+
+    def test_membership_over_scalar(self):
+        query = parse_query("""
+            r(A) :- v(T), A in T.
+            ?- r(A).
+        """)
+        with pytest.raises(EvaluationError):
+            evaluate(query, Database.from_text("v(7)."))
+
+
+class TestStrategyRejections:
+    def test_every_strategy_rejects_nonlinear_counting(self):
+        query = parse_query("""
+            tc(X, Y) :- arc(X, Y).
+            tc(X, Y) :- tc(X, Z), tc(Z, Y).
+            ?- tc(a, Y).
+        """)
+        db = Database.from_text("arc(a, b).")
+        for method in ("classical_counting", "extended_counting",
+                       "reduced_counting", "pointer_counting",
+                       "cyclic_counting", "magic_counting"):
+            with pytest.raises(NotApplicableError):
+                run_strategy(method, query, db)
+
+    def test_goal_without_rules(self):
+        query = parse_query("""
+            p(X) :- q(X).
+            ?- missing(a, Y).
+        """)
+        db = Database.from_text("q(a).")
+        # Naive evaluation treats it as an empty base relation.
+        result = run_strategy("naive", query, db)
+        assert result.answers == frozenset()
+        # Counting has nothing to canonicalize.
+        with pytest.raises(NotApplicableError):
+            run_strategy("cyclic_counting", query, db)
+
+    def test_empty_database(self, sg_query):
+        db = Database()
+        for method in ("naive", "magic", "cyclic_counting",
+                       "pointer_counting"):
+            result = run_strategy(method, sg_query, db)
+            assert result.answers == frozenset()
+
+    def test_goal_constant_absent_from_data(self, sg_query):
+        db = Database.from_text("up(z, w). flat(w, w1). down(w1, w2).")
+        for method in ("naive", "magic", "cyclic_counting"):
+            result = run_strategy(method, sg_query, db)
+            assert result.answers == frozenset()
+
+
+class TestOptimizerRobustness:
+    def test_optimize_on_unsafe_program_raises_at_execute(self):
+        query = parse_query("p(X, Y) :- q(X). ?- p(a, Y).")
+        plan = optimize(query, method="naive")
+        with pytest.raises(ReproError):
+            plan.execute(Database.from_text("q(a)."))
+
+    def test_facts_only_program(self):
+        query = parse_query("""
+            p(a, b).
+            ?- p(a, Y).
+        """)
+        db = Database()
+        result = optimize(query, db).execute(db)
+        assert result.answers == {("b",)}
+
+    def test_zero_arity_goal(self):
+        query = parse_query("""
+            go :- trigger.
+            ?- go.
+        """)
+        db = Database()
+        db.add_fact("trigger")
+        result = run_strategy("naive", query, db)
+        assert result.answers == {()}

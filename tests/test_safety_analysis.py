@@ -1,0 +1,181 @@
+"""Safety checking and program analysis tests."""
+
+import pytest
+
+from repro.datalog import ProgramAnalysis, parse_program
+from repro.datalog.safety import (
+    check_program_safety,
+    check_rule_safety,
+    is_safe,
+)
+from repro.errors import AnalysisError, SafetyError
+
+
+class TestSafety:
+    def test_safe_rule(self):
+        program = parse_program("p(X, Y) :- q(X, Z), r(Z, Y).")
+        check_program_safety(program)
+
+    def test_unbound_head_var(self):
+        program = parse_program("p(X, Y) :- q(X).")
+        with pytest.raises(SafetyError):
+            check_program_safety(program)
+
+    def test_negation_needs_bound_vars(self):
+        program = parse_program("p(X) :- q(X), not r(X, Y).")
+        with pytest.raises(SafetyError):
+            check_program_safety(program)
+
+    def test_negation_after_binding_ok(self):
+        program = parse_program("p(X) :- q(X, Y), not r(X, Y).")
+        check_program_safety(program)
+
+    def test_comparison_needs_bound(self):
+        program = parse_program("p(X) :- q(X), X < Y.")
+        with pytest.raises(SafetyError):
+            check_program_safety(program)
+
+    def test_is_binds_left(self):
+        program = parse_program("p(X, J) :- q(X, I), J is I + 1.")
+        check_program_safety(program)
+
+    def test_is_needs_ground_right(self):
+        program = parse_program("p(X, J) :- q(X), J is I + 1.")
+        with pytest.raises(SafetyError):
+            check_program_safety(program)
+
+    def test_in_binds_left(self):
+        program = parse_program("p(A) :- s(T), A in T.")
+        check_program_safety(program)
+
+    def test_eq_binds_one_side(self):
+        program = parse_program("p(X, Y) :- q(X), Y = X.")
+        check_program_safety(program)
+        program = parse_program("p(X, Y) :- q(X), X = Y.")
+        check_program_safety(program)
+
+    def test_eq_both_unbound_unsafe(self):
+        program = parse_program("p(X, Y) :- q(X), Y = Z.")
+        with pytest.raises(SafetyError):
+            check_program_safety(program)
+
+    def test_bound_head_vars_seed(self):
+        rule = parse_program("p(X, Y) :- d(X, Y1), Y is Y1 + 0.").rules[0]
+        check_rule_safety(rule)
+
+    def test_is_safe_wrapper(self):
+        assert is_safe(parse_program("p(X) :- q(X)."))
+        assert not is_safe(parse_program("p(X) :- q(Y)."))
+
+    def test_head_expression_vars_must_be_bound(self):
+        # Head expressions fold at emission; their variables come from
+        # the body, so an unbound one is a safety error.
+        program = parse_program("p(X, I + 1) :- q(X).")
+        with pytest.raises(SafetyError):
+            check_program_safety(program)
+
+
+SG = """
+sg(X, Y) :- flat(X, Y).
+sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).
+"""
+
+MUTUAL = """
+even(X) :- zero(X).
+even(X) :- succ(X, Y), odd(Y).
+odd(X) :- succ(X, Y), even(Y).
+"""
+
+
+class TestAnalysis:
+    def test_sg_single_clique(self):
+        analysis = ProgramAnalysis(parse_program(SG))
+        cliques = analysis.recursive_cliques()
+        assert len(cliques) == 1
+        assert cliques[0].predicates == {("sg", 2)}
+
+    def test_exit_vs_recursive(self):
+        analysis = ProgramAnalysis(parse_program(SG))
+        clique = analysis.clique_of(("sg", 2))
+        assert len(clique.exit_rules) == 1
+        assert len(clique.recursive_rules) == 1
+
+    def test_mutual_recursion_one_clique(self):
+        analysis = ProgramAnalysis(parse_program(MUTUAL))
+        clique = analysis.clique_of(("even", 1))
+        assert clique.predicates == {("even", 1), ("odd", 1)}
+
+    def test_mutually_recursive_predicate_pairs(self):
+        analysis = ProgramAnalysis(parse_program(MUTUAL))
+        assert analysis.mutually_recursive(("even", 1), ("odd", 1))
+        assert not analysis.mutually_recursive(("even", 1), ("zero", 1))
+
+    def test_depends_on_transitive(self):
+        program = parse_program("""
+            a(X) :- b(X).
+            b(X) :- c(X).
+            c(X) :- base(X).
+        """)
+        analysis = ProgramAnalysis(program)
+        assert analysis.depends_on(("a", 1), ("c", 1))
+        assert not analysis.depends_on(("c", 1), ("a", 1))
+
+    def test_topological_order(self):
+        program = parse_program("""
+            top(X) :- mid(X).
+            mid(X) :- mid(X1), step(X1, X).
+            mid(X) :- base(X).
+        """)
+        analysis = ProgramAnalysis(program)
+        keys = [tuple(sorted(c.predicates)) for c in analysis.components]
+        assert keys.index((("mid", 1),)) < keys.index((("top", 1),))
+
+    def test_linearity(self):
+        analysis = ProgramAnalysis(parse_program(SG))
+        assert analysis.is_linear()
+        nonlinear = parse_program("""
+            tc(X, Y) :- arc(X, Y).
+            tc(X, Y) :- tc(X, Z), tc(Z, Y).
+        """)
+        assert not ProgramAnalysis(nonlinear).is_linear()
+
+    def test_recursive_atom(self):
+        analysis = ProgramAnalysis(parse_program(SG))
+        clique = analysis.clique_of(("sg", 2))
+        rule = clique.recursive_rules[0]
+        assert clique.recursive_atom(rule).pred == "sg"
+
+    def test_recursive_atom_rejects_nonlinear(self):
+        nonlinear = parse_program("""
+            tc(X, Y) :- arc(X, Y).
+            tc(X, Y) :- tc(X, Z), tc(Z, Y).
+        """)
+        analysis = ProgramAnalysis(nonlinear)
+        clique = analysis.clique_of(("tc", 2))
+        with pytest.raises(AnalysisError):
+            clique.recursive_atom(clique.recursive_rules[0])
+
+    def test_split_body_positional(self):
+        analysis = ProgramAnalysis(parse_program(SG))
+        clique = analysis.clique_of(("sg", 2))
+        rule = clique.recursive_rules[0]
+        left, rec, right = clique.split_body(rule)
+        assert [a.pred for a in left] == ["up"]
+        assert rec.pred == "sg"
+        assert [a.pred for a in right] == ["down"]
+
+    def test_base_predicates(self):
+        analysis = ProgramAnalysis(parse_program(SG))
+        assert analysis.base_predicates() == {
+            ("flat", 2), ("up", 2), ("down", 2)
+        }
+
+    def test_clique_of_base_is_none(self):
+        analysis = ProgramAnalysis(parse_program(SG))
+        assert analysis.clique_of(("up", 2)) is None
+
+    def test_facts_do_not_create_derived(self):
+        program = parse_program("p(a). q(X) :- p(X).")
+        analysis = ProgramAnalysis(program)
+        assert ("p", 1) not in analysis.derived
+        assert ("q", 1) in analysis.derived

@@ -1,0 +1,104 @@
+"""Scale and stress tests: deep recursion, wide relations, long paths.
+
+The engine and the dedicated evaluators are all iterative — nothing
+here may hit Python's recursion limit or degrade superlinearly on
+chains.
+"""
+
+import sys
+
+import pytest
+
+from repro import Database, parse_query
+from repro.data.generators import chain, node_name
+from repro.exec.strategies import run_strategy
+
+
+def deep_sg_db(depth):
+    db = Database()
+    db.add_facts(chain(depth, "up", "x"))
+    db.add_fact("flat", node_name("x", depth), node_name("y", 0))
+    db.add_facts(chain(depth, "down", "y"))
+    # rename x0 -> a (the query's constant)
+    out = Database()
+    for key in db.keys():
+        for row in db.get(key):
+            out.relation(key[0], key[1]).add(
+                tuple("a" if v == "x0" else v for v in row)
+            )
+    return out
+
+
+SG = parse_query("""
+    sg(X, Y) :- flat(X, Y).
+    sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).
+    ?- sg(a, Y).
+""")
+
+
+class TestDeepChains:
+    DEPTH = 600  # far beyond the default recursion limit relevance
+
+    @pytest.mark.parametrize(
+        "method",
+        ["naive", "magic", "classical_counting", "pointer_counting",
+         "cyclic_counting"],
+    )
+    def test_methods_survive_depth(self, method):
+        db = deep_sg_db(self.DEPTH)
+        result = run_strategy(method, SG, db)
+        assert result.answers == {(node_name("y", self.DEPTH),)}
+
+    def test_no_recursion_limit_dependency(self):
+        db = deep_sg_db(self.DEPTH)
+        old = sys.getrecursionlimit()
+        sys.setrecursionlimit(120)
+        try:
+            result = run_strategy("pointer_counting", SG, db)
+            assert len(result.answers) == 1
+        finally:
+            sys.setrecursionlimit(old)
+
+    def test_extended_counting_deep_lists(self):
+        # Path lists of length 200: the generic engine must cope with
+        # long structured values.
+        db = deep_sg_db(200)
+        result = run_strategy("extended_counting", SG, db)
+        assert result.answers == {(node_name("y", 200),)}
+
+
+class TestLinearScaling:
+    def test_pointer_counting_scales_linearly_on_chains(self):
+        works = []
+        for depth in (100, 200, 400):
+            db = deep_sg_db(depth)
+            result = run_strategy("pointer_counting", SG, db)
+            works.append(result.stats.total_work)
+        # Doubling depth should no more than ~2.5x the work.
+        assert works[1] < works[0] * 2.5
+        assert works[2] < works[1] * 2.5
+
+    def test_relation_match_uses_indexes(self):
+        from repro.engine.relation import Relation, WILDCARD
+
+        rel = Relation("p", 2)
+        for i in range(5000):
+            rel.add((i % 50, i))
+        # Build the index once, then many lookups: fast path.
+        hits = sum(
+            1 for _ in rel.match((7, WILDCARD))
+        )
+        assert hits == 100
+
+
+class TestWideFacts:
+    def test_high_arity_relation(self):
+        query = parse_query("""
+            pick(A, B, C, D, E) :- wide(A, B, C, D, E), A = k1.
+            ?- pick(k1, B, C, D, E).
+        """)
+        db = Database()
+        for i in range(50):
+            db.add_fact("wide", "k%d" % i, i, i + 1, i + 2, i + 3)
+        result = run_strategy("naive", query, db)
+        assert result.answers == {(1, 2, 3, 4)}

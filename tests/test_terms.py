@@ -1,0 +1,150 @@
+"""Unit tests for the term layer."""
+
+import pytest
+
+from repro.datalog.terms import (
+    NIL,
+    Compound,
+    Constant,
+    Variable,
+    cons,
+    eval_arith,
+    ground_value,
+    is_arith,
+    make_list,
+    make_tuple,
+)
+from repro.errors import EvaluationError
+
+
+class TestVariable:
+    def test_not_ground(self):
+        assert not Variable("X").is_ground()
+
+    def test_variables(self):
+        assert Variable("X").variables() == {"X"}
+
+    def test_equality_by_name(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+
+    def test_hashable(self):
+        assert len({Variable("X"), Variable("X"), Variable("Y")}) == 2
+
+    def test_distinct_from_constant(self):
+        assert Variable("X") != Constant("X")
+
+
+class TestConstant:
+    def test_ground(self):
+        assert Constant("a").is_ground()
+
+    def test_no_variables(self):
+        assert Constant("a").variables() == set()
+
+    def test_equality_by_value(self):
+        assert Constant(1) == Constant(1)
+        assert Constant(1) != Constant(2)
+
+    def test_tuple_values(self):
+        assert Constant(("a", "b")).value == ("a", "b")
+
+    def test_nil_is_empty_tuple(self):
+        assert NIL.value == ()
+
+
+class TestCompound:
+    def test_groundness(self):
+        assert Compound("+", (Constant(1), Constant(2))).is_ground()
+        assert not Compound("+", (Variable("I"), Constant(1))).is_ground()
+
+    def test_variables_collected(self):
+        term = Compound("f", (Variable("X"), Compound("g", (Variable("Y"),))))
+        assert term.variables() == {"X", "Y"}
+
+    def test_equality_structural(self):
+        a = Compound("f", (Constant(1),))
+        b = Compound("f", (Constant(1),))
+        assert a == b
+        assert a != Compound("g", (Constant(1),))
+
+
+class TestLists:
+    def test_make_list_ground(self):
+        term = make_list([Constant("a"), Constant("b")])
+        assert ground_value(term) == ("a", "b")
+
+    def test_make_list_empty(self):
+        assert ground_value(make_list([])) == ()
+
+    def test_open_tail(self):
+        term = make_list([Constant("a")], tail=Variable("L"))
+        assert not term.is_ground()
+        assert term.variables() == {"L"}
+
+    def test_cons_decomposition_shape(self):
+        cell = cons(Constant("h"), NIL)
+        assert ground_value(cell) == ("h",)
+
+    def test_nested_lists(self):
+        inner = make_list([Constant(1), Constant(2)])
+        outer = make_list([inner, Constant(3)])
+        assert ground_value(outer) == ((1, 2), 3)
+
+    def test_bad_tail_raises(self):
+        cell = cons(Constant("h"), Constant("not-a-list"))
+        with pytest.raises(EvaluationError):
+            ground_value(cell)
+
+
+class TestTuples:
+    def test_make_tuple(self):
+        term = make_tuple([Constant("r1"), make_list([Constant(5)])])
+        assert ground_value(term) == ("r1", (5,))
+
+    def test_empty_tuple(self):
+        assert ground_value(make_tuple([])) == ()
+
+
+class TestArithmetic:
+    def test_is_arith(self):
+        assert is_arith(Compound("+", (Constant(1), Constant(2))))
+        assert not is_arith(Compound("f", (Constant(1),)))
+        assert not is_arith(Constant(1))
+
+    @pytest.mark.parametrize(
+        "op,values,expected",
+        [
+            ("+", [2, 3], 5),
+            ("-", [5, 3], 2),
+            ("*", [4, 3], 12),
+            ("//", [7, 2], 3),
+            ("min", [4, 9], 4),
+            ("max", [4, 9], 9),
+        ],
+    )
+    def test_operators(self, op, values, expected):
+        assert eval_arith(op, values) == expected
+
+    def test_fold_on_ground_value(self):
+        term = Compound("+", (Constant(1), Compound("*", (Constant(2),
+                                                          Constant(3)))))
+        assert ground_value(term) == 7
+
+    def test_non_numeric_raises(self):
+        with pytest.raises(EvaluationError):
+            eval_arith("+", ["a", 1])
+
+    def test_unknown_functor_raises(self):
+        with pytest.raises(EvaluationError):
+            eval_arith("?", [1, 2])
+
+
+class TestGroundValue:
+    def test_variable_raises(self):
+        with pytest.raises(EvaluationError):
+            ground_value(Variable("X"))
+
+    def test_unknown_functor_raises(self):
+        with pytest.raises(EvaluationError):
+            ground_value(Compound("weird", (Constant(1),)))

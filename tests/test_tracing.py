@@ -1,0 +1,117 @@
+"""Derivation tracing tests."""
+
+import pytest
+
+from repro import Database, parse_program, parse_query
+from repro.engine import SemiNaiveEngine
+from repro.engine.tracing import DerivationTrace
+
+
+def run_traced(program_text, db_text):
+    program = parse_program(program_text)
+    db = Database.from_text(db_text)
+    trace = DerivationTrace()
+    engine = SemiNaiveEngine(program, db, trace=trace)
+    derived = engine.run()
+    return derived, trace
+
+
+class TestRecording:
+    def test_records_first_derivation(self):
+        derived, trace = run_traced(
+            """
+            tc(X, Y) :- arc(X, Y).
+            tc(X, Y) :- tc(X, Z), arc(Z, Y).
+            """,
+            "arc(a, b). arc(b, c).",
+        )
+        derivation = trace.derivation_of(("tc", 2), ("a", "c"))
+        assert derivation is not None
+        premise_keys = {key for key, _v in derivation.premises}
+        assert premise_keys == {("tc", 2), ("arc", 2)}
+
+    def test_base_facts_not_recorded(self):
+        _derived, trace = run_traced(
+            "p(X) :- q(X).", "q(a)."
+        )
+        assert trace.derivation_of(("q", 1), ("a",)) is None
+        assert len(trace) == 1
+
+    def test_first_derivation_kept(self):
+        # Two rules can derive p(a); only one derivation is stored.
+        _derived, trace = run_traced(
+            """
+            p(X) :- r1(X).
+            p(X) :- r2(X).
+            """,
+            "r1(a). r2(a).",
+        )
+        derivation = trace.derivation_of(("p", 1), ("a",))
+        assert derivation.rule_label in ("r0", "r1")
+        assert len(trace) == 1
+
+
+class TestExplain:
+    def test_tree_reaches_base_facts(self):
+        _derived, trace = run_traced(
+            """
+            tc(X, Y) :- arc(X, Y).
+            tc(X, Y) :- tc(X, Z), arc(Z, Y).
+            """,
+            "arc(a, b). arc(b, c). arc(c, d).",
+        )
+        tree = trace.explain(("tc", 2), ("a", "d"))
+        assert not tree.is_base()
+        leaves = []
+
+        def collect(node):
+            if node.is_base():
+                leaves.append((node.key, node.values))
+            for child in node.children:
+                collect(child)
+
+        collect(tree)
+        assert (("arc", 2), ("a", "b")) in leaves
+        assert (("arc", 2), ("c", "d")) in leaves
+        assert tree.size() >= 5
+
+    def test_render_is_readable(self):
+        _derived, trace = run_traced(
+            """
+            tc(X, Y) :- arc(X, Y).
+            tc(X, Y) :- tc(X, Z), arc(Z, Y).
+            """,
+            "arc(a, b). arc(b, c).",
+        )
+        text = trace.explain(("tc", 2), ("a", "c")).render()
+        assert "tc(a, c)" in text
+        assert "[r1]" in text
+        assert "arc(a, b)" in text
+
+    def test_explains_counting_answers(self, sg_query, sg_db):
+        from repro.rewriting import extended_counting_rewrite
+
+        rewriting = extended_counting_rewrite(sg_query)
+        trace = DerivationTrace()
+        engine = SemiNaiveEngine(
+            rewriting.query.program, sg_db, trace=trace
+        )
+        engine.run()
+        tree = trace.explain(("sg__bf", 2), ("e1", ()))
+        text = tree.render()
+        # The explanation threads through the counting predicate.
+        assert "c_sg__bf" in text
+
+    def test_unknown_fact_is_leaf(self):
+        trace = DerivationTrace()
+        node = trace.explain(("nope", 1), ("x",))
+        assert node.is_base()
+        assert node.size() == 1
+
+    def test_max_depth_guard(self):
+        trace = DerivationTrace()
+        # Artificial self-supporting record (cannot arise from the
+        # engine, which only records first derivations).
+        trace.record(("p", 1), ("a",), "r0", ((("p", 1), ("a",)),))
+        tree = trace.explain(("p", 1), ("a",), max_depth=5)
+        assert tree.size() <= 7

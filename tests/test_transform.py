@@ -1,0 +1,169 @@
+"""Unfolding and renaming transformation tests."""
+
+import pytest
+
+from repro import Database, parse_program, parse_query
+from repro.datalog.transform import (
+    rename_predicates,
+    unfold_all_nonrecursive,
+    unfold_predicate,
+)
+from repro.engine import evaluate_program
+from repro.errors import AnalysisError
+
+
+def models_equal(p1, p2, db, keys):
+    d1 = evaluate_program(p1, db)
+    d2 = evaluate_program(p2, db)
+    for key in keys:
+        t1 = d1[key].tuples if key in d1 else set()
+        t2 = d2[key].tuples if key in d2 else set()
+        assert t1 == t2, key
+
+
+class TestUnfoldPredicate:
+    def test_single_definition(self):
+        program = parse_program("""
+            hop(X, Y) :- up(X, Y).
+            sg(X, Y) :- flat(X, Y).
+            sg(X, Y) :- hop(X, X1), sg(X1, Y1), down(Y1, Y).
+        """)
+        unfolded = unfold_predicate(program, ("hop", 2))
+        preds = {rule.head.key for rule in unfolded}
+        assert preds == {("sg", 2)}
+        body_preds = {
+            a.pred for r in unfolded for a in r.body_atoms()
+        }
+        assert "hop" not in body_preds
+        assert "up" in body_preds
+
+    def test_multiple_definitions_multiply_rules(self):
+        program = parse_program("""
+            hop(X, Y) :- up(X, Y).
+            hop(X, Y) :- lift(X, Y).
+            p(X, Y) :- hop(X, Y).
+        """)
+        unfolded = unfold_predicate(program, ("hop", 2))
+        assert len(unfolded) == 2
+
+    def test_two_occurrences_cartesian(self):
+        program = parse_program("""
+            hop(X, Y) :- up(X, Y).
+            hop(X, Y) :- lift(X, Y).
+            p(X, Z) :- hop(X, Y), hop(Y, Z).
+        """)
+        unfolded = unfold_predicate(program, ("hop", 2))
+        assert len(unfolded) == 4
+
+    def test_semantics_preserved(self):
+        program = parse_program("""
+            hop(X, Y) :- up(X, Y).
+            hop(X, Y) :- lift(X, Y).
+            tc(X, Y) :- hop(X, Y).
+            tc(X, Y) :- tc(X, Z), hop(Z, Y).
+        """)
+        db = Database.from_text("""
+            up(a, b). lift(b, c). up(c, d).
+        """)
+        unfolded = unfold_predicate(program, ("hop", 2))
+        models_equal(program, unfolded, db, [("tc", 2)])
+
+    def test_constants_in_definition_heads(self):
+        program = parse_program("""
+            special(a, Y) :- tag(Y).
+            p(X, Y) :- special(X, Y).
+        """)
+        unfolded = unfold_predicate(program, ("special", 2))
+        db = Database.from_text("tag(t1). tag(t2).")
+        models_equal(program, unfolded, db, [("p", 2)])
+
+    def test_constant_clash_prunes_rule(self):
+        program = parse_program("""
+            special(a, Y) :- tag(Y).
+            p(Y) :- special(b, Y).
+        """)
+        unfolded = unfold_predicate(program, ("special", 2))
+        # The call special(b, Y) cannot match head special(a, Y).
+        assert len(unfolded.rules_for(("p", 1))) == 0
+
+    def test_recursive_rejected(self):
+        program = parse_program("""
+            tc(X, Y) :- arc(X, Y).
+            tc(X, Y) :- tc(X, Z), arc(Z, Y).
+        """)
+        with pytest.raises(AnalysisError):
+            unfold_predicate(program, ("tc", 2))
+
+    def test_negated_rejected(self):
+        program = parse_program("""
+            bad(X) :- flagged(X).
+            ok(X) :- cand(X), not bad(X).
+        """)
+        with pytest.raises(AnalysisError):
+            unfold_predicate(program, ("bad", 1))
+
+    def test_base_predicate_rejected(self):
+        program = parse_program("p(X) :- q(X).")
+        with pytest.raises(AnalysisError):
+            unfold_predicate(program, ("q", 1))
+
+    def test_no_capture_between_rule_and_definition(self):
+        # Both the rule and the definition use the name Y1.
+        program = parse_program("""
+            hop(X, Y) :- mid(X, Y1), fin(Y1, Y).
+            p(X, Y) :- hop(X, Y1), last(Y1, Y).
+        """)
+        unfolded = unfold_predicate(program, ("hop", 2))
+        db = Database.from_text("""
+            mid(a, m). fin(m, f). last(f, z).
+        """)
+        models_equal(program, unfolded, db, [("p", 2)])
+
+
+class TestUnfoldAll:
+    def test_flattens_helper_chain(self):
+        program = parse_program("""
+            a(X, Y) :- b(X, Y).
+            b(X, Y) :- c(X, Y).
+            c(X, Y) :- base(X, Y).
+            tc(X, Y) :- a(X, Y).
+            tc(X, Y) :- tc(X, Z), a(Z, Y).
+        """)
+        flattened = unfold_all_nonrecursive(program, keep=[("tc", 2)])
+        body_preds = {
+            atom.pred
+            for rule in flattened
+            for atom in rule.body_atoms()
+        }
+        assert body_preds <= {"base", "tc"}
+        db = Database.from_text("base(a, b). base(b, c).")
+        models_equal(program, flattened, db, [("tc", 2)])
+
+    def test_keeps_negated_helpers(self):
+        program = parse_program("""
+            bad(X) :- flagged(X).
+            ok(X) :- cand(X), not bad(X).
+        """)
+        result = unfold_all_nonrecursive(program, keep=[("ok", 1)])
+        assert ("bad", 1) in {r.head.key for r in result}
+
+
+class TestRenamePredicates:
+    def test_heads_and_bodies(self):
+        program = parse_program("""
+            p(X) :- q(X), not r(X).
+        """)
+        renamed = rename_predicates(
+            program, {"p": "out", "q": "in1", "r": "blocked"}
+        )
+        rule = renamed.rules[0]
+        assert rule.head.pred == "out"
+        assert rule.body_atoms()[0].pred == "in1"
+        assert rule.negated_atoms()[0].pred == "blocked"
+
+    def test_semantics_modulo_renaming(self):
+        program = parse_program("tc(X, Y) :- arc(X, Y).")
+        renamed = rename_predicates(program, {"tc": "reach"})
+        db = Database.from_text("arc(a, b).")
+        d = evaluate_program(renamed, db)
+        assert d[("reach", 2)].tuples == {("a", "b")}

@@ -1,0 +1,169 @@
+"""Unification and substitution tests, including the structured-value
+decomposition rules the counting programs rely on."""
+
+from repro.datalog.terms import (
+    Compound,
+    Constant,
+    Variable,
+    cons,
+    make_list,
+    make_tuple,
+)
+from repro.datalog.unify import (
+    is_bound,
+    rename_apart,
+    resolve,
+    substitute,
+    unify,
+    walk,
+)
+
+
+def V(name):
+    return Variable(name)
+
+
+def C(value):
+    return Constant(value)
+
+
+class TestWalk:
+    def test_unbound(self):
+        assert walk(V("X"), {}) == V("X")
+
+    def test_chain(self):
+        subst = {"X": V("Y"), "Y": C(1)}
+        assert walk(V("X"), subst) == C(1)
+
+    def test_non_variable(self):
+        assert walk(C(1), {"X": C(2)}) == C(1)
+
+
+class TestUnifyBasics:
+    def test_var_constant(self):
+        subst = unify(V("X"), C("a"), {})
+        assert subst["X"] == C("a")
+
+    def test_constant_var(self):
+        subst = unify(C("a"), V("X"), {})
+        assert subst["X"] == C("a")
+
+    def test_equal_constants(self):
+        assert unify(C(1), C(1), {}) == {}
+
+    def test_unequal_constants(self):
+        assert unify(C(1), C(2), {}) is None
+
+    def test_var_var(self):
+        subst = unify(V("X"), V("Y"), {})
+        assert walk(V("X"), subst) == walk(V("Y"), subst)
+
+    def test_same_var(self):
+        assert unify(V("X"), V("X"), {}) == {}
+
+    def test_input_not_mutated(self):
+        original = {}
+        unify(V("X"), C(1), original)
+        assert original == {}
+
+    def test_respects_existing_binding(self):
+        subst = {"X": C(1)}
+        assert unify(V("X"), C(2), subst) is None
+        assert unify(V("X"), C(1), subst) == subst
+
+
+class TestUnifyCompound:
+    def test_same_functor(self):
+        subst = unify(
+            Compound("f", (V("X"),)), Compound("f", (C(1),)), {}
+        )
+        assert subst["X"] == C(1)
+
+    def test_functor_mismatch(self):
+        assert unify(
+            Compound("f", (V("X"),)), Compound("g", (C(1),)), {}
+        ) is None
+
+    def test_arity_mismatch(self):
+        assert unify(
+            Compound("f", (V("X"),)),
+            Compound("f", (C(1), C(2))),
+            {},
+        ) is None
+
+
+class TestStructuredDecomposition:
+    def test_cons_against_tuple_constant(self):
+        pattern = cons(V("H"), V("T"))
+        subst = unify(pattern, C(("a", "b", "c")), {})
+        assert subst["H"] == C("a")
+        assert subst["T"] == C(("b", "c"))
+
+    def test_cons_against_empty_fails(self):
+        assert unify(cons(V("H"), V("T")), C(()), {}) is None
+
+    def test_cons_symmetric(self):
+        subst = unify(C(("a",)), cons(V("H"), V("T")), {})
+        assert subst["H"] == C("a")
+        assert subst["T"] == C(())
+
+    def test_tuple_pattern(self):
+        pattern = make_tuple((C("r1"), V("C")))
+        subst = unify(pattern, C(("r1", (5,))), {})
+        assert subst["C"] == C((5,))
+
+    def test_tuple_width_mismatch(self):
+        pattern = make_tuple((V("A"), V("B")))
+        assert unify(pattern, C(("x",)), {}) is None
+
+    def test_tuple_label_mismatch(self):
+        pattern = make_tuple((C("r1"), V("C")))
+        assert unify(pattern, C(("r2", ())), {}) is None
+
+    def test_path_entry_roundtrip(self):
+        # [(r1, [W]) | L] against a ground path value.
+        entry = make_tuple((C("r1"), make_list([V("W")])))
+        pattern = cons(entry, V("L"))
+        path_value = (("r1", (7,)), ("r2", ()))
+        subst = unify(pattern, C(path_value), {})
+        assert subst["W"] == C(7)
+        assert subst["L"] == C((("r2", ()),))
+
+    def test_cons_against_non_tuple_fails(self):
+        assert unify(cons(V("H"), V("T")), C("abc"), {}) is None
+
+
+class TestSubstituteResolve:
+    def test_substitute_recursive(self):
+        term = Compound("f", (V("X"), V("Y")))
+        out = substitute(term, {"X": C(1)})
+        assert out == Compound("f", (C(1), V("Y")))
+
+    def test_resolve_folds_ground_arith(self):
+        term = Compound("+", (V("I"), C(1)))
+        assert resolve(term, {"I": C(4)}) == C(5)
+
+    def test_resolve_folds_ground_list(self):
+        term = make_list([V("A"), C("b")])
+        assert resolve(term, {"A": C("a")}) == C(("a", "b"))
+
+    def test_resolve_keeps_open_terms(self):
+        term = make_list([C("a")], tail=V("L"))
+        out = resolve(term, {})
+        assert isinstance(out, Compound)
+
+    def test_is_bound(self):
+        assert is_bound(V("X"), {"X": C(1)})
+        assert not is_bound(V("X"), {})
+
+
+class TestRenameApart:
+    def test_renames_everywhere(self):
+        from repro.datalog import parse_program
+
+        rule = parse_program(
+            "p(X, Y) :- q(X, Z), not r(Z), Y is Z + 1."
+        ).rules[0]
+        renamed = rename_apart(rule, "_1")
+        assert renamed.variables() == {"X_1", "Y_1", "Z_1"}
+        assert renamed.label == rule.label

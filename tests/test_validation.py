@@ -1,0 +1,124 @@
+"""Validation report tests (datalog.validation + the check command)."""
+
+import io
+
+import pytest
+
+from repro import parse_query
+from repro.cli import main
+from repro.datalog.validation import validate_query
+
+
+class TestValidateQuery:
+    def test_clean_linear_query(self, sg_query):
+        report = validate_query(sg_query)
+        assert report.ok()
+        assert report.goal_is_recursive
+        assert report.is_linear
+        assert report.clique_predicates == (("sg__bf", 2),)
+        assert report.verdict_for("classical_counting").applicable
+        assert report.verdict_for("cyclic_counting").applicable
+        assert report.verdict_for("magic").applicable
+
+    def test_unsafe_program(self):
+        query = parse_query("p(X, Y) :- q(X). ?- p(a, Y).")
+        report = validate_query(query)
+        assert not report.ok()
+        assert report.safety_errors
+        assert not report.verdict_for("naive").applicable
+        assert "UNSAFE" in report.render()
+
+    def test_not_stratified(self):
+        query = parse_query("""
+            win(X) :- move(X, Y), not win(Y).
+            ?- win(a).
+        """)
+        report = validate_query(query)
+        assert not report.ok()
+        assert report.stratification_error
+        assert "NOT STRATIFIED" in report.render()
+
+    def test_nonlinear_rules_out_counting(self):
+        query = parse_query("""
+            tc(X, Y) :- arc(X, Y).
+            tc(X, Y) :- tc(X, Z), tc(Z, Y).
+            ?- tc(a, Y).
+        """)
+        report = validate_query(query)
+        assert report.ok()
+        assert not report.is_linear
+        verdict = report.verdict_for("extended_counting")
+        assert not verdict.applicable
+        # The square shape is flagged as linearizable.
+        assert "linearization" in verdict.reason
+        assert report.verdict_for("magic").applicable
+
+    def test_non_square_nonlinear_gets_no_linearize_hint(self):
+        query = parse_query("""
+            p(X, Y) :- base(X, Y).
+            p(X, Y) :- p(X, Z), p(Y, Z).
+            ?- p(a, Y).
+        """)
+        report = validate_query(query)
+        verdict = report.verdict_for("extended_counting")
+        assert not verdict.applicable
+        assert "linearization" not in verdict.reason
+
+    def test_multi_rule_rules_out_classical_only(self, example3_query):
+        report = validate_query(example3_query)
+        assert not report.verdict_for("classical_counting").applicable
+        assert report.verdict_for("extended_counting").applicable
+
+    def test_mixed_linear_reduction_verdict(self, example6_query):
+        report = validate_query(example6_query)
+        verdict = report.verdict_for("reduced_counting")
+        assert verdict.applicable
+        assert "disappears" in verdict.reason
+        shapes = set(report.rule_shapes.values())
+        assert shapes == {"left-linear", "right-linear"}
+
+    def test_non_recursive_goal(self):
+        query = parse_query("""
+            gp(X, Z) :- par(X, Y), par(Y, Z).
+            ?- gp(a, Z).
+        """)
+        report = validate_query(query)
+        assert report.ok()
+        assert not report.goal_is_recursive
+        assert not report.verdict_for("cyclic_counting").applicable
+
+    def test_type_checked(self):
+        with pytest.raises(TypeError):
+            validate_query("?- p(a).")
+
+    def test_render_mentions_shapes(self, example6_query):
+        text = validate_query(example6_query).render()
+        assert "right-linear" in text
+        assert "left-linear" in text
+
+
+class TestCheckCommand:
+    def run_check(self, tmp_path, text):
+        path = tmp_path / "q.dl"
+        path.write_text(text)
+        out = io.StringIO()
+        code = main(["check", str(path)], out=out)
+        return code, out.getvalue()
+
+    def test_ok_query(self, tmp_path):
+        code, text = self.run_check(tmp_path, """
+            sg(X, Y) :- flat(X, Y).
+            sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).
+            ?- sg(a, Y).
+        """)
+        assert code == 0
+        assert "safe and stratified" in text
+        assert "classical_counting" in text
+
+    def test_unsafe_query_nonzero_exit(self, tmp_path):
+        code, text = self.run_check(tmp_path, """
+            p(X, Y) :- q(X).
+            ?- p(a, Y).
+        """)
+        assert code == 1
+        assert "UNSAFE" in text
