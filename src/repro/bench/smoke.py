@@ -1,0 +1,88 @@
+"""Benchmark smoke pass: a fast work/time summary for CI artifacts.
+
+Runs a small, fixed subset of the paper's workloads under the main
+strategies and writes one ``BENCH_<tag>.json`` file containing, per
+(workload, method) cell, the deterministic work counters and the
+wall-clock time.  CI uploads the file on every push, so the perf
+trajectory of the repository accumulates run over run.
+
+The pass is deliberately tiny (a few hundred milliseconds) — it is a
+trend probe, not a rigorous measurement; the real experiments live in
+``benchmarks/``.
+
+Usage::
+
+    python -m repro.bench.smoke [output-directory]
+"""
+
+import json
+import os
+import platform
+import sys
+import time
+
+from ..data.workloads import WORKLOADS
+from .export import rows_to_records
+from .harness import run_matrix
+
+#: (workload name, make_db kwargs, methods) cells of the smoke pass.
+SMOKE_CELLS = (
+    ("multi_rule", {"depth": 32},
+     ("encoded_counting", "extended_counting", "pointer_counting")),
+    ("sg_tree", {"fanout": 2, "depth": 6},
+     ("magic", "pointer_counting")),
+    ("sg_chain", {"depth": 32},
+     ("magic", "classical_counting", "pointer_counting")),
+)
+
+
+def run_smoke():
+    """Run the smoke cells; returns flattened benchmark records."""
+    rows = []
+    for name, kwargs, methods in SMOKE_CELLS:
+        workload = WORKLOADS[name]
+        db, _source = workload.make_db(**kwargs)
+        rows.extend(
+            run_matrix(
+                workload.query, db, list(methods),
+                label=name, params=kwargs,
+            )
+        )
+    return rows_to_records(rows)
+
+
+def write_smoke(directory=".", tag=None):
+    """Run the smoke pass and write ``BENCH_<tag>.json`` in ``directory``.
+
+    The default tag is a UTC timestamp, so successive CI runs never
+    overwrite each other's artifacts.  Returns the file path.
+    """
+    records = run_smoke()
+    if tag is None:
+        tag = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+    payload = {
+        "tag": tag,
+        "python": platform.python_version(),
+        "records": records,
+        "total_elapsed": sum(
+            r["elapsed"] for r in records if r["elapsed"] is not None
+        ),
+    }
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, "BENCH_%s.json" % tag)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    directory = argv[0] if argv else "."
+    path = write_smoke(directory)
+    print(path)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

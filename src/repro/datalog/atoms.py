@@ -30,6 +30,10 @@ class Literal:
     def variables(self):
         raise NotImplementedError
 
+    def iter_variables(self):
+        """Yield variable names in occurrence order (with repeats)."""
+        raise NotImplementedError
+
 
 class Atom(Literal):
     """A predicate applied to a tuple of terms."""
@@ -57,6 +61,10 @@ class Atom(Literal):
         for arg in self.args:
             names |= arg.variables()
         return names
+
+    def iter_variables(self):
+        for arg in self.args:
+            yield from arg.iter_variables()
 
     def is_ground(self):
         return all(arg.is_ground() for arg in self.args)
@@ -92,6 +100,9 @@ class Negation(Literal):
     def variables(self):
         return self.atom.variables()
 
+    def iter_variables(self):
+        return self.atom.iter_variables()
+
     def __eq__(self, other):
         return isinstance(other, Negation) and other.atom == self.atom
 
@@ -116,6 +127,10 @@ class Comparison(Literal):
 
     def variables(self):
         return self.left.variables() | self.right.variables()
+
+    def iter_variables(self):
+        yield from self.left.iter_variables()
+        yield from self.right.iter_variables()
 
     def binds_left(self):
         """True if the operator may bind an unbound left variable."""

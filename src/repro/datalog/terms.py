@@ -49,6 +49,14 @@ class Term:
         """Return the set of variable names occurring in this term."""
         raise NotImplementedError
 
+    def iter_variables(self):
+        """Yield variable names in occurrence order (with repeats).
+
+        Cheaper than :meth:`variables` for containment checks — no set
+        is allocated per nesting level.
+        """
+        raise NotImplementedError
+
 
 class Variable(Term):
     """A logic variable, identified by its name."""
@@ -63,6 +71,9 @@ class Variable(Term):
 
     def variables(self):
         return {self.name}
+
+    def iter_variables(self):
+        yield self.name
 
     def __eq__(self, other):
         return isinstance(other, Variable) and other.name == self.name
@@ -87,6 +98,9 @@ class Constant(Term):
 
     def variables(self):
         return set()
+
+    def iter_variables(self):
+        return iter(())
 
     def __eq__(self, other):
         return isinstance(other, Constant) and other.value == self.value
@@ -115,6 +129,10 @@ class Compound(Term):
         for arg in self.args:
             names |= arg.variables()
         return names
+
+    def iter_variables(self):
+        for arg in self.args:
+            yield from arg.iter_variables()
 
     def __eq__(self, other):
         return (

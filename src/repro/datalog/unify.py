@@ -85,6 +85,42 @@ def unify(left, right, subst):
     return None
 
 
+def match_value(term, value, subst):
+    """Unify ``term`` with the plain Python ``value``.
+
+    Semantically identical to ``unify(term, Constant(value), subst)``
+    but skips the wrapper allocation for the hot flat cases (variable
+    binding and constant comparison), which is what the tuple-at-a-time
+    join path does once per open position per candidate row.
+    """
+    term = walk(term, subst)
+    if isinstance(term, Variable):
+        new = dict(subst)
+        new[term.name] = Constant(value)
+        return new
+    if isinstance(term, Constant):
+        return subst if term.value == value else None
+    if isinstance(term, Compound):
+        if term.functor == CONS and isinstance(value, tuple) and value:
+            subst = match_value(term.args[0], value[0], subst)
+            if subst is None:
+                return None
+            return match_value(term.args[1], value[1:], subst)
+        if (
+            term.functor == TUPLE
+            and isinstance(value, tuple)
+            and len(value) == len(term.args)
+        ):
+            for arg, element in zip(term.args, value):
+                subst = match_value(arg, element, subst)
+                if subst is None:
+                    return None
+            return subst
+        # Arithmetic / unknown functors never unify with a stored value.
+        return None
+    return None
+
+
 def substitute(term, subst):
     """Apply ``subst`` to ``term`` recursively (no arithmetic folding)."""
     term = walk(term, subst)

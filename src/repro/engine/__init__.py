@@ -2,9 +2,11 @@
 semi-naive fixpoint and instrumentation."""
 
 from .builtins import eval_comparison
+from .compile import BoundQuery, CompiledBody, CompiledRule, compile_body
 from .database import Database
 from .fixpoint import QueryResult, evaluate_query, goal_filter, project_free
 from .instrumentation import EvalStats
+from .interning import InternPool
 from .join import evaluate_body, evaluate_rule, ground_head, match_atom
 from .planner import reorder_body, reorder_program_rules
 from .relation import EmptyRelation, Relation, WILDCARD
@@ -13,7 +15,12 @@ from .stratify import check_stratified, is_stratified
 from .tracing import DerivationNode, DerivationTrace
 
 __all__ = [
+    "BoundQuery",
+    "CompiledBody",
+    "CompiledRule",
     "Database",
+    "InternPool",
+    "compile_body",
     "DerivationNode",
     "DerivationTrace",
     "EmptyRelation",

@@ -1,0 +1,717 @@
+"""Set-at-a-time rule compilation: batched hash joins over slot arrays.
+
+The tuple-at-a-time path in :mod:`repro.engine.join` re-resolves and
+re-unifies every atom argument once per candidate row, paying several
+Python-level calls and a dict copy per binding.  This module performs
+that analysis **once per rule**: each body-literal position is
+classified as
+
+* a *key part* — a constant, an already-bound variable, or a structured
+  term whose variables are all bound — contributing to the hash-index
+  probe key;
+* a *write* — the first occurrence of a flat variable, compiled to a
+  direct ``slots[i] = row[pos]`` store;
+* a *check* — a repeated variable, compiled to an equality test against
+  its slot;
+* a *matcher* — a structured term such as ``[(r1, C) | L]``, compiled to
+  a small closure that decomposes the stored value and falls back to
+  full unification semantics.
+
+Substitutions become flat slot arrays indexed by position instead of
+name-keyed dicts of terms, and candidate rows arrive in batches from
+:meth:`Relation.lookup` probes instead of one generator hop per row.
+
+Equivalence contract
+--------------------
+
+The compiled engine is a drop-in replacement for
+:func:`repro.engine.join.evaluate_body` on the supported fragment: it
+enumerates **the same results in the same order** (the legacy stack
+discipline visits each level's candidates in reverse; the executor here
+replicates that) and updates ``tuples_scanned`` / ``facts_*`` counters
+identically — the work counters are the paper's currency, so the
+optimization must not change *what* is computed, only how fast.
+Constructs outside the fragment (non-ground negation, comparisons over
+unbound terms, head arguments that cannot be proven ground) make
+:func:`compile_body` / :class:`CompiledRule` report failure and callers
+fall back to the legacy path, which raises the same errors it always
+did.
+"""
+
+from ..datalog.atoms import Atom, Comparison, Negation
+from ..datalog.terms import (
+    ARITH_FUNCTORS,
+    CONS,
+    TUPLE,
+    Compound,
+    Constant,
+    Variable,
+    eval_arith,
+)
+from ..datalog.unify import resolve
+from ..errors import EvaluationError
+from .builtins import _ordered
+
+#: Sentinel returned by the executor's ``next`` calls on exhaustion.
+_DONE = object()
+
+#: Per-position op kinds inside a scan (see module docstring).
+_OP_WRITE = 0
+_OP_CHECK = 1
+_OP_MATCH = 2
+
+#: Key-part kinds.
+_KEY_CONST = 0
+_KEY_SLOT = 1
+_KEY_EVAL = 2
+
+
+# -- term helpers ----------------------------------------------------
+
+
+def _vars_within(term, names):
+    """True if every variable of ``term`` is in ``names`` (no set built)."""
+    return all(name in names for name in term.iter_variables())
+
+
+
+def _compile_eval(term, slot_of):
+    """Compile ``term`` (variables all slotted) to ``slots -> value``.
+
+    Mirrors :func:`repro.datalog.terms.ground_value` exactly, including
+    the errors it raises, so the compiled path fails the same way the
+    legacy ``resolve`` fold does.
+    """
+    if isinstance(term, Constant):
+        value = term.value
+        return lambda slots: value
+    if isinstance(term, Variable):
+        index = slot_of[term.name]
+        return lambda slots: slots[index]
+    if isinstance(term, Compound):
+        functor = term.functor
+        parts = [_compile_eval(arg, slot_of) for arg in term.args]
+        if functor == CONS:
+            head_fn, tail_fn = parts
+
+            def eval_cons(slots):
+                head = head_fn(slots)
+                tail = tail_fn(slots)
+                if not isinstance(tail, tuple):
+                    raise EvaluationError(
+                        "list tail is not a list: %r" % (tail,)
+                    )
+                return (head,) + tail
+
+            return eval_cons
+        if functor == TUPLE:
+            return lambda slots: tuple(fn(slots) for fn in parts)
+        if functor in ARITH_FUNCTORS:
+            return lambda slots: eval_arith(
+                functor, [fn(slots) for fn in parts]
+            )
+
+        def eval_unknown(_slots):
+            raise EvaluationError("unknown functor %r" % functor)
+
+        return eval_unknown
+    raise EvaluationError("not a term: %r" % (term,))
+
+
+def _compile_match(term, slot_of, live, alloc):
+    """Compile pattern ``term`` to ``(value, slots) -> bool``.
+
+    ``live`` is the set of variable names bound at the point the matcher
+    runs; names the pattern binds are added to it (pattern positions are
+    processed left to right, matching the legacy unification chain).
+    Semantics mirror ``unify(pattern, Constant(value))``: cons cells
+    decompose non-empty tuples, tuple terms decompose width-matched
+    tuples, and anything else — notably arithmetic functors, which the
+    legacy unifier never evaluates inside patterns — fails.
+    """
+    if isinstance(term, Constant):
+        value = term.value
+
+        def match_const(candidate, _slots):
+            return candidate == value
+
+        return match_const
+    if isinstance(term, Variable):
+        name = term.name
+        if name in live:
+            index = slot_of[name]
+
+            def match_bound(candidate, slots):
+                return candidate == slots[index]
+
+            return match_bound
+        live.add(name)
+        index = alloc(name)
+
+        def match_bind(candidate, slots):
+            slots[index] = candidate
+            return True
+
+        return match_bind
+    functor = term.functor
+    if functor == CONS:
+        match_head = _compile_match(term.args[0], slot_of, live, alloc)
+        match_tail = _compile_match(term.args[1], slot_of, live, alloc)
+
+        def match_cons(candidate, slots):
+            if isinstance(candidate, tuple) and candidate:
+                return match_head(candidate[0], slots) and match_tail(
+                    candidate[1:], slots
+                )
+            return False
+
+        return match_cons
+    if functor == TUPLE:
+        width = len(term.args)
+        matchers = [
+            _compile_match(arg, slot_of, live, alloc) for arg in term.args
+        ]
+
+        def match_tuple(candidate, slots):
+            if not isinstance(candidate, tuple) or len(candidate) != width:
+                return False
+            for matcher, element in zip(matchers, candidate):
+                if not matcher(element, slots):
+                    return False
+            return True
+
+        return match_tuple
+
+    # Arithmetic and unknown functors never match a stored value — the
+    # legacy unifier returns None for them without evaluating.
+    def match_never(_candidate, _slots):
+        return False
+
+    return match_never
+
+
+# -- literal compilation ---------------------------------------------
+
+
+def _make_key_fn(key_parts):
+    """Build ``slots -> probe key`` for the bound positions of a scan.
+
+    Single-position keys are scalars (see :meth:`Relation.lookup`);
+    wider keys are tuples in ascending position order.
+    """
+    if len(key_parts) == 1:
+        kind, data = key_parts[0]
+        if kind == _KEY_CONST:
+            return lambda slots: data
+        if kind == _KEY_SLOT:
+            return lambda slots: slots[data]
+        return data
+    if all(kind == _KEY_CONST for kind, _ in key_parts):
+        constant_key = tuple(data for _, data in key_parts)
+        return lambda slots: constant_key
+    spec = tuple(key_parts)
+
+    def key_fn(slots):
+        return tuple(
+            data
+            if kind == _KEY_CONST
+            else (slots[data] if kind == _KEY_SLOT else data(slots))
+            for kind, data in spec
+        )
+
+    return key_fn
+
+
+def _compile_scan(lit_index, atom, slot_of, bound, alloc):
+    """Compile one positive body atom into a batched index scan step."""
+    prefix = frozenset(bound)
+    live = set(bound)
+    positions = []
+    key_parts = []
+    ops = []
+    for pos, arg in enumerate(atom.args):
+        if isinstance(arg, Constant):
+            positions.append(pos)
+            key_parts.append((_KEY_CONST, arg.value))
+        elif isinstance(arg, Variable):
+            name = arg.name
+            if name in prefix:
+                positions.append(pos)
+                key_parts.append((_KEY_SLOT, slot_of[name]))
+            elif name in live:
+                ops.append((pos, _OP_CHECK, slot_of[name]))
+            else:
+                live.add(name)
+                ops.append((pos, _OP_WRITE, alloc(name)))
+        else:
+            if _vars_within(arg, prefix):
+                positions.append(pos)
+                key_parts.append((_KEY_EVAL, _compile_eval(arg, slot_of)))
+            else:
+                ops.append(
+                    (pos, _OP_MATCH,
+                     _compile_match(arg, slot_of, live, alloc))
+                )
+    bound |= live
+    positions = tuple(positions)
+    key_fn = _make_key_fn(key_parts) if positions else None
+    only_writes = all(kind == _OP_WRITE for _, kind, _ in ops)
+    write_pairs = tuple(
+        (pos, data) for pos, kind, data in ops if kind == _OP_WRITE
+    )
+    ops = tuple(ops)
+
+    if only_writes:
+
+        def scan(slots, resolver, stats):
+            relation = resolver(lit_index, atom)
+            candidates = relation.lookup(
+                positions, key_fn(slots) if key_fn is not None else None,
+                stats,
+            )
+            if stats is not None:
+                batch = len(candidates)
+                stats.tuples_scanned += batch
+                stats.batch_rows += batch
+            for row in reversed(candidates):
+                for pos, slot in write_pairs:
+                    slots[slot] = row[pos]
+                yield None
+
+        return scan
+
+    def scan(slots, resolver, stats):
+        relation = resolver(lit_index, atom)
+        candidates = relation.lookup(
+            positions, key_fn(slots) if key_fn is not None else None, stats
+        )
+        if stats is not None:
+            batch = len(candidates)
+            stats.tuples_scanned += batch
+            stats.batch_rows += batch
+        for row in reversed(candidates):
+            ok = True
+            for pos, kind, data in ops:
+                value = row[pos]
+                if kind == _OP_WRITE:
+                    slots[data] = value
+                elif kind == _OP_CHECK:
+                    if value != slots[data]:
+                        ok = False
+                        break
+                elif not data(value, slots):
+                    ok = False
+                    break
+            if ok:
+                yield None
+
+    return scan
+
+
+def _compile_negation(lit_index, negation, slot_of, bound):
+    """Compile ``not atom``; None if the atom is not statically ground."""
+    atom = negation.atom
+    fns = []
+    for arg in atom.args:
+        if not _vars_within(arg, bound):
+            return None
+        fns.append(_compile_eval(arg, slot_of))
+    fns = tuple(fns)
+
+    def negate(slots, resolver, stats):
+        relation = resolver(lit_index, atom)
+        if tuple(fn(slots) for fn in fns) not in relation:
+            yield None
+
+    return negate
+
+
+def _compile_comparison(comparison, slot_of, bound, alloc):
+    """Compile a comparison literal; None when outside the fragment.
+
+    The supported fragment covers every comparison the legacy evaluator
+    handles without raising: both-sides-ground tests, ``=``/``is``/``in``
+    binding a fresh flat variable or decomposing into a structured
+    pattern.  Comparisons the legacy path would *raise* on (non-ground
+    ordering operands, unbound right sides of ``is``/``in``) are left to
+    the fallback so the error surface is unchanged.
+    """
+    op = comparison.op
+    left, right = comparison.left, comparison.right
+    left_ground = _vars_within(left, bound)
+    right_ground = _vars_within(right, bound)
+
+    if op in ("<", "<=", ">", ">="):
+        if not (left_ground and right_ground):
+            return None
+        left_fn = _compile_eval(left, slot_of)
+        right_fn = _compile_eval(right, slot_of)
+
+        def ordered(slots, resolver, stats):
+            if _ordered(op, left_fn(slots), right_fn(slots)):
+                yield None
+
+        return ordered
+
+    if op == "!=":
+        if not (left_ground and right_ground):
+            return None
+        left_fn = _compile_eval(left, slot_of)
+        right_fn = _compile_eval(right, slot_of)
+
+        def differs(slots, resolver, stats):
+            if left_fn(slots) != right_fn(slots):
+                yield None
+
+        return differs
+
+    if op in ("=", "is"):
+        # ``is`` additionally requires a ground right side; when it is
+        # not, the legacy path raises — fall back for error parity.
+        if not right_ground:
+            if op == "is" or not left_ground:
+                return None
+            left, right = right, left
+            left_ground, right_ground = False, True
+        right_fn = _compile_eval(right, slot_of)
+        if left_ground:
+            left_fn = _compile_eval(left, slot_of)
+
+            def equals(slots, resolver, stats):
+                if left_fn(slots) == right_fn(slots):
+                    yield None
+
+            return equals
+        if isinstance(left, Variable):
+            index = alloc(left.name)
+            bound.add(left.name)
+
+            def binds(slots, resolver, stats):
+                slots[index] = right_fn(slots)
+                yield None
+
+            return binds
+        if isinstance(left, Compound):
+            matcher = _compile_match(left, slot_of, bound, alloc)
+
+            def decomposes(slots, resolver, stats):
+                if matcher(right_fn(slots), slots):
+                    yield None
+
+            return decomposes
+        return None
+
+    if op == "in":
+        if not right_ground:
+            return None
+        right_fn = _compile_eval(right, slot_of)
+        if left_ground:
+            left_fn = _compile_eval(left, slot_of)
+
+            def member_test(slots, resolver, stats):
+                members = right_fn(slots)
+                if not isinstance(members, (tuple, frozenset, set)):
+                    raise EvaluationError(
+                        "right side of 'in' is not a collection: %r"
+                        % (members,)
+                    )
+                needle = left_fn(slots)
+                for member in reversed(list(members)):
+                    if member == needle:
+                        yield None
+
+            return member_test
+        if isinstance(left, Variable):
+            index = alloc(left.name)
+            bound.add(left.name)
+
+            def member_bind(slots, resolver, stats):
+                members = right_fn(slots)
+                if not isinstance(members, (tuple, frozenset, set)):
+                    raise EvaluationError(
+                        "right side of 'in' is not a collection: %r"
+                        % (members,)
+                    )
+                for member in reversed(list(members)):
+                    slots[index] = member
+                    yield None
+
+            return member_bind
+        if isinstance(left, Compound):
+            matcher = _compile_match(left, slot_of, bound, alloc)
+
+            def member_match(slots, resolver, stats):
+                members = right_fn(slots)
+                if not isinstance(members, (tuple, frozenset, set)):
+                    raise EvaluationError(
+                        "right side of 'in' is not a collection: %r"
+                        % (members,)
+                    )
+                for member in reversed(list(members)):
+                    if matcher(member, slots):
+                        yield None
+
+            return member_match
+        return None
+
+    return None
+
+
+# -- compiled bodies -------------------------------------------------
+
+
+class CompiledBody:
+    """A rule body compiled to slot-array evaluation.
+
+    ``slot_of`` maps variable names to slot indexes; names listed in
+    ``bound_names`` occupy the first slots in order, so callers can
+    preload bindings positionally.  ``bound_after`` is the set of names
+    guaranteed ground once the body has been fully matched.
+    """
+
+    __slots__ = ("body", "bound_names", "slot_of", "nslots", "steps",
+                 "bound_after")
+
+    def __init__(self, body, bound_names, slot_of, steps, bound_after):
+        self.body = body
+        self.bound_names = bound_names
+        self.slot_of = slot_of
+        self.nslots = len(slot_of)
+        self.steps = tuple(steps)
+        self.bound_after = frozenset(bound_after)
+
+    def make_slots(self):
+        return [None] * self.nslots
+
+    def loader(self, names):
+        """Slot indexes for preloading ``names`` positionally.
+
+        Duplicate names are allowed; the later value wins, matching the
+        successive-dict-write discipline of the legacy call sites.
+        """
+        return tuple(self.slot_of[name] for name in names)
+
+    def extractor(self, names):
+        """Slot indexes projecting a result onto ``names``.
+
+        Raises ``KeyError`` when a name can never be bound by this body.
+        """
+        return tuple(self.slot_of[name] for name in names)
+
+    def execute(self, resolver, slots, stats=None):
+        """Yield ``slots`` once per match, mutated in place.
+
+        The same list object is yielded every time — callers must copy
+        out what they need before advancing.  Enumeration order equals
+        the legacy stack discipline exactly.
+        """
+        steps = self.steps
+        if not steps:
+            yield slots
+            return
+        last = len(steps) - 1
+        iters = [None] * len(steps)
+        iters[0] = steps[0](slots, resolver, stats)
+        depth = 0
+        while depth >= 0:
+            if next(iters[depth], _DONE) is _DONE:
+                iters[depth] = None
+                depth -= 1
+            elif depth == last:
+                yield slots
+            else:
+                depth += 1
+                iters[depth] = steps[depth](slots, resolver, stats)
+
+
+def compile_body(body, bound_names=()):
+    """Compile ``body`` given ``bound_names`` pre-bound; None if outside
+    the supported fragment (callers fall back to the legacy path)."""
+    slot_of = {}
+    for name in bound_names:
+        if name not in slot_of:
+            slot_of[name] = len(slot_of)
+    bound = set(slot_of)
+
+    def alloc(name):
+        slot = slot_of.get(name)
+        if slot is None:
+            slot = len(slot_of)
+            slot_of[name] = slot
+        return slot
+
+    steps = []
+    for index, lit in enumerate(body):
+        if isinstance(lit, Atom):
+            steps.append(_compile_scan(index, lit, slot_of, bound, alloc))
+        elif isinstance(lit, Negation):
+            step = _compile_negation(index, lit, slot_of, bound)
+            if step is None:
+                return None
+            steps.append(step)
+        elif isinstance(lit, Comparison):
+            step = _compile_comparison(lit, slot_of, bound, alloc)
+            if step is None:
+                return None
+            steps.append(step)
+        else:
+            # Unknown literal kinds raise in the legacy evaluator; let
+            # the fallback produce that error.
+            return None
+    return CompiledBody(
+        tuple(body), tuple(dict.fromkeys(bound_names)), slot_of, steps,
+        bound,
+    )
+
+
+def compile_row(args, compiled):
+    """Compile argument terms to ``slots -> ground value tuple``.
+
+    Used for rule heads and for trace premises.  Returns None when an
+    argument cannot be proven ground after the body — the legacy path
+    raises at runtime in that case and the caller should fall back.
+    """
+    fns = []
+    for arg in args:
+        if isinstance(arg, Constant):
+            value = arg.value
+            fns.append((None, value))
+        elif isinstance(arg, Variable):
+            if arg.name not in compiled.bound_after:
+                return None
+            fns.append((compiled.slot_of[arg.name], None))
+        else:
+            if not _vars_within(arg, compiled.bound_after):
+                return None
+            fns.append((-1, _compile_eval(arg, compiled.slot_of)))
+    spec = tuple(fns)
+
+    if all(index is not None and index >= 0 and fn is None
+           for index, fn in spec):
+        indexes = tuple(index for index, _ in spec)
+
+        def project(slots):
+            return tuple(slots[i] for i in indexes)
+
+        return project
+
+    def build(slots):
+        return tuple(
+            fn if index is None else (slots[index] if fn is None
+                                      else fn(slots))
+            for index, fn in spec
+        )
+
+    return build
+
+
+# -- bound queries (counting-engine call shape) ----------------------
+
+
+def _bind_values(names, subst):
+    """Legacy projection of a dict substitution onto ``names``."""
+    values = []
+    for name in names:
+        term = resolve(Variable(name), subst)
+        if not isinstance(term, Constant):
+            raise ValueError("variable %s not bound" % name)
+        values.append(term.value)
+    return tuple(values)
+
+
+class BoundQuery:
+    """A body pre-compiled for repeated runs under positional bindings.
+
+    ``in_names`` are preloaded from the ``values`` argument of
+    :meth:`run` (duplicates allowed, later wins); each result is the
+    projection of a body match onto ``out_names``.  Falls back to the
+    legacy dict-based evaluator when the body or the projection lies
+    outside the compiled fragment, preserving error behavior.
+    """
+
+    __slots__ = ("body", "in_names", "out_names", "compiled", "_loader",
+                 "_extract")
+
+    def __init__(self, body, in_names, out_names):
+        self.body = tuple(body)
+        self.in_names = tuple(in_names)
+        self.out_names = tuple(out_names)
+        compiled = compile_body(self.body, self.in_names)
+        loader = extract = None
+        if compiled is not None:
+            try:
+                loader = compiled.loader(self.in_names)
+                extract = compiled.extractor(self.out_names)
+            except KeyError:
+                compiled = None
+            else:
+                if not set(self.out_names) <= compiled.bound_after:
+                    compiled = None
+        self.compiled = compiled
+        self._loader = loader
+        self._extract = extract
+
+    def run(self, resolver, values, stats=None):
+        """Yield ``out_names`` value tuples for each body match."""
+        compiled = self.compiled
+        if compiled is None:
+            yield from self._run_legacy(resolver, values, stats)
+            return
+        slots = compiled.make_slots()
+        for slot, value in zip(self._loader, values):
+            slots[slot] = value
+        extract = self._extract
+        for result in compiled.execute(resolver, slots, stats):
+            yield tuple(result[i] for i in extract)
+
+    def _run_legacy(self, resolver, values, stats):
+        from .join import evaluate_body
+
+        subst = {}
+        for name, value in zip(self.in_names, values):
+            subst[name] = Constant(value)
+        for result in evaluate_body(self.body, resolver, subst, stats):
+            yield _bind_values(self.out_names, result)
+
+
+# -- compiled rules (semi-naive call shape) --------------------------
+
+
+class CompiledRule:
+    """A whole rule compiled for the semi-naive engine.
+
+    ``compiled`` is the body (None → fall back to the legacy rule
+    evaluator), ``head`` builds the ground head tuple from a match, and
+    ``premises`` (built lazily, only when tracing) yields one ground
+    value tuple per positive body atom in body order.
+    """
+
+    __slots__ = ("rule", "compiled", "head", "premises")
+
+    def __init__(self, rule):
+        self.rule = rule
+        compiled = compile_body(rule.body)
+        head = None
+        premises = None
+        if compiled is not None:
+            head = compile_row(rule.head.args, compiled)
+            if head is None:
+                compiled = None
+            else:
+                fns = [
+                    compile_row(atom.args, compiled)
+                    for atom in rule.body_atoms()
+                ]
+                if all(fn is not None for fn in fns):
+                    premises = tuple(fns)
+        self.compiled = compiled
+        self.head = head
+        self.premises = premises
+
+    @property
+    def supported(self):
+        return self.compiled is not None
+
+    @property
+    def traceable(self):
+        return self.premises is not None

@@ -11,14 +11,25 @@ tuples, frozensets) — terms are normalized before insertion.
 """
 
 from ..datalog.parser import parse_program
+from .interning import InternPool
 from .relation import EmptyRelation, Relation
 
 
 class Database:
-    """A collection of named base relations."""
+    """A collection of named base relations.
+
+    Constant values are interned on insertion (see
+    :mod:`repro.engine.interning`): equal values share one canonical
+    instance, which makes the join engine's hash probes and equality
+    checks cheap, and every constant gets a stable integer id available
+    through :attr:`intern_pool` for encoded strategies.  Interning never
+    changes what a relation *contains* — canonical instances are ``==``
+    to the originals.
+    """
 
     def __init__(self):
         self._relations = {}
+        self.intern_pool = InternPool()
 
     @classmethod
     def from_facts(cls, facts):
@@ -42,16 +53,23 @@ class Database:
                     "database fact is not ground: %r" % (rule.head,)
                 )
         for key, values in program.facts():
-            db.relation(key[0], key[1]).add(values)
+            db.relation(key[0], key[1]).add(
+                db.intern_pool.intern_row(values)
+            )
         return db
 
     def add_fact(self, name, *values):
         """Insert one fact, e.g. ``db.add_fact("up", "a", "b")``."""
-        self.relation(name, len(values)).add(tuple(values))
+        self.relation(name, len(values)).add(
+            self.intern_pool.intern_row(values)
+        )
 
     def add_facts(self, facts):
+        intern_row = self.intern_pool.intern_row
         for name, values in facts:
-            self.relation(name, len(values)).add(tuple(values))
+            self.relation(name, len(values)).add(
+                intern_row(tuple(values))
+            )
 
     def relation(self, name, arity):
         """The relation for ``name/arity``, created empty on first use."""
@@ -98,6 +116,9 @@ class Database:
 
     def copy(self):
         clone = Database()
+        # The pool is append-only, so sharing it keeps interned ids
+        # stable across snapshots at zero copying cost.
+        clone.intern_pool = self.intern_pool
         for key, rel in self._relations.items():
             clone._relations[key] = rel.copy()
         return clone

@@ -10,11 +10,24 @@ competing methods perform.  :class:`EvalStats` counts:
 * ``facts_derived`` — distinct new facts added to relations;
 * ``facts_duplicate`` — derivations that produced an already-known fact
   (wasted work the counting method is designed to avoid);
-* ``iterations`` — semi-naive rounds executed.
+* ``iterations`` — semi-naive rounds executed;
+* ``index_builds`` — hash indexes materialized from scratch by the
+  batched join path (a rebuilt index means a prior one was unusable);
+* ``index_probes`` — hash-index bucket fetches performed by
+  ``Relation.lookup``;
+* ``batch_rows`` — candidate rows delivered in batches by the compiled
+  set-at-a-time executor (a subset of ``tuples_scanned`` attribution:
+  every batched row is also counted as scanned).
 
 All counters are integers updated in-place, so a single ``EvalStats``
 can be threaded through multi-phase executions (counting-set phase plus
 answer phase) and report the total.
+
+Per-rule attribution lives in :attr:`EvalStats.rule_profile`, a dict of
+rule label → ``{"seconds", "calls", "derived"}``.  Wall-clock seconds
+are inherently nondeterministic, so the profile is *not* part of
+:meth:`as_dict` — determinism tests compare ``as_dict`` across runs and
+must keep passing.  Use :meth:`profile_table` for reporting.
 """
 
 
@@ -27,6 +40,10 @@ class EvalStats:
         "facts_derived",
         "facts_duplicate",
         "iterations",
+        "index_builds",
+        "index_probes",
+        "batch_rows",
+        "rule_profile",
     )
 
     def __init__(self):
@@ -35,6 +52,10 @@ class EvalStats:
         self.facts_derived = 0
         self.facts_duplicate = 0
         self.iterations = 0
+        self.index_builds = 0
+        self.index_probes = 0
+        self.batch_rows = 0
+        self.rule_profile = {}
 
     @property
     def total_work(self):
@@ -42,9 +63,32 @@ class EvalStats:
 
         Tuples scanned dominates; derivations (including duplicates) are
         added so that methods producing many duplicate inferences are
-        charged for them.
+        charged for them.  Index maintenance and batching counters are
+        deliberately excluded — they describe *how* the same work was
+        done, not how much of the paper's work was done.
         """
         return self.tuples_scanned + self.facts_derived + self.facts_duplicate
+
+    def note_rule(self, label, seconds, derived):
+        """Attribute one rule pass to the per-rule profile."""
+        entry = self.rule_profile.get(label)
+        if entry is None:
+            entry = {"seconds": 0.0, "calls": 0, "derived": 0}
+            self.rule_profile[label] = entry
+        entry["seconds"] += seconds
+        entry["calls"] += 1
+        entry["derived"] += derived
+
+    def profile_table(self):
+        """Per-rule breakdown sorted by time spent, most expensive first."""
+        return sorted(
+            (
+                (label, entry["seconds"], entry["calls"], entry["derived"])
+                for label, entry in self.rule_profile.items()
+            ),
+            key=lambda item: item[1],
+            reverse=True,
+        )
 
     def merge(self, other):
         """Add another stats object's counters into this one."""
@@ -53,26 +97,46 @@ class EvalStats:
         self.facts_derived += other.facts_derived
         self.facts_duplicate += other.facts_duplicate
         self.iterations += other.iterations
+        self.index_builds += other.index_builds
+        self.index_probes += other.index_probes
+        self.batch_rows += other.batch_rows
+        for label, entry in other.rule_profile.items():
+            self.note_rule(
+                label, entry["seconds"], entry["derived"]
+            )
+            # note_rule counted one call; align with the source.
+            self.rule_profile[label]["calls"] += entry["calls"] - 1
         return self
 
     def as_dict(self):
+        """Deterministic counters only.
+
+        ``index_builds`` is excluded on purpose: indexes persist on
+        relations, so a repeat run over the same database builds fewer
+        of them — the counter describes cache state, not the program.
+        Wall-clock profile entries are excluded for the same reason.
+        """
         return {
             "rule_firings": self.rule_firings,
             "tuples_scanned": self.tuples_scanned,
             "facts_derived": self.facts_derived,
             "facts_duplicate": self.facts_duplicate,
             "iterations": self.iterations,
+            "index_probes": self.index_probes,
+            "batch_rows": self.batch_rows,
             "total_work": self.total_work,
         }
 
     def __repr__(self):
         return (
-            "EvalStats(firings=%d, scanned=%d, derived=%d, dup=%d, iters=%d)"
+            "EvalStats(firings=%d, scanned=%d, derived=%d, dup=%d, "
+            "iters=%d, probes=%d)"
             % (
                 self.rule_firings,
                 self.tuples_scanned,
                 self.facts_derived,
                 self.facts_duplicate,
                 self.iterations,
+                self.index_probes,
             )
         )

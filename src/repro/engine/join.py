@@ -15,7 +15,7 @@ holding variables or partial structures (e.g. the list pattern
 
 from ..datalog.atoms import Atom, Comparison, Negation
 from ..datalog.terms import Constant
-from ..datalog.unify import resolve, unify
+from ..datalog.unify import match_value, resolve
 from ..errors import EvaluationError
 from .builtins import eval_comparison
 from .relation import WILDCARD
@@ -37,7 +37,7 @@ def match_atom(atom, relation, subst, stats=None):
             stats.tuples_scanned += 1
         extended = subst
         for i in open_positions:
-            extended = unify(resolved[i], Constant(row[i]), extended)
+            extended = match_value(resolved[i], row[i], extended)
             if extended is None:
                 break
         if extended is not None:

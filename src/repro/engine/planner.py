@@ -28,17 +28,22 @@ from ..datalog.rules import Rule
 from ..datalog.terms import Variable
 
 
+def _within(term_or_literal, bound):
+    """True if every variable is already bound (no set allocation)."""
+    return all(name in bound for name in term_or_literal.iter_variables())
+
+
 def _placeable(lit, bound):
     if isinstance(lit, Atom):
         return True
     if isinstance(lit, Negation):
-        return lit.variables() <= bound
+        return _within(lit, bound)
     if isinstance(lit, Comparison):
-        right_ok = lit.right.variables() <= bound
+        right_ok = _within(lit.right, bound)
         if lit.op in ("is", "in"):
             left_ok = (
                 isinstance(lit.left, Variable)
-                or lit.left.variables() <= bound
+                or _within(lit.left, bound)
             )
             return right_ok and left_ok
         if lit.op == "=":
@@ -51,7 +56,7 @@ def _placeable(lit, bound):
             if not left_free and isinstance(lit.right, Variable):
                 return True
             return False
-        return lit.variables() <= bound
+        return _within(lit, bound)
     return False
 
 
@@ -62,7 +67,7 @@ def _atom_score(atom, bound):
     usable = sum(
         1
         for arg in atom.args
-        if arg.is_ground() or arg.variables() <= bound
+        if arg.is_ground() or _within(arg, bound)
     )
     return usable / len(atom.args)
 

@@ -1,10 +1,23 @@
-"""In-memory relations with lazily built hash indexes.
+"""In-memory relations with lazily built, persistently maintained
+hash indexes.
 
-A :class:`Relation` stores a set of ground tuples and answers
-``match(pattern)`` queries, where a pattern fixes some positions to
-values and leaves the rest as :data:`WILDCARD`.  The first query for a
-given set of bound positions builds a hash index on those positions;
-subsequent queries and insertions keep every existing index current.
+A :class:`Relation` stores a set of ground tuples and answers two query
+shapes:
+
+* ``match(pattern)`` — the tuple-at-a-time interface: a pattern fixes
+  some positions to values and leaves the rest as :data:`WILDCARD`;
+* ``lookup(positions, key)`` — the batched interface used by the
+  compiled join engine (:mod:`repro.engine.compile`): the bound
+  positions are given once per probe and the whole candidate bucket is
+  returned as a sequence.
+
+The first query for a given set of bound positions builds a hash index
+on those positions; subsequent queries and insertions keep every
+existing index current, so indexes persist across semi-naive rounds and
+across :meth:`copy` (delta relations carry their indexes with them
+instead of rebuilding).  Single-position indexes are keyed by the bare
+value — the common case in the paper's programs — so probes hash one
+(interned) constant instead of allocating a 1-tuple.
 
 Indexes make the nested-loop joins of the engine behave like index
 nested-loop joins, which is the performance model assumed by the paper
@@ -62,7 +75,10 @@ class Relation:
             return False
         self.tuples.add(row)
         for positions, index in self._indexes.items():
-            key = tuple(row[i] for i in positions)
+            if len(positions) == 1:
+                key = row[positions[0]]
+            else:
+                key = tuple(row[i] for i in positions)
             index.setdefault(key, []).append(row)
         return True
 
@@ -74,15 +90,61 @@ class Relation:
                 added.append(row)
         return added
 
-    def _index_for(self, positions):
+    def _index_for(self, positions, stats=None):
         index = self._indexes.get(positions)
         if index is None:
             index = {}
-            for row in self.tuples:
-                key = tuple(row[i] for i in positions)
-                index.setdefault(key, []).append(row)
+            if len(positions) == 1:
+                position = positions[0]
+                for row in self.tuples:
+                    index.setdefault(row[position], []).append(row)
+            else:
+                for row in self.tuples:
+                    key = tuple(row[i] for i in positions)
+                    index.setdefault(key, []).append(row)
             self._indexes[positions] = index
+            if stats is not None:
+                stats.index_builds += 1
         return index
+
+    def ensure_index(self, positions):
+        """Build (or return) the hash index on ``positions`` now.
+
+        The index is maintained incrementally by subsequent :meth:`add`
+        calls, so declaring probe positions up front turns later bulk
+        loads into incremental index maintenance instead of a rebuild.
+        """
+        return self._index_for(tuple(positions))
+
+    def lookup(self, positions, key, stats=None):
+        """Return the candidate rows with ``positions`` equal to ``key``.
+
+        The batched-probe interface of the compiled engine: the result
+        is a *sequence* (the index bucket itself, or a materialized
+        list) whose length is the batch size.  ``key`` is the bare value
+        when one position is bound, a tuple in ascending position order
+        otherwise, and ignored when ``positions`` is empty (full scan).
+        """
+        if not positions:
+            return list(self.tuples)
+        if not self.use_indexes:
+            if len(positions) == 1:
+                position = positions[0]
+                return [row for row in self.tuples if row[position] == key]
+            return [
+                row
+                for row in self.tuples
+                if all(row[i] == v for i, v in zip(positions, key))
+            ]
+        if len(positions) == self.arity:
+            row = key if self.arity != 1 else (key,)
+            return (row,) if row in self.tuples else ()
+        index = self._indexes.get(positions)
+        if index is None:
+            index = self._index_for(positions, stats)
+        if stats is not None:
+            stats.index_probes += 1
+        return index.get(key, ())
 
     def match(self, pattern):
         """Yield rows matching ``pattern``.
@@ -109,13 +171,27 @@ class Relation:
             row = tuple(pattern)
             return iter((row,)) if row in self.tuples else iter(())
         index = self._index_for(positions)
-        key = tuple(pattern[i] for i in positions)
+        if len(positions) == 1:
+            key = pattern[positions[0]]
+        else:
+            key = tuple(pattern[i] for i in positions)
         return iter(index.get(key, ()))
 
     def copy(self):
+        """Clone the relation, *including* its hash indexes.
+
+        Snapshot-heavy strategies copy relations often; rebuilding every
+        index from scratch on the clone would repeat O(n) work the
+        source already paid.  Buckets are shallow-copied per key so
+        later ``add``s on either side stay independent.
+        """
         clone = Relation(self.name, self.arity,
                          use_indexes=self.use_indexes)
         clone.tuples = set(self.tuples)
+        clone._indexes = {
+            positions: {key: list(rows) for key, rows in index.items()}
+            for positions, index in self._indexes.items()
+        }
         return clone
 
     def __repr__(self):
@@ -145,7 +221,14 @@ class EmptyRelation:
         return False
 
     def match(self, pattern):
+        if len(pattern) != self.arity:
+            raise ValueError(
+                "pattern arity mismatch for %s: %r" % (self.name, pattern)
+            )
         return iter(())
+
+    def lookup(self, positions, key, stats=None):
+        return ()
 
     def __repr__(self):
         return "EmptyRelation(%s/%d)" % (self.name, self.arity)

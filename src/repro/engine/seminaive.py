@@ -11,8 +11,12 @@ Facts derived for lower cliques are visible to higher ones exactly like
 database facts, matching the paper's evaluation model.
 """
 
+from time import perf_counter
+
 from ..datalog.analysis import ProgramAnalysis
+from ..datalog.atoms import Atom
 from ..errors import EvaluationError
+from .compile import CompiledRule
 from .instrumentation import EvalStats
 from .join import evaluate_body, evaluate_rule, ground_atom, ground_head
 from .relation import EmptyRelation, Relation
@@ -42,6 +46,10 @@ class SemiNaiveEngine:
         self.trace = trace
         self.analysis = ProgramAnalysis(program)
         check_stratified(self.analysis)
+        #: Rule → :class:`CompiledRule` cache, filled on first use.
+        #: Rules whose bodies lie outside the compiled fragment keep
+        #: ``supported=False`` and run through the legacy evaluator.
+        self._compiled = {}
         self.derived = {}
         #: Program facts for predicates with no rules are base facts
         #: (the paper's definition); they overlay the database.
@@ -116,19 +124,83 @@ class SemiNaiveEngine:
             else:
                 self.stats.facts_duplicate += 1
 
+    def _compiled_rule(self, rule):
+        compiled = self._compiled.get(id(rule))
+        if compiled is None:
+            compiled = CompiledRule(rule)
+            self._compiled[id(rule)] = compiled
+        return compiled
+
     def _apply_rule(self, rule, resolver, delta):
         """Run one rule pass, optionally recording derivations."""
+        stats = self.stats
+        started = perf_counter()
+        derived_before = stats.facts_derived
+        compiled = self._compiled_rule(rule)
         if self.trace is None:
-            rows = evaluate_rule(rule, resolver, self.stats)
-            self._emit(rule.head.key, rows, delta)
-            return
-        self.stats.rule_firings += 1
+            if compiled.supported:
+                self._apply_compiled(compiled, resolver, delta)
+            else:
+                rows = evaluate_rule(rule, resolver, stats)
+                self._emit(rule.head.key, rows, delta)
+        else:
+            self._apply_traced(rule, compiled, resolver, delta)
+        stats.note_rule(
+            rule.label,
+            perf_counter() - started,
+            stats.facts_derived - derived_before,
+        )
+
+    def _apply_compiled(self, compiled, resolver, delta):
+        """Set-at-a-time rule pass: batched probes, direct tuple writes."""
+        stats = self.stats
+        stats.rule_firings += 1
+        key = compiled.rule.head.key
+        relation = self._relation(key)
+        head = compiled.head
+        body = compiled.compiled
+        delta_rel = None
+        for slots in body.execute(resolver, body.make_slots(), stats):
+            row = head(slots)
+            if relation.add(row):
+                stats.facts_derived += 1
+                if delta_rel is None:
+                    delta_rel = delta.setdefault(
+                        key, Relation(key[0], key[1])
+                    )
+                delta_rel.add(row)
+            else:
+                stats.facts_duplicate += 1
+
+    def _apply_traced(self, rule, compiled, resolver, delta):
+        """Rule pass recording the first derivation of every fact."""
+        stats = self.stats
+        stats.rule_firings += 1
         key = rule.head.key
         relation = self._relation(key)
-        for subst in evaluate_body(rule.body, resolver, {}, self.stats):
+        if compiled.supported and compiled.traceable:
+            premise_keys = tuple(
+                atom.key for atom in rule.body_atoms()
+            )
+            body = compiled.compiled
+            head = compiled.head
+            for slots in body.execute(resolver, body.make_slots(), stats):
+                row = head(slots)
+                if relation.add(row):
+                    stats.facts_derived += 1
+                    delta.setdefault(key, Relation(key[0], key[1])).add(row)
+                    premises = tuple(
+                        (pkey, fn(slots))
+                        for pkey, fn in zip(premise_keys, compiled.premises)
+                    )
+                    self.trace.record(key, row, rule.label, premises)
+                else:
+                    stats.facts_duplicate += 1
+            return
+        for subst in evaluate_body(rule.body, resolver, {}, stats):
             row = ground_head(rule.head, subst)
             if relation.add(row):
-                self.stats.facts_derived += 1
+                stats.facts_derived += 1
                 delta.setdefault(key, Relation(key[0], key[1])).add(row)
                 premises = tuple(
                     (atom.key, ground_atom(atom, subst))
@@ -136,7 +208,7 @@ class SemiNaiveEngine:
                 )
                 self.trace.record(key, row, rule.label, premises)
             else:
-                self.stats.facts_duplicate += 1
+                stats.facts_duplicate += 1
 
     def _evaluate_clique(self, clique):
         delta = {}
@@ -150,10 +222,14 @@ class SemiNaiveEngine:
             return
         # Recursive occurrences: (rule, body index) pairs to drive with
         # the delta relation.
+        # Positive atoms only: a Negation wrapping a same-clique atom
+        # must never become a delta-driven occurrence (stratification
+        # already rejects such programs at construction time), and duck
+        # typing on ``.key`` would silently misclassify literal kinds.
         occurrences = []
         for rule in clique.recursive_rules:
             for index, lit in enumerate(rule.body):
-                if hasattr(lit, "key") and lit.key in clique.predicates:
+                if isinstance(lit, Atom) and lit.key in clique.predicates:
                     occurrences.append((rule, index))
         rounds = 0
         while delta:

@@ -32,11 +32,9 @@ pointer implementation; the back-arc triples are exactly the extra
 information Algorithm 2 adds.
 """
 
-from ..datalog.terms import Constant, Variable
-from ..datalog.unify import resolve
+from ..engine.compile import BoundQuery
 from ..engine.instrumentation import EvalStats
-from ..engine.join import evaluate_body
-from ..errors import NotApplicableError
+from ..errors import EvaluationError, NotApplicableError
 from ..graph.dfs import classify_arcs
 
 #: Sentinel triple marking the source row.
@@ -153,6 +151,12 @@ class CountingEngine:
         self.rules_by_label = {
             rule.label: rule for rule in canonical.recursive_rules
         }
+        #: Per-call-site compiled bound queries (see
+        #: :class:`~repro.engine.compile.BoundQuery`), keyed by rule
+        #: identity.  Each body is compiled once and re-run under fresh
+        #: positional bindings for every node/state, replacing the
+        #: per-visit dict-substitution evaluation.
+        self._queries = {}
         self.table = None
         self._answers = None
         self._parents = {}
@@ -165,6 +169,15 @@ class CountingEngine:
     def _resolver(self, _index, atom):
         return self.get_relation(atom.key)
 
+    def _query(self, site, rule, body, in_names, out_names):
+        """The cached :class:`BoundQuery` for one (call site, rule)."""
+        key = (site, id(rule))
+        query = self._queries.get(key)
+        if query is None:
+            query = BoundQuery(body, in_names, out_names)
+            self._queries[key] = query
+        return query
+
     def _successors(self, node):
         """Left-graph successors of ``node`` with (label, shared) labels."""
         pred, values = node
@@ -176,18 +189,16 @@ class CountingEngine:
                 # Empty left part: the rule contributes no arc to G_L;
                 # the answer phase applies it in place (same row).
                 continue
-            subst = {
-                name: Constant(value)
-                for name, value in zip(rule.bound_vars, values)
-            }
+            query = self._query(
+                "left", rule, rule.left, rule.bound_vars,
+                rule.rec_bound_vars + rule.shared_vars,
+            )
+            split = len(rule.rec_bound_vars)
             self.stats.rule_firings += 1
-            for result in evaluate_body(
-                rule.left, self._resolver, subst, self.stats
-            ):
-                target = _bind_values(rule.rec_bound_vars, result)
-                shared = _bind_values(rule.shared_vars, result)
+            for result in query.run(self._resolver, values, self.stats):
                 results.append(
-                    ((rule.rec_key, target), (rule.label, shared))
+                    ((rule.rec_key, result[:split]),
+                     (rule.label, result[split:]))
                 )
         return results
 
@@ -232,15 +243,14 @@ class CountingEngine:
         for row in self.table.rows:
             exit_rules, _ = self.canonical.rules_by_head(row.pred)
             for exit_rule in exit_rules:
-                subst = {
-                    name: Constant(value)
-                    for name, value in zip(exit_rule.bound_vars, row.values)
-                }
+                query = self._query(
+                    "exit", exit_rule, exit_rule.body,
+                    exit_rule.bound_vars, exit_rule.free_vars,
+                )
                 self.stats.rule_firings += 1
-                for result in evaluate_body(
-                    exit_rule.body, self._resolver, subst, self.stats
+                for values in query.run(
+                    self._resolver, row.values, self.stats
                 ):
-                    values = _bind_values(exit_rule.free_vars, result)
                     yield (row.pred, values, row.id), exit_rule.label
 
     def _apply_left_linear(self, state):
@@ -257,16 +267,14 @@ class CountingEngine:
                 continue
             if rule.head_key != pred:
                 continue
-            subst = {}
-            for name, value in zip(rule.rec_free_vars, values):
-                subst[name] = Constant(value)
-            for name, value in zip(rule.bound_vars, row.values):
-                subst[name] = Constant(value)
+            query = self._query(
+                "right", rule, rule.right,
+                rule.rec_free_vars + rule.bound_vars, rule.free_vars,
+            )
             self.stats.rule_firings += 1
-            for result in evaluate_body(
-                rule.right, self._resolver, subst, self.stats
+            for out in query.run(
+                self._resolver, values + row.values, self.stats
             ):
-                out = _bind_values(rule.free_vars, result)
                 yield (rule.head_key, out, row_id), rule.label
 
     def _unwind(self, state):
@@ -280,20 +288,18 @@ class CountingEngine:
             if rule.rec_key != pred:
                 continue
             prev_row = self.table.rows[prev_id]
-            subst = {}
-            for name, value in zip(rule.rec_free_vars, values):
-                subst[name] = Constant(value)
-            for name, value in zip(rule.shared_vars, shared):
-                subst[name] = Constant(value)
-            for name, value in zip(rule.bound_vars, prev_row.values):
-                subst[name] = Constant(value)
-            for name, value in zip(rule.rec_bound_vars, row.values):
-                subst[name] = Constant(value)
+            query = self._query(
+                "unwind", rule, rule.right,
+                rule.rec_free_vars + rule.shared_vars + rule.bound_vars
+                + rule.rec_bound_vars,
+                rule.free_vars,
+            )
             self.stats.rule_firings += 1
-            for result in evaluate_body(
-                rule.right, self._resolver, subst, self.stats
+            for out in query.run(
+                self._resolver,
+                values + shared + prev_row.values + row.values,
+                self.stats,
             ):
-                out = _bind_values(rule.free_vars, result)
                 yield (rule.head_key, out, prev_id), rule.label
 
     def compute_answers(self):
@@ -347,8 +353,12 @@ class CountingEngine:
         Returns the list of ``(rule_label, node_values, answer_values)``
         steps from the exit tuple to the source row — the unwinding of
         the counting prefix.  The first entry is the exit-rule firing.
-        Raises :class:`KeyError` for values that are not answers.
+        Raises :class:`EvaluationError` if :meth:`compute_answers` has
+        not run yet, and :class:`KeyError` for values that are not
+        answers.
         """
+        if self._answers is None:
+            raise EvaluationError("answer phase has not run")
         state = (self.goal_key, tuple(answer_values),
                  self.table.source_id)
         if state not in self._parents:
@@ -373,13 +383,3 @@ class CountingEngine:
         """Build the counting set and compute the answers."""
         self.build_counting_set()
         return self.compute_answers()
-
-
-def _bind_values(names, subst):
-    values = []
-    for name in names:
-        term = resolve(Variable(name), subst)
-        if not isinstance(term, Constant):
-            raise ValueError("variable %s not bound" % name)
-        values.append(term.value)
-    return tuple(values)

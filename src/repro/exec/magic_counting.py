@@ -31,7 +31,6 @@ from ..datalog.atoms import Atom
 from ..datalog.rules import Program, Rule
 from ..datalog.terms import Constant, Variable
 from ..engine.instrumentation import EvalStats
-from ..engine.join import evaluate_body
 from ..engine.relation import WILDCARD
 from ..engine.seminaive import SemiNaiveEngine
 from ..graph.dfs import classify_arcs
@@ -307,27 +306,24 @@ class MagicCountingEngine:
             pattern = tuple(target_values) + (WILDCARD,) * (
                 relation.arity - width
             )
+            # Reuse the pointer engine's compiled unwind query — the
+            # binding order (rec_free, shared, bound, rec_bound) is
+            # identical to the triple-consuming pop step.
+            query = self._pointer._query(
+                "unwind", rule, rule.right,
+                rule.rec_free_vars + rule.shared_vars + rule.bound_vars
+                + rule.rec_bound_vars,
+                rule.free_vars,
+            )
             for row in relation.match(pattern):
                 self.stats.tuples_scanned += 1
                 y1_values = row[width:]
-                subst = {}
-                for name, value in zip(rule.rec_free_vars, y1_values):
-                    subst[name] = Constant(value)
-                for name, value in zip(rule.shared_vars, shared):
-                    subst[name] = Constant(value)
-                for name, value in zip(rule.bound_vars, source_values):
-                    subst[name] = Constant(value)
-                for name, value in zip(rule.rec_bound_vars,
-                                       target_values):
-                    subst[name] = Constant(value)
                 self.stats.rule_firings += 1
-                for result in evaluate_body(
-                    rule.right, self._pointer._resolver, subst,
+                for out in query.run(
+                    self._pointer._resolver,
+                    y1_values + shared + source_values + target_values,
                     self.stats,
                 ):
-                    from .counting_engine import _bind_values
-
-                    out = _bind_values(rule.free_vars, result)
                     yield (rule.head_key, out, row_id), rule.label
 
     @property

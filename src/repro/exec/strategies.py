@@ -70,6 +70,16 @@ class ExecutionResult:
         #: Wall-clock seconds of the run (rewriting + evaluation).
         self.elapsed = elapsed
 
+    @property
+    def profile(self):
+        """Per-rule (label, seconds, calls, derived) rows, slowest first.
+
+        Collected by the engine's batched join path; empty for the
+        dedicated evaluators that do not run whole rules through
+        :class:`~repro.engine.seminaive.SemiNaiveEngine`.
+        """
+        return self.stats.profile_table()
+
     def __repr__(self):
         return "ExecutionResult(%s, %d answers, work=%d)" % (
             self.method, len(self.answers), self.stats.total_work

@@ -178,3 +178,29 @@ class TestRunners:
         cyclic = run_cyclic_counting(query, db)
         naive = run_naive(query, db)
         assert cyclic.answers == naive.answers == {("e1",)}
+
+
+class TestAnswerPhaseGuard:
+    def test_answer_path_before_compute_answers(self, sg_query, example5_db):
+        from repro.errors import EvaluationError
+
+        engine = make_engine(sg_query, example5_db)
+        with pytest.raises(EvaluationError, match="answer phase has not run"):
+            engine.answer_path(("f",))
+
+    def test_answer_path_after_build_only(self, sg_query, example5_db):
+        from repro.errors import EvaluationError
+
+        engine = make_engine(sg_query, example5_db)
+        engine.build_counting_set()
+        with pytest.raises(EvaluationError, match="answer phase has not run"):
+            engine.answer_path(("f",))
+
+    def test_answer_path_after_compute_answers(self, sg_query, example5_db):
+        engine = make_engine(sg_query, example5_db)
+        answers = engine.compute_answers()
+        for values in answers:
+            steps = engine.answer_path(values)
+            assert steps
+        with pytest.raises(KeyError):
+            engine.answer_path(("not-an-answer",))

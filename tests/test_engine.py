@@ -266,3 +266,33 @@ class TestNegationInBody:
         db = Database.from_text("q(a).")
         with pytest.raises(EvaluationError):
             evaluate(query, db)
+
+
+class TestSameCliqueNegation:
+    """A Negation wrapping a same-clique atom must be rejected up
+    front, never silently evaluated without delta driving."""
+
+    def test_recursive_negation_rejected(self):
+        program = parse_program("""
+            win(X) :- move(X, Y), not win(Y).
+        """)
+        with pytest.raises(NotStratifiedError):
+            evaluate_program(program, Database.from_text("move(a, b)."))
+
+    def test_mutual_clique_negation_rejected(self):
+        program = parse_program("""
+            p(X) :- edge(X, Y), q(Y).
+            q(X) :- edge(X, Y), not p(Y).
+        """)
+        with pytest.raises(NotStratifiedError):
+            evaluate_program(program, Database.from_text("edge(a, b)."))
+
+    def test_lower_stratum_negation_still_allowed(self):
+        program = parse_program("""
+            base(X) :- node(X, 0).
+            p(X) :- node(X, 1), not base(X).
+        """)
+        derived = evaluate_program(
+            program, Database.from_text("node(a, 0). node(b, 1).")
+        )
+        assert derived[("p", 1)].tuples == {("b",)}
