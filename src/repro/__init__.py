@@ -28,8 +28,22 @@ from .datalog import (
     parse_program,
     parse_query,
 )
-from .engine import Database, EvalStats, QueryResult, evaluate_query
-from .exec import ExecutionResult, STRATEGIES, run_strategy
+from .engine import (
+    CancellationToken,
+    Database,
+    EvalStats,
+    QueryResult,
+    ResourceBudget,
+    evaluate_query,
+)
+from .exec import (
+    ExecutionReport,
+    ExecutionResult,
+    FallbackPolicy,
+    STRATEGIES,
+    run_resilient,
+    run_strategy,
+)
 from .rewriting import (
     OptimizationPlan,
     adorn_query,
@@ -48,13 +62,17 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Atom",
+    "CancellationToken",
     "Comparison",
     "Compound",
     "Constant",
     "Database",
     "EvalStats",
+    "ExecutionReport",
     "ExecutionResult",
+    "FallbackPolicy",
     "Negation",
+    "ResourceBudget",
     "OptimizationPlan",
     "Program",
     "ProgramAnalysis",
@@ -78,5 +96,6 @@ __all__ = [
     "parse_program",
     "parse_query",
     "reduce_rewriting",
+    "run_resilient",
     "run_strategy",
 ]

@@ -35,6 +35,15 @@ SMOKE_CELLS = (
      ("magic", "classical_counting", "pointer_counting")),
 )
 
+#: (workload name, make_db kwargs) cells probed through the resilient
+#: runner.  ``sg_chain`` succeeds on the first stage (depth 0);
+#: ``sg_cyclic`` forces real degradation (pointer and extended counting
+#: both fail on cyclic data), so the artifact tracks fallback cost.
+RESILIENCE_CELLS = (
+    ("sg_chain", {"depth": 32}),
+    ("sg_cyclic", {}),
+)
+
 
 def run_smoke():
     """Run the smoke cells; returns flattened benchmark records."""
@@ -51,6 +60,72 @@ def run_smoke():
     return rows_to_records(rows)
 
 
+def run_resilience_probe():
+    """Run the resilience cells; returns one record per cell.
+
+    Each record tracks the robustness counters the roadmap cares
+    about: ``budget_aborts`` (attempts killed by a budget) and
+    ``fallback_depth`` (failed stages before the winning one), plus
+    the per-attempt error classes so a silent change in degradation
+    behaviour shows up in the artifact diff.
+    """
+    from ..exec.resilient import FallbackPolicy, run_resilient
+
+    records = []
+    for name, kwargs in RESILIENCE_CELLS:
+        workload = WORKLOADS[name]
+        db, _source = workload.make_db(**kwargs)
+        # A generous budget: normal cells never hit it, so any abort
+        # recorded here is a robustness regression.
+        policy = FallbackPolicy(timeout=30.0)
+        report = run_resilient(workload.query, db, policy)
+        records.append(
+            {
+                "label": name,
+                "method": report.method,
+                "answers": len(report.result.answers),
+                "fallback_depth": report.fallback_depth,
+                "budget_aborts": report.budget_aborts,
+                "attempts": [
+                    {"method": a.method, "error": a.error_class,
+                     "elapsed": a.elapsed}
+                    for a in report.attempts
+                ],
+                "total_elapsed": report.total_elapsed,
+            }
+        )
+    return records
+
+
+def run_guard_overhead():
+    """Measure the resource-guard overhead on one fixed cell.
+
+    Runs ``sg_chain``/``pointer_counting`` once without a budget and
+    once under a loose :class:`ResourceBudget`, and reports both times.
+    The round-boundary checks are designed to be O(rounds), not
+    O(tuples), so the guarded run should stay within a few percent of
+    the unguarded one (the e8/a3 benchmarks enforce 5 %).
+    """
+    from ..engine.guard import ResourceBudget
+    from ..exec.strategies import run_strategy
+
+    workload = WORKLOADS["sg_chain"]
+    db, _source = workload.make_db(depth=64)
+    unguarded = run_strategy("pointer_counting", workload.query, db)
+    guarded = run_strategy(
+        "pointer_counting", workload.query, db,
+        budget=ResourceBudget(timeout=30.0, max_facts=10_000_000),
+    )
+    assert guarded.answers == unguarded.answers
+    return {
+        "label": "sg_chain",
+        "method": "pointer_counting",
+        "unguarded_elapsed": unguarded.elapsed,
+        "guarded_elapsed": guarded.elapsed,
+        "budget_aborts": 0,
+    }
+
+
 def write_smoke(directory=".", tag=None):
     """Run the smoke pass and write ``BENCH_<tag>.json`` in ``directory``.
 
@@ -64,6 +139,8 @@ def write_smoke(directory=".", tag=None):
         "tag": tag,
         "python": platform.python_version(),
         "records": records,
+        "resilience": run_resilience_probe(),
+        "guard_overhead": run_guard_overhead(),
         "total_elapsed": sum(
             r["elapsed"] for r in records if r["elapsed"] is not None
         ),

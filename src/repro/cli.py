@@ -3,6 +3,7 @@
 Four subcommands::
 
     python -m repro run PROGRAM.dl [--db FACTS.dl] [--method auto]
+                       [--timeout S] [--max-facts N] [--resilient]
     python -m repro rewrite PROGRAM.dl --method magic
     python -m repro explain PROGRAM.dl [--db FACTS.dl]
     python -m repro bench WORKLOAD [--methods m1,m2] [--param k=v ...]
@@ -63,12 +64,47 @@ def _load_query_and_db(args):
     return query, db
 
 
+def _make_budget(args):
+    """A ResourceBudget from --timeout/--max-facts, or None."""
+    if args.timeout is None and args.max_facts is None:
+        return None
+    from .engine.guard import ResourceBudget
+
+    return ResourceBudget(timeout=args.timeout, max_facts=args.max_facts)
+
+
 def _cmd_run(args, out):
     query, db = _load_query_and_db(args)
-    plan = optimize(query, db if args.method == "auto" else None,
-                    method=args.method)
-    result = plan.execute(db)
-    out.write("method : %s\n" % plan.explain())
+    if args.resilient:
+        from .exec.resilient import DEFAULT_CHAIN, FallbackPolicy, \
+            run_resilient
+
+        chain = DEFAULT_CHAIN
+        if args.method != "auto" and args.method not in chain:
+            chain = (args.method,) + chain
+        elif args.method != "auto":
+            # Start the default chain at the requested method.
+            chain = chain[chain.index(args.method):]
+        policy = FallbackPolicy(
+            chain=chain, timeout=args.timeout, max_facts=args.max_facts
+        )
+        report = run_resilient(query, db, policy)
+        result = report.result
+        out.write(
+            "method : %s (resilient, %d failed attempts)\n"
+            % (report.method, report.fallback_depth)
+        )
+        for attempt in report.attempts:
+            if attempt.failed:
+                out.write(
+                    "tried  : %s -> %s: %s\n"
+                    % (attempt.method, attempt.error_class, attempt.error)
+                )
+    else:
+        plan = optimize(query, db if args.method == "auto" else None,
+                        method=args.method)
+        result = plan.execute(db, budget=_make_budget(args))
+        out.write("method : %s\n" % plan.explain())
     for answer in sorted(result.answers):
         out.write("answer : %s\n" % (answer,))
     out.write("count  : %d answers\n" % len(result.answers))
@@ -210,6 +246,19 @@ def build_parser():
     run.add_argument(
         "--method", default="auto",
         choices=["auto"] + sorted(STRATEGIES),
+    )
+    run.add_argument(
+        "--timeout", type=float, metavar="SECONDS",
+        help="wall-clock budget; exceeding it raises DeadlineExceeded",
+    )
+    run.add_argument(
+        "--max-facts", type=int, metavar="N",
+        help="derived-fact budget; exceeding it raises FactBudgetExceeded",
+    )
+    run.add_argument(
+        "--resilient", action="store_true",
+        help="degrade through a strategy fallback chain instead of "
+             "failing on the first method error",
     )
     run.set_defaults(func=_cmd_run)
 

@@ -4,7 +4,9 @@ semi-naive fixpoint and instrumentation."""
 from .builtins import eval_comparison
 from .compile import BoundQuery, CompiledBody, CompiledRule, compile_body
 from .database import Database
+from .faults import FaultInjector, InjectedFault
 from .fixpoint import QueryResult, evaluate_query, goal_filter, project_free
+from .guard import CancellationToken, ResourceBudget
 from .instrumentation import EvalStats
 from .interning import InternPool
 from .join import evaluate_body, evaluate_rule, ground_head, match_atom
@@ -16,10 +18,14 @@ from .tracing import DerivationNode, DerivationTrace
 
 __all__ = [
     "BoundQuery",
+    "CancellationToken",
     "CompiledBody",
     "CompiledRule",
     "Database",
+    "FaultInjector",
+    "InjectedFault",
     "InternPool",
+    "ResourceBudget",
     "compile_body",
     "DerivationNode",
     "DerivationTrace",

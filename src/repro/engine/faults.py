@@ -1,0 +1,233 @@
+"""Deterministic, seeded fault injection for robustness testing.
+
+Production resilience claims ("budgets fire within one round",
+"fallbacks leave the database unmutated", "errors are always typed
+``ReproError``s") are only as good as the failures they were tested
+against.  This module injects three failure modes into the evaluation
+engines, deterministically and reproducibly:
+
+* **mid-fixpoint raise** — :class:`InjectedFault` thrown at the N-th
+  fixpoint checkpoint (semi-naive round boundaries and dedicated-
+  evaluator frontier pops publish checkpoints through :func:`fire`);
+* **probe delay** — every K-th :meth:`Relation.lookup` call sleeps a
+  configured number of seconds, simulating slow storage so wall-clock
+  deadlines can be exercised without huge databases;
+* **copy corruption** — every K-th :meth:`Relation.copy` returns a
+  clone with one seeded row dropped and one bogus row added, modelling
+  a partially-failed snapshot.  The *source* relation is never touched.
+
+The injector is a context manager; ``install``/``uninstall`` patch the
+hot-path methods only while active, so the production paths carry a
+single module-global ``is None`` check (the :func:`fire` checkpoints)
+and nothing else.  All randomness flows from one :class:`random.Random`
+seeded at construction — the same seed injects the same faults.
+
+Only one injector can be installed at a time (they patch shared
+classes); installing a second raises ``RuntimeError``.
+"""
+
+import random
+import time
+
+from ..errors import EvaluationError
+from .relation import Relation
+
+#: The currently installed injector, or ``None`` (the common case).
+_ACTIVE = None
+
+
+class InjectedFault(EvaluationError):
+    """The typed error raised by an injected mid-fixpoint fault.
+
+    An :class:`EvaluationError` (hence a ``ReproError``): injected
+    failures must travel the same typed channel real failures do, so
+    the resilient runner and the CLI handle them identically.
+    """
+
+
+def fire(point, stats=None):
+    """Checkpoint hook called by the engines at fixpoint boundaries.
+
+    ``point`` names the call site (``"round"`` for semi-naive round
+    boundaries, ``"unwind"`` for dedicated-evaluator frontier pops).
+    A no-op unless an injector is installed.
+    """
+    if _ACTIVE is not None:
+        _ACTIVE._observe(point, stats)
+
+
+def active_injector():
+    """The installed :class:`FaultInjector`, or ``None``."""
+    return _ACTIVE
+
+
+class FaultInjector:
+    """Configurable fault plan; use as a context manager.
+
+    Example::
+
+        with FaultInjector(seed=7).raise_mid_fixpoint(after=2):
+            run_strategy("naive", query, db)   # raises InjectedFault
+    """
+
+    def __init__(self, seed=0, sleep=None, clock=None):
+        self.random = random.Random(seed)
+        #: Injectable sleeper/clock so tests can fake time.
+        self._sleep = sleep if sleep is not None else time.sleep
+        self._clock = clock if clock is not None else time.monotonic
+        # Plans (None = disabled).
+        self._raise_after = None
+        self._raise_points = frozenset(("round", "unwind"))
+        self._raise_message = "injected mid-fixpoint fault"
+        self._delay_every = None
+        self._delay_seconds = 0.0
+        self._corrupt_every = None
+        # Observability counters.
+        self.checkpoints_seen = 0
+        self.probes_delayed = 0
+        self.copies_corrupted = 0
+        self.faults_raised = 0
+        # Patching state.
+        self._installed = False
+        self._orig_lookup = None
+        self._orig_copy = None
+
+    # -- plan configuration (chainable) -----------------------------
+
+    def raise_mid_fixpoint(self, after=1, points=None, message=None):
+        """Raise :class:`InjectedFault` at the ``after``-th checkpoint."""
+        if after < 1:
+            raise ValueError("after must be >= 1")
+        self._raise_after = after
+        if points is not None:
+            self._raise_points = frozenset(points)
+        if message is not None:
+            self._raise_message = message
+        return self
+
+    def delay_probes(self, seconds, every=1):
+        """Sleep ``seconds`` on every ``every``-th index probe."""
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self._delay_every = every
+        self._delay_seconds = seconds
+        return self
+
+    def corrupt_copies(self, every=1):
+        """Corrupt every ``every``-th :meth:`Relation.copy` result."""
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self._corrupt_every = every
+        return self
+
+    # -- installation ------------------------------------------------
+
+    def install(self):
+        global _ACTIVE
+        if _ACTIVE is not None:
+            raise RuntimeError("another FaultInjector is already installed")
+        _ACTIVE = self
+        self._installed = True
+        if self._delay_every is not None:
+            self._patch_lookup()
+        if self._corrupt_every is not None:
+            self._patch_copy()
+        return self
+
+    def uninstall(self):
+        global _ACTIVE
+        if not self._installed:
+            return
+        if self._orig_lookup is not None:
+            Relation.lookup = self._orig_lookup
+            self._orig_lookup = None
+        if self._orig_copy is not None:
+            Relation.copy = self._orig_copy
+            self._orig_copy = None
+        _ACTIVE = None
+        self._installed = False
+
+    def __enter__(self):
+        return self.install()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.uninstall()
+        return False
+
+    # -- fault behaviours --------------------------------------------
+
+    def _observe(self, point, stats):
+        self.checkpoints_seen += 1
+        if (
+            self._raise_after is not None
+            and point in self._raise_points
+            and self.checkpoints_seen >= self._raise_after
+        ):
+            self.faults_raised += 1
+            self._raise_after = None  # one-shot
+            raise InjectedFault(
+                "%s (at %s checkpoint %d)"
+                % (self._raise_message, point, self.checkpoints_seen)
+            )
+
+    def _patch_lookup(self):
+        injector = self
+        original = Relation.lookup
+        self._orig_lookup = original
+        calls = [0]
+
+        def lookup(self, positions, key, stats=None):
+            calls[0] += 1
+            if calls[0] % injector._delay_every == 0:
+                injector.probes_delayed += 1
+                injector._sleep(injector._delay_seconds)
+            return original(self, positions, key, stats)
+
+        Relation.lookup = lookup
+
+    def _patch_copy(self):
+        injector = self
+        original = Relation.copy
+        self._orig_copy = original
+        calls = [0]
+
+        def copy(self):
+            clone = original(self)
+            calls[0] += 1
+            if calls[0] % injector._corrupt_every == 0 and len(clone):
+                injector._corrupt(clone)
+            return clone
+
+        Relation.copy = copy
+
+    def _corrupt(self, relation):
+        """Drop one seeded row and add one bogus row — on the clone only.
+
+        Mutates ``tuples`` directly (bypassing index maintenance) to
+        model a snapshot whose indexes disagree with its contents; the
+        bogus row is detectable because its values are fresh strings no
+        real database interns.
+        """
+        self.copies_corrupted += 1
+        victim = self.random.choice(sorted(relation.tuples, key=repr))
+        relation.tuples.discard(victim)
+        bogus = tuple(
+            "__corrupt_%d_%d" % (self.copies_corrupted, position)
+            for position in range(relation.arity)
+        )
+        relation.tuples.add(bogus)
+
+    def __repr__(self):
+        plans = []
+        if self._raise_after is not None:
+            plans.append("raise@%d" % self._raise_after)
+        if self._delay_every is not None:
+            plans.append(
+                "delay(%gs/%d)" % (self._delay_seconds, self._delay_every)
+            )
+        if self._corrupt_every is not None:
+            plans.append("corrupt/%d" % self._corrupt_every)
+        return "FaultInjector(%s%s)" % (
+            "installed, " if self._installed else "",
+            ", ".join(plans) if plans else "no-op",
+        )

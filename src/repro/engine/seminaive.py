@@ -16,6 +16,7 @@ from time import perf_counter
 from ..datalog.analysis import ProgramAnalysis
 from ..datalog.atoms import Atom
 from ..errors import EvaluationError
+from . import faults
 from .compile import CompiledRule
 from .instrumentation import EvalStats
 from .join import evaluate_body, evaluate_rule, ground_atom, ground_head
@@ -27,7 +28,7 @@ class SemiNaiveEngine:
     """Evaluator holding derived relations for one program run."""
 
     def __init__(self, program, db, stats=None, max_iterations=None,
-                 reorder=False, seminaive=True, trace=None):
+                 reorder=False, seminaive=True, trace=None, budget=None):
         if reorder:
             from ..datalog.rules import Program
             from .planner import reorder_program_rules
@@ -37,6 +38,10 @@ class SemiNaiveEngine:
         self.db = db
         self.stats = stats if stats is not None else EvalStats()
         self.max_iterations = max_iterations
+        #: Optional :class:`~repro.engine.guard.ResourceBudget` checked
+        #: at every round boundary (never mid-round), so deadlines and
+        #: fact budgets fire within one round of being exceeded.
+        self.budget = budget
         #: With ``seminaive=False`` recursive rounds re-evaluate every
         #: rule against the full relations (the textbook naive
         #: fixpoint) — kept as an ablation baseline.
@@ -210,13 +215,35 @@ class SemiNaiveEngine:
             else:
                 stats.facts_duplicate += 1
 
+    def _round_boundary(self, rounds):
+        """Pre-round checkpoint: iteration cap, budget, fault hook.
+
+        Runs *before* the round it guards, so ``max_iterations=N``
+        executes at most N rounds per clique and budget errors fire
+        before — never after — an over-limit round would start.
+        """
+        if (
+            self.max_iterations is not None
+            and rounds >= self.max_iterations
+        ):
+            raise EvaluationError(
+                "fixpoint did not converge within %d iterations"
+                % self.max_iterations
+            )
+        if self.budget is not None:
+            self.budget.check(self.stats)
+        faults.fire("round", self.stats)
+
     def _evaluate_clique(self, clique):
         delta = {}
+        rounds = 0
+        self._round_boundary(rounds)
         # Initial naive round over every rule of the clique.
         for rule in clique.rules:
             if rule.is_fact():
                 continue
             self._apply_rule(rule, self._full_resolver, delta)
+        rounds += 1
         self.stats.iterations += 1
         if not clique.is_recursive():
             return
@@ -231,17 +258,9 @@ class SemiNaiveEngine:
             for index, lit in enumerate(rule.body):
                 if isinstance(lit, Atom) and lit.key in clique.predicates:
                     occurrences.append((rule, index))
-        rounds = 0
         while delta:
+            self._round_boundary(rounds)
             rounds += 1
-            if (
-                self.max_iterations is not None
-                and rounds > self.max_iterations
-            ):
-                raise EvaluationError(
-                    "fixpoint did not converge within %d iterations"
-                    % self.max_iterations
-                )
             self.stats.iterations += 1
             new_delta = {}
             if self.seminaive:
@@ -257,10 +276,10 @@ class SemiNaiveEngine:
 
 
 def evaluate_program(program, db, stats=None, max_iterations=None,
-                     reorder=False):
+                     reorder=False, budget=None):
     """Evaluate ``program`` over ``db``; returns {key: Relation}."""
     engine = SemiNaiveEngine(
         program, db, stats=stats, max_iterations=max_iterations,
-        reorder=reorder,
+        reorder=reorder, budget=budget,
     )
     return engine.run()

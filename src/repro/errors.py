@@ -21,8 +21,13 @@ class ParseError(ReproError):
     def __init__(self, message, line=None, column=None):
         self.line = line
         self.column = column
+        parts = []
         if line is not None:
-            message = "line %d, column %d: %s" % (line, column, message)
+            parts.append("line %d" % line)
+        if column is not None:
+            parts.append("column %d" % column)
+        if parts:
+            message = "%s: %s" % (", ".join(parts), message)
         super().__init__(message)
 
 
@@ -63,3 +68,51 @@ class CountingDivergenceError(RewritingError):
 
 class EvaluationError(ReproError):
     """Raised for runtime evaluation failures (e.g. unbound arithmetic)."""
+
+
+class BudgetExceededError(ReproError):
+    """A resource budget was exhausted before evaluation converged.
+
+    Deliberately *not* an :class:`EvaluationError`: the strategy
+    executors translate engine-level ``EvaluationError``s into
+    method-specific failures (divergence, for the counting family), and
+    a budget firing must never be relabelled that way — it describes
+    the caller's limits, not the method's applicability.
+
+    ``stats`` carries the partial :class:`~repro.engine.instrumentation.
+    EvalStats` accumulated up to the abort, so callers can see how far
+    evaluation got; ``elapsed`` is the wall-clock seconds consumed.
+    """
+
+    def __init__(self, message, stats=None, elapsed=None):
+        super().__init__(message)
+        self.stats = stats
+        self.elapsed = elapsed
+
+
+class DeadlineExceeded(BudgetExceededError):
+    """The wall-clock deadline of a :class:`ResourceBudget` passed."""
+
+
+class FactBudgetExceeded(BudgetExceededError):
+    """Evaluation derived more facts than the budget allows."""
+
+
+class RoundBudgetExceeded(BudgetExceededError):
+    """Evaluation ran more fixpoint rounds than the budget allows."""
+
+
+class EvaluationCancelled(BudgetExceededError):
+    """A cooperative :class:`CancellationToken` was triggered."""
+
+
+class ResilienceExhaustedError(ReproError):
+    """Every strategy in a resilient fallback chain failed.
+
+    Carries the :class:`~repro.exec.resilient.ExecutionReport` whose
+    ``attempts`` list the per-strategy failures.
+    """
+
+    def __init__(self, message, report=None):
+        super().__init__(message)
+        self.report = report

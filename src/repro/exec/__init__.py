@@ -3,6 +3,13 @@
 from .counting_engine import CountingEngine, CountingRow, CountingTable
 from .magic_counting import MagicCountingEngine, recurring_nodes
 from .qsq import QSQEngine, qsq_evaluate
+from .resilient import (
+    DEFAULT_CHAIN,
+    AttemptRecord,
+    ExecutionReport,
+    FallbackPolicy,
+    run_resilient,
+)
 from .weak_stratification import (
     tables_equivalent,
     wavefront_counting_table,
@@ -24,15 +31,20 @@ from .strategies import (
 )
 
 __all__ = [
+    "AttemptRecord",
     "CountingEngine",
     "CountingRow",
     "CountingTable",
+    "DEFAULT_CHAIN",
+    "ExecutionReport",
     "ExecutionResult",
+    "FallbackPolicy",
     "MagicCountingEngine",
     "QSQEngine",
     "STRATEGIES",
     "qsq_evaluate",
     "run_qsq",
+    "run_resilient",
     "recurring_nodes",
     "run_classical_counting",
     "run_cyclic_counting",

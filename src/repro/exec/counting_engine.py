@@ -32,6 +32,7 @@ pointer implementation; the back-arc triples are exactly the extra
 information Algorithm 2 adds.
 """
 
+from ..engine import faults
 from ..engine.compile import BoundQuery
 from ..engine.instrumentation import EvalStats
 from ..errors import EvaluationError, NotApplicableError
@@ -133,13 +134,18 @@ class CountingEngine:
     """
 
     def __init__(self, canonical, goal_key, source_values, get_relation,
-                 stats=None, require_acyclic=False, answer_order="bfs"):
+                 stats=None, require_acyclic=False, answer_order="bfs",
+                 budget=None):
         self.canonical = canonical
         self.goal_key = goal_key
         self.source_values = tuple(source_values)
         self.get_relation = get_relation
         self.stats = stats if stats is not None else EvalStats()
         self.require_acyclic = require_acyclic
+        #: Optional :class:`~repro.engine.guard.ResourceBudget` checked
+        #: per node expansion in the counting-set DFS and per state pop
+        #: in the answer phase.
+        self.budget = budget
         if answer_order not in ("bfs", "dfs"):
             raise ValueError("answer_order must be 'bfs' or 'dfs'")
         #: Exploration order of the answer phase.  ``"dfs"`` is the
@@ -180,6 +186,8 @@ class CountingEngine:
 
     def _successors(self, node):
         """Left-graph successors of ``node`` with (label, shared) labels."""
+        if self.budget is not None:
+            self.budget.check(self.stats)
         pred, values = node
         results = []
         for rule in self.canonical.recursive_rules:
@@ -323,6 +331,9 @@ class CountingEngine:
                 self.stats.facts_duplicate += 1
         self.max_frontier = len(pending)
         while pending:
+            if self.budget is not None:
+                self.budget.check(self.stats)
+            faults.fire("unwind", self.stats)
             self.stats.iterations += 1
             if self.answer_order == "dfs":
                 state = pending.pop()

@@ -30,6 +30,7 @@ examples and on random cyclic data).
 from ..datalog.atoms import Atom
 from ..datalog.rules import Program, Rule
 from ..datalog.terms import Constant, Variable
+from ..engine import faults
 from ..engine.instrumentation import EvalStats
 from ..engine.relation import WILDCARD
 from ..engine.seminaive import SemiNaiveEngine
@@ -90,15 +91,19 @@ class MagicCountingEngine:
     """Hybrid evaluator; same interface as :class:`CountingEngine`."""
 
     def __init__(self, canonical, goal_key, source_values, get_relation,
-                 stats=None):
+                 stats=None, budget=None):
         self.canonical = canonical
         self.goal_key = goal_key
         self.source_values = tuple(source_values)
         self.get_relation = get_relation
         self.stats = stats if stats is not None else EvalStats()
+        #: Optional :class:`~repro.engine.guard.ResourceBudget`; shared
+        #: with the embedded pointer engine and the magic-part
+        #: semi-naive run, and checked per frontier pop here.
+        self.budget = budget
         self._pointer = CountingEngine(
             canonical, goal_key, source_values, get_relation,
-            stats=self.stats,
+            stats=self.stats, budget=budget,
         )
         self.table = None
         self.recurring = frozenset()
@@ -204,6 +209,7 @@ class MagicCountingEngine:
                 program,
                 _ResolverDatabase(self.get_relation),
                 stats=self.stats,
+                budget=self.budget,
             )
             self.magic_relations = engine.run()
 
@@ -263,6 +269,9 @@ class MagicCountingEngine:
         answers = set()
         index = 0
         while index < len(frontier):
+            if self.budget is not None:
+                self.budget.check(self.stats)
+            faults.fire("unwind", self.stats)
             state = frontier[index]
             index += 1
             if state[2] == table.source_id and state[0] == self.goal_key:

@@ -35,10 +35,13 @@ from ..rewriting.adornment import adorn_query
 class QSQEngine:
     """Iterative query-subquery evaluator over an adorned program."""
 
-    def __init__(self, adorned, db, stats=None):
+    def __init__(self, adorned, db, stats=None, budget=None):
         self.adorned = adorned
         self.db = db
         self.stats = stats if stats is not None else EvalStats()
+        #: Optional :class:`~repro.engine.guard.ResourceBudget` checked
+        #: once per subquery evaluation (the QSQ round boundary).
+        self.budget = budget
         self.adornments = {
             key: adornment
             for key, (_orig, adornment) in adorned.origins.items()
@@ -102,6 +105,8 @@ class QSQEngine:
             before = self.subquery_count()
             for key, bindings in list(self.subqueries.items()):
                 for bound_values in list(bindings):
+                    if self.budget is not None:
+                        self.budget.check(self.stats)
                     if self._evaluate_subquery(key, bound_values):
                         changed = True
             # New subqueries raised during the sweep need their own
@@ -188,14 +193,14 @@ class QSQEngine:
         return sum(len(b) for b in self.subqueries.values())
 
 
-def qsq_evaluate(query, db, stats=None):
+def qsq_evaluate(query, db, stats=None, budget=None):
     """Top-down QSQ evaluation of ``query``; returns (answers, engine).
 
     Answers are projected onto the goal's free positions, like every
     strategy runner.
     """
     adorned = query if hasattr(query, "origins") else adorn_query(query)
-    engine = QSQEngine(adorned, db, stats=stats)
+    engine = QSQEngine(adorned, db, stats=stats, budget=budget)
     relation = engine.run(adorned.goal)
     from ..engine.fixpoint import goal_filter, project_free
 

@@ -1,0 +1,255 @@
+"""Graceful strategy degradation: the resilient fallback runner.
+
+The optimizer picks the *strongest* applicable method, but strategy
+selection is fallible: applicability checks are static approximations,
+cyclic data makes counting methods diverge, and a production deployment
+additionally imposes resource limits no static check can anticipate.
+:func:`run_resilient` treats a strategy as an *attempt*: it walks a
+preferred chain (by default ``pointer_counting → extended_counting →
+magic_counting → sup_magic → naive``), catches the typed failure of
+each stage — :class:`~repro.errors.NotApplicableError`,
+:class:`~repro.errors.CountingDivergenceError`, the
+:class:`~repro.errors.BudgetExceededError` family and engine-level
+:class:`~repro.errors.EvaluationError`\\ s — and degrades to the next
+stage.  Degradation is observable, never silent: the returned
+:class:`ExecutionReport` records every attempt with its failure class,
+elapsed time and partial stats.
+
+Isolation: with ``isolate=True`` (the default) every attempt runs
+against a fresh :meth:`Database.copy` snapshot, so a strategy that dies
+mid-fixpoint — or an injected fault that corrupts its working copy —
+can never leave the caller's database mutated.  The terminal ``naive``
+stage is always applicable and unbudgeted by default is not — budgets
+apply to every stage alike; choose the chain and limits so the last
+stage can finish.
+"""
+
+from time import perf_counter
+
+from ..datalog.rules import Query
+from ..engine.database import Database
+from ..engine.guard import ResourceBudget
+from ..errors import (
+    BudgetExceededError,
+    CountingDivergenceError,
+    EvaluationError,
+    NotApplicableError,
+    ResilienceExhaustedError,
+)
+from .strategies import STRATEGIES, run_strategy
+
+#: The default preference chain: strongest counting method first,
+#: always-applicable naive evaluation last.
+DEFAULT_CHAIN = (
+    "pointer_counting",
+    "extended_counting",
+    "magic_counting",
+    "sup_magic",
+    "naive",
+)
+
+#: Failure classes a stage may degrade past.  Anything else (TypeError,
+#: unknown strategy, a genuine bug) propagates immediately.
+DEGRADABLE_ERRORS = (
+    NotApplicableError,
+    CountingDivergenceError,
+    BudgetExceededError,
+    EvaluationError,
+)
+
+
+class FallbackPolicy:
+    """Which strategies to try, in what order, under what limits.
+
+    ``timeout`` / ``max_facts`` / ``max_rounds`` configure a *fresh*
+    :class:`ResourceBudget` per attempt (budgets are single-use; a
+    shared budget would charge stage N for stage N-1's spending).
+    ``isolate`` runs each attempt on a database snapshot.  ``catch`` is
+    the tuple of error classes that trigger degradation.
+    """
+
+    __slots__ = ("chain", "timeout", "max_facts", "max_rounds",
+                 "isolate", "catch")
+
+    def __init__(self, chain=DEFAULT_CHAIN, timeout=None, max_facts=None,
+                 max_rounds=None, isolate=True, catch=DEGRADABLE_ERRORS):
+        chain = tuple(chain)
+        if not chain:
+            raise ValueError("fallback chain must name at least one strategy")
+        unknown = [name for name in chain if name not in STRATEGIES]
+        if unknown:
+            raise ValueError(
+                "unknown strategies in fallback chain: %s"
+                % ", ".join(unknown)
+            )
+        self.chain = chain
+        self.timeout = timeout
+        self.max_facts = max_facts
+        self.max_rounds = max_rounds
+        self.isolate = isolate
+        self.catch = tuple(catch)
+
+    def make_budget(self):
+        """A fresh per-attempt budget, or ``None`` when unlimited."""
+        if (
+            self.timeout is None
+            and self.max_facts is None
+            and self.max_rounds is None
+        ):
+            return None
+        return ResourceBudget(
+            timeout=self.timeout,
+            max_facts=self.max_facts,
+            max_rounds=self.max_rounds,
+        )
+
+    def __repr__(self):
+        return "FallbackPolicy(%s)" % " -> ".join(self.chain)
+
+
+class AttemptRecord:
+    """One stage of a resilient run: a strategy and its outcome."""
+
+    __slots__ = ("method", "error", "elapsed", "stats")
+
+    def __init__(self, method, error=None, elapsed=0.0, stats=None):
+        self.method = method
+        #: The typed error the stage failed with, or ``None`` on success.
+        self.error = error
+        self.elapsed = elapsed
+        #: Partial :class:`EvalStats` — for budget errors, how far the
+        #: stage got before the abort; ``None`` when unavailable.
+        self.stats = stats
+
+    @property
+    def failed(self):
+        return self.error is not None
+
+    @property
+    def error_class(self):
+        """The failure's class name, or ``None`` on success."""
+        return None if self.error is None else type(self.error).__name__
+
+    def __repr__(self):
+        outcome = self.error_class if self.failed else "ok"
+        return "AttemptRecord(%s: %s, %.4fs)" % (
+            self.method, outcome, self.elapsed
+        )
+
+
+class ExecutionReport:
+    """Every attempt of a resilient run plus the final result.
+
+    ``attempts`` lists one :class:`AttemptRecord` per stage tried, in
+    order; ``result`` is the winning stage's
+    :class:`~repro.exec.strategies.ExecutionResult` (``None`` only
+    inside a :class:`ResilienceExhaustedError`).
+    """
+
+    __slots__ = ("attempts", "result", "policy")
+
+    def __init__(self, policy):
+        self.policy = policy
+        self.attempts = []
+        self.result = None
+
+    @property
+    def succeeded(self):
+        return self.result is not None
+
+    @property
+    def method(self):
+        """The strategy that produced the answers, or ``None``."""
+        return None if self.result is None else self.result.method
+
+    @property
+    def fallback_depth(self):
+        """How many preferred stages failed before the winning one."""
+        return max(0, len(self.attempts) - 1) if self.succeeded \
+            else len(self.attempts)
+
+    @property
+    def budget_aborts(self):
+        """Attempts that died on a :class:`BudgetExceededError`."""
+        return sum(
+            1 for attempt in self.attempts
+            if isinstance(attempt.error, BudgetExceededError)
+        )
+
+    @property
+    def total_elapsed(self):
+        return sum(attempt.elapsed for attempt in self.attempts)
+
+    def render(self):
+        """Human-readable attempt log, one line per stage."""
+        lines = []
+        for attempt in self.attempts:
+            outcome = (
+                "ok" if not attempt.failed
+                else "failed: %s (%s)" % (attempt.error_class,
+                                          attempt.error)
+            )
+            lines.append(
+                "%-18s %8.4fs  %s" % (attempt.method, attempt.elapsed,
+                                      outcome)
+            )
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "ExecutionReport(%s, %d attempts, %d budget aborts)" % (
+            self.method or "exhausted", len(self.attempts),
+            self.budget_aborts,
+        )
+
+
+def run_resilient(query, db, policy=None):
+    """Run ``query`` under a degrading strategy chain.
+
+    Returns an :class:`ExecutionReport` whose ``result`` holds the
+    first successful stage's answers.  Raises
+    :class:`ResilienceExhaustedError` (carrying the report) when every
+    stage fails — by construction impossible with the default chain's
+    terminal ``naive`` stage unless a budget is set tight enough to
+    starve even that.
+    """
+    if policy is None:
+        policy = FallbackPolicy()
+    if not isinstance(query, Query):
+        raise TypeError("expected a Query")
+    if not isinstance(db, Database):
+        raise TypeError("expected a Database")
+    report = ExecutionReport(policy)
+    for method in policy.chain:
+        budget = policy.make_budget()
+        attempt_db = db.copy() if policy.isolate else db
+        started = perf_counter()
+        try:
+            result = run_strategy(method, query, attempt_db,
+                                  budget=budget)
+        except policy.catch as exc:
+            report.attempts.append(
+                AttemptRecord(
+                    method,
+                    error=exc,
+                    elapsed=perf_counter() - started,
+                    stats=getattr(exc, "stats", None),
+                )
+            )
+            continue
+        report.attempts.append(
+            AttemptRecord(method, elapsed=perf_counter() - started,
+                          stats=result.stats)
+        )
+        report.result = result
+        return report
+    raise ResilienceExhaustedError(
+        "all %d strategies failed: %s"
+        % (
+            len(report.attempts),
+            "; ".join(
+                "%s (%s)" % (a.method, a.error_class)
+                for a in report.attempts
+            ),
+        ),
+        report=report,
+    )

@@ -86,9 +86,10 @@ class ExecutionResult:
         )
 
 
-def _run_engine(query, db, stats, max_iterations=None):
+def _run_engine(query, db, stats, max_iterations=None, budget=None):
     engine = SemiNaiveEngine(
-        query.program, db, stats=stats, max_iterations=max_iterations
+        query.program, db, stats=stats, max_iterations=max_iterations,
+        budget=budget,
     )
     derived = engine.run()
     goal = query.goal
@@ -101,11 +102,11 @@ def _relation_sizes(derived, keys):
     return sum(len(derived[key]) for key in keys if key in derived)
 
 
-def run_naive(query, db):
+def run_naive(query, db, budget=None):
     """Evaluate the original program without binding propagation."""
     stats = EvalStats()
     started = time.perf_counter()
-    answers, derived = _run_engine(query, db, stats)
+    answers, derived = _run_engine(query, db, stats, budget=budget)
     elapsed = time.perf_counter() - started
     extras = {
         "derived_facts": sum(len(rel) for rel in derived.values()),
@@ -114,12 +115,13 @@ def run_naive(query, db):
                            elapsed=elapsed)
 
 
-def run_magic(query, db):
+def run_magic(query, db, budget=None):
     """Magic-set rewriting followed by semi-naive evaluation."""
     stats = EvalStats()
     started = time.perf_counter()
     rewriting = magic_rewrite(query)
-    answers, derived = _run_engine(rewriting.query, db, stats)
+    answers, derived = _run_engine(rewriting.query, db, stats,
+                                   budget=budget)
     elapsed = time.perf_counter() - started
     extras = {
         "magic_set_size": magic_set_size(derived, rewriting),
@@ -129,14 +131,15 @@ def run_magic(query, db):
                            elapsed)
 
 
-def run_sup_magic(query, db):
+def run_sup_magic(query, db, budget=None):
     """Supplementary magic sets: prefixes materialized once."""
     from ..rewriting.supplementary import supplementary_magic_rewrite
 
     stats = EvalStats()
     started = time.perf_counter()
     rewriting = supplementary_magic_rewrite(query)
-    answers, derived = _run_engine(rewriting.query, db, stats)
+    answers, derived = _run_engine(rewriting.query, db, stats,
+                                   budget=budget)
     elapsed = time.perf_counter() - started
     extras = {
         "sup_facts": sum(
@@ -154,12 +157,14 @@ def _divergence_bound(db):
 
     On acyclic data the counting index never exceeds the number of
     database constants, so a fixpoint running longer than that has hit
-    a cycle.
+    a cycle.  The cap counts every round of a clique — the initial
+    naive round included — hence the extra slack beyond the constant
+    count.
     """
-    return len(db.constants()) + 2
+    return len(db.constants()) + 3
 
 
-def run_classical_counting(query, db):
+def run_classical_counting(query, db, budget=None):
     """Classical counting; divergence-guarded for cyclic data."""
     stats = EvalStats()
     started = time.perf_counter()
@@ -168,6 +173,7 @@ def run_classical_counting(query, db):
         answers, derived = _run_engine(
             rewriting.query, db, stats,
             max_iterations=_divergence_bound(db),
+            budget=budget,
         )
     except EvaluationError as exc:
         raise CountingDivergenceError(
@@ -185,7 +191,7 @@ def run_classical_counting(query, db):
                            rewriting, elapsed)
 
 
-def run_encoded_counting(query, db):
+def run_encoded_counting(query, db, budget=None):
     """The [15] integer-encoded counting method (historical baseline).
 
     The rule log rides a single integer; divergence-guarded like the
@@ -201,6 +207,7 @@ def run_encoded_counting(query, db):
         answers, derived = _run_engine(
             rewriting.query, db, stats,
             max_iterations=_divergence_bound(db),
+            budget=budget,
         )
     except EvaluationError as exc:
         raise CountingDivergenceError(
@@ -270,7 +277,7 @@ def _check_left_graph_acyclic(adorned, db, stats, method):
             )
 
 
-def _support_resolver(adorned, support_rules, db, stats):
+def _support_resolver(adorned, support_rules, db, stats, budget=None):
     """Materialize support (lower-clique) rules over the database.
 
     Returns a lookup ``key -> relation`` that consults the materialized
@@ -280,12 +287,13 @@ def _support_resolver(adorned, support_rules, db, stats):
         return db.get
     from ..datalog.rules import Program
 
-    engine = SemiNaiveEngine(Program(support_rules), db, stats=stats)
+    engine = SemiNaiveEngine(Program(support_rules), db, stats=stats,
+                             budget=budget)
     engine.run()
     return engine.relation
 
 
-def run_extended_counting(query, db, check_acyclic=True):
+def run_extended_counting(query, db, check_acyclic=True, budget=None):
     """Algorithm 1 (list path arguments) on the generic engine."""
     stats = EvalStats()
     started = time.perf_counter()
@@ -294,7 +302,8 @@ def run_extended_counting(query, db, check_acyclic=True):
         _check_left_graph_acyclic(
             rewriting.adorned, db, stats, "extended counting"
         )
-    answers, derived = _run_engine(rewriting.query, db, stats)
+    answers, derived = _run_engine(rewriting.query, db, stats,
+                                   budget=budget)
     elapsed = time.perf_counter() - started
     extras = {
         "counting_set_size": _relation_sizes(
@@ -306,7 +315,7 @@ def run_extended_counting(query, db, check_acyclic=True):
                            rewriting, elapsed)
 
 
-def run_reduced_counting(query, db, check_acyclic=True):
+def run_reduced_counting(query, db, check_acyclic=True, budget=None):
     """Algorithm 1 followed by the Algorithm 3 reduction."""
     stats = EvalStats()
     started = time.perf_counter()
@@ -319,7 +328,8 @@ def run_reduced_counting(query, db, check_acyclic=True):
         _check_left_graph_acyclic(
             rewriting.source.adorned, db, stats, "reduced counting"
         )
-    answers, derived = _run_engine(rewriting.query, db, stats)
+    answers, derived = _run_engine(rewriting.query, db, stats,
+                                   budget=budget)
     elapsed = time.perf_counter() - started
     extras = {
         "counting_set_size": _relation_sizes(
@@ -338,11 +348,13 @@ def run_reduced_counting(query, db, check_acyclic=True):
                            rewriting, elapsed)
 
 
-def _counting_engine_for(query, db, stats, require_acyclic):
+def _counting_engine_for(query, db, stats, require_acyclic,
+                         budget=None):
     adorned = query if hasattr(query, "origins") else adorn_query(query)
     clique, support_rules = goal_clique_of(adorned)
     canonical = canonicalize_clique(clique, adorned)
-    get_relation = _support_resolver(adorned, support_rules, db, stats)
+    get_relation = _support_resolver(adorned, support_rules, db, stats,
+                                     budget=budget)
     return CountingEngine(
         canonical,
         adorned.goal.key,
@@ -350,14 +362,16 @@ def _counting_engine_for(query, db, stats, require_acyclic):
         get_relation,
         stats=stats,
         require_acyclic=require_acyclic,
+        budget=budget,
     )
 
 
-def run_pointer_counting(query, db):
+def run_pointer_counting(query, db, budget=None):
     """§3.4 pointer-based implementation (acyclic databases)."""
     stats = EvalStats()
     started = time.perf_counter()
-    engine = _counting_engine_for(query, db, stats, require_acyclic=True)
+    engine = _counting_engine_for(query, db, stats, require_acyclic=True,
+                                  budget=budget)
     answers = engine.run()
     elapsed = time.perf_counter() - started
     extras = {
@@ -370,11 +384,12 @@ def run_pointer_counting(query, db):
                            elapsed=elapsed)
 
 
-def run_cyclic_counting(query, db):
+def run_cyclic_counting(query, db, budget=None):
     """Algorithm 2: extended counting for arbitrary (cyclic) data."""
     stats = EvalStats()
     started = time.perf_counter()
-    engine = _counting_engine_for(query, db, stats, require_acyclic=False)
+    engine = _counting_engine_for(query, db, stats,
+                                  require_acyclic=False, budget=budget)
     answers = engine.run()
     elapsed = time.perf_counter() - started
     extras = {
@@ -388,7 +403,7 @@ def run_cyclic_counting(query, db):
                            elapsed=elapsed)
 
 
-def run_magic_counting(query, db):
+def run_magic_counting(query, db, budget=None):
     """The magic-counting hybrid [16]: counting on the non-recurring
     part of the left graph, magic sets on the recurring part."""
     from ..rewriting.canonical import canonicalize_clique
@@ -399,13 +414,15 @@ def run_magic_counting(query, db):
     adorned = query if hasattr(query, "origins") else adorn_query(query)
     clique, support_rules = goal_clique_of(adorned)
     canonical = canonicalize_clique(clique, adorned)
-    get_relation = _support_resolver(adorned, support_rules, db, stats)
+    get_relation = _support_resolver(adorned, support_rules, db, stats,
+                                     budget=budget)
     engine = MagicCountingEngine(
         canonical,
         adorned.goal.key,
         query_constants(adorned.goal),
         get_relation,
         stats=stats,
+        budget=budget,
     )
     answers = engine.run()
     elapsed = time.perf_counter() - started
@@ -418,14 +435,15 @@ def run_magic_counting(query, db):
                            elapsed=elapsed)
 
 
-def run_qsq(query, db):
+def run_qsq(query, db, budget=None):
     """Top-down query-subquery evaluation (the memoing family's
     direct formulation; work profile tracks magic sets)."""
     from .qsq import qsq_evaluate
 
     stats = EvalStats()
     started = time.perf_counter()
-    answers, engine = qsq_evaluate(query, db, stats=stats)
+    answers, engine = qsq_evaluate(query, db, stats=stats,
+                                   budget=budget)
     elapsed = time.perf_counter() - started
     extras = {
         "subqueries": engine.subquery_count(),
@@ -451,8 +469,14 @@ STRATEGIES = {
 }
 
 
-def run_strategy(name, query, db):
-    """Run one registered strategy by name."""
+def run_strategy(name, query, db, budget=None):
+    """Run one registered strategy by name.
+
+    ``budget`` is an optional
+    :class:`~repro.engine.guard.ResourceBudget` threaded through to the
+    underlying engines; a budget firing surfaces as a typed
+    :class:`~repro.errors.BudgetExceededError` carrying partial stats.
+    """
     try:
         runner = STRATEGIES[name]
     except KeyError:
@@ -464,4 +488,6 @@ def run_strategy(name, query, db):
         raise TypeError("expected a Query")
     if not isinstance(db, Database):
         raise TypeError("expected a Database")
-    return runner(query, db)
+    if budget is None:
+        return runner(query, db)
+    return runner(query, db, budget=budget)

@@ -47,12 +47,16 @@ class OptimizationPlan:
         self.reason = reason
         self.adorned = adorned
 
-    def execute(self, db):
+    def execute(self, db, budget=None):
         """Run the plan; returns an
-        :class:`~repro.exec.strategies.ExecutionResult`."""
+        :class:`~repro.exec.strategies.ExecutionResult`.
+
+        ``budget`` is an optional
+        :class:`~repro.engine.guard.ResourceBudget` bounding the run.
+        """
         from ..exec.strategies import run_strategy
 
-        return run_strategy(self.method, self.query, db)
+        return run_strategy(self.method, self.query, db, budget=budget)
 
     def explain(self):
         return "%s: %s" % (self.method, self.reason)

@@ -3,6 +3,20 @@
 import pytest
 
 from repro import Database, parse_query
+from repro.engine.faults import FaultInjector
+
+
+@pytest.fixture
+def fault_injector():
+    """A fresh deterministic FaultInjector, force-uninstalled on teardown.
+
+    Tests arm it (``raise_mid_fixpoint``/``delay_probes``/
+    ``corrupt_copies``) and enter it as a context manager; the teardown
+    uninstall is a safety net for tests that fail while installed.
+    """
+    injector = FaultInjector(seed=0)
+    yield injector
+    injector.uninstall()
 
 
 @pytest.fixture

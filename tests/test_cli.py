@@ -67,6 +67,47 @@ class TestRun:
         assert code == 1
         assert "error" in text
 
+    def test_timeout_flag_passes_when_generous(self, program_file,
+                                               db_file):
+        code, text = run_cli(
+            "run", program_file, "--db", db_file, "--timeout", "60"
+        )
+        assert code == 0
+        assert "count  : 2 answers" in text
+
+    def test_max_facts_budget_reported_as_error(self, program_file,
+                                                db_file):
+        code, text = run_cli(
+            "run", program_file, "--db", db_file,
+            "--method", "naive", "--max-facts", "1",
+        )
+        assert code == 1
+        assert "derived-fact budget" in text
+
+    def test_resilient_recovers_from_divergence(self, program_file,
+                                                tmp_path):
+        cyclic = tmp_path / "cyclic.dl"
+        cyclic.write_text("""
+            up(a, b). up(b, a). flat(b, x). down(x, y).
+        """)
+        code, text = run_cli(
+            "run", program_file, "--db", str(cyclic), "--resilient"
+        )
+        assert code == 0
+        assert "resilient" in text
+        # Failed stages are itemised with their typed errors.
+        assert "tried  : pointer_counting -> NotApplicableError" in text
+        assert "count  :" in text
+
+    def test_resilient_chain_starts_at_requested_method(
+            self, program_file, db_file):
+        code, text = run_cli(
+            "run", program_file, "--db", db_file,
+            "--method", "sup_magic", "--resilient",
+        )
+        assert code == 0
+        assert "method : sup_magic (resilient, 0 failed attempts)" in text
+
 
 class TestRewrite:
     @pytest.mark.parametrize(

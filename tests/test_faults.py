@@ -1,0 +1,166 @@
+"""Deterministic fault injection: budgets, isolation, typed failures."""
+
+import pytest
+
+from repro import Database, ResourceBudget, run_strategy
+from repro.engine.faults import FaultInjector, InjectedFault, active_injector
+from repro.engine.relation import Relation
+from repro.errors import DeadlineExceeded, EvaluationError, ReproError
+
+
+class TestInjectorLifecycle:
+    def test_install_uninstall_restores_patches(self, fault_injector):
+        original_lookup = Relation.lookup
+        original_copy = Relation.copy
+        fault_injector.delay_probes(0.0).corrupt_copies()
+        with fault_injector:
+            assert Relation.lookup is not original_lookup
+            assert Relation.copy is not original_copy
+            assert active_injector() is fault_injector
+        assert Relation.lookup is original_lookup
+        assert Relation.copy is original_copy
+        assert active_injector() is None
+
+    def test_single_injector_at_a_time(self, fault_injector):
+        with fault_injector:
+            with pytest.raises(RuntimeError):
+                FaultInjector().install()
+
+    def test_uninstall_is_idempotent(self, fault_injector):
+        fault_injector.install()
+        fault_injector.uninstall()
+        fault_injector.uninstall()
+        assert active_injector() is None
+
+    def test_plan_validation(self, fault_injector):
+        with pytest.raises(ValueError):
+            fault_injector.raise_mid_fixpoint(after=0)
+        with pytest.raises(ValueError):
+            fault_injector.delay_probes(0.1, every=0)
+        with pytest.raises(ValueError):
+            fault_injector.corrupt_copies(every=0)
+
+
+class TestMidFixpointRaise:
+    def test_raises_typed_repro_error(self, sg_query, sg_db,
+                                      fault_injector):
+        fault_injector.raise_mid_fixpoint(after=1)
+        with fault_injector:
+            with pytest.raises(InjectedFault) as info:
+                run_strategy("naive", sg_query, sg_db)
+        # Injected failures travel the normal typed channel.
+        assert isinstance(info.value, EvaluationError)
+        assert isinstance(info.value, ReproError)
+        assert fault_injector.faults_raised == 1
+
+    def test_fires_in_dedicated_evaluator(self, sg_query, sg_db,
+                                          fault_injector):
+        fault_injector.raise_mid_fixpoint(after=1, points=("unwind",))
+        with fault_injector:
+            with pytest.raises(InjectedFault):
+                run_strategy("pointer_counting", sg_query, sg_db)
+
+    def test_one_shot(self, sg_query, sg_db, fault_injector):
+        fault_injector.raise_mid_fixpoint(after=1)
+        with fault_injector:
+            with pytest.raises(InjectedFault):
+                run_strategy("naive", sg_query, sg_db)
+            # The plan is consumed; the next run completes.
+            result = run_strategy("naive", sg_query, sg_db)
+        assert len(result.answers) > 0
+
+    def test_later_checkpoint(self, sg_query, fault_injector):
+        # A deep chain: enough fixpoint rounds to reach checkpoint 3.
+        facts = [("flat", ("x8", "y8"))]
+        for i in range(8):
+            facts.append(("up", ("x%d" % i, "x%d" % (i + 1))))
+            facts.append(("down", ("y%d" % (i + 1), "y%d" % i)))
+        deep_db = Database.from_facts(facts)
+        fault_injector.raise_mid_fixpoint(after=3)
+        with fault_injector:
+            with pytest.raises(InjectedFault) as info:
+                run_strategy("naive", sg_query, deep_db)
+        assert "checkpoint 3" in str(info.value)
+
+
+class TestProbeDelay:
+    def test_delay_triggers_deadline(self, sg_query, sg_db,
+                                     fault_injector):
+        # Fake sleeper feeding a fake clock: every probe "costs" 1 s
+        # against a 3 s deadline, so the budget fires deterministically
+        # and within one round of the overrun.
+        elapsed = [0.0]
+        fault_injector._sleep = lambda s: elapsed.__setitem__(
+            0, elapsed[0] + s
+        )
+        fault_injector.delay_probes(1.0, every=1)
+        budget = ResourceBudget(timeout=3.0, clock=lambda: elapsed[0])
+        with fault_injector:
+            with pytest.raises(DeadlineExceeded):
+                run_strategy("naive", sg_query, sg_db, budget=budget)
+        assert fault_injector.probes_delayed >= 3
+
+    def test_delay_every_k(self, sg_query, sg_db, fault_injector):
+        calls = []
+        fault_injector._sleep = calls.append
+        fault_injector.delay_probes(0.25, every=4)
+        with fault_injector:
+            run_strategy("naive", sg_query, sg_db)
+        assert calls == [0.25] * len(calls)
+        assert fault_injector.probes_delayed == len(calls)
+        assert fault_injector.probes_delayed > 0
+
+
+class TestCopyCorruption:
+    def test_corrupts_clone_not_source(self, fault_injector):
+        relation = Relation("up", 2)
+        relation.add(("a", "b"))
+        relation.add(("b", "c"))
+        before = set(relation.tuples)
+        fault_injector.corrupt_copies(every=1)
+        with fault_injector:
+            clone = relation.copy()
+        assert relation.tuples == before
+        assert clone.tuples != before
+        assert fault_injector.copies_corrupted == 1
+        bogus = [row for row in clone.tuples
+                 if any("__corrupt" in str(v) for v in row)]
+        assert len(bogus) == 1
+
+    def test_seed_determinism(self):
+        def corrupt_once(seed):
+            relation = Relation("up", 2)
+            for i in range(10):
+                relation.add(("n%d" % i, "n%d" % (i + 1)))
+            injector = FaultInjector(seed=seed).corrupt_copies(every=1)
+            with injector:
+                return frozenset(relation.copy().tuples)
+
+        assert corrupt_once(7) == corrupt_once(7)
+        assert corrupt_once(7) != corrupt_once(8)
+
+    def test_database_copy_goes_through_injector(self, sg_db,
+                                                 fault_injector):
+        fault_injector.corrupt_copies(every=1)
+        before = sg_db.to_text()
+        with fault_injector:
+            clone = sg_db.copy()
+        assert sg_db.to_text() == before
+        assert clone.to_text() != before
+        assert fault_injector.copies_corrupted > 0
+
+
+class TestCheckpointsQuietByDefault:
+    def test_no_injector_means_no_faults(self, sg_query, sg_db):
+        assert active_injector() is None
+        result = run_strategy("naive", sg_query, sg_db)
+        assert len(result.answers) > 0
+
+    def test_noop_injector_changes_nothing(self, sg_query, sg_db,
+                                           fault_injector):
+        baseline = run_strategy("naive", sg_query, sg_db)
+        with fault_injector:
+            injected = run_strategy("naive", sg_query, sg_db)
+        assert injected.answers == baseline.answers
+        assert injected.stats.as_dict() == baseline.stats.as_dict()
+        assert fault_injector.checkpoints_seen > 0

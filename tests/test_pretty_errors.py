@@ -124,3 +124,31 @@ class TestErrorHierarchy:
     def test_parse_error_without_position(self):
         error = errors.ParseError("boom")
         assert str(error) == "boom"
+
+    def test_parse_error_line_without_column(self):
+        # Regression: line-only positions used to crash __init__ with a
+        # format TypeError because column was None.
+        error = errors.ParseError("boom", line=3)
+        assert "line 3" in str(error)
+        assert "column" not in str(error)
+        assert error.line == 3
+        assert error.column is None
+
+    def test_parse_error_column_without_line(self):
+        error = errors.ParseError("boom", column=7)
+        assert "column 7" in str(error)
+        assert "line" not in str(error)
+
+    def test_budget_errors_are_repro_but_not_evaluation_errors(self):
+        # The counting executors relabel EvaluationError as divergence;
+        # budget aborts must keep their own type through that path.
+        for subclass in (
+            errors.BudgetExceededError,
+            errors.DeadlineExceeded,
+            errors.FactBudgetExceeded,
+            errors.RoundBudgetExceeded,
+            errors.EvaluationCancelled,
+            errors.ResilienceExhaustedError,
+        ):
+            assert issubclass(subclass, errors.ReproError)
+            assert not issubclass(subclass, errors.EvaluationError)
