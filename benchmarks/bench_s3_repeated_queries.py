@@ -1,0 +1,208 @@
+"""S3 — prepared queries and cross-query caching on a repeated workload.
+
+Workload: a forest of disjoint mirrored same-generation trees, queried
+with a stream of ``sg(c, Y)?`` bindings cycling over the forest roots.
+A cold client re-runs the full pipeline (adornment, rewriting, rule
+compilation, evaluation) for every binding; a warm client prepares the
+query form once and serves repeats from an epoch-validated answer
+cache, with counting sets memoized per source node.
+
+Claims asserted:
+
+* the warm stream is at least 3x faster than the cold stream;
+* warm answers are identical to cold answers for every binding;
+* a database mutation between queries invalidates the affected cache
+  entries — post-mutation prepared answers match a cold re-run;
+* a second prepared client sharing only the counting-table store
+  reuses the memoized counting sets (phase 1 skipped);
+* ``run_batch`` returns results in binding order, deterministically.
+
+Set ``REPRO_BENCH_SMOKE=1`` to shrink the workload for CI smoke runs.
+"""
+
+import os
+import time
+
+import pytest
+
+from conftest import register_table
+from _common import assert_claims
+
+from repro.data.workloads import WORKLOADS, forest_bindings, sg_forest
+from repro.exec import AnswerCache, CountingTableStore, PreparedQuery
+from repro.exec.strategies import run_strategy
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+TREES = 4
+DEPTH = 5 if SMOKE else 7
+QUERIES = 24 if SMOKE else 96
+
+QUERY = WORKLOADS["sg_forest"].query
+
+
+def _cold_stream(prepared, bindings, db):
+    """Baseline: full run_strategy pipeline per binding."""
+    started = time.perf_counter()
+    results = [
+        run_strategy(prepared.method, prepared.bind(binding), db)
+        for binding in bindings
+    ]
+    return results, time.perf_counter() - started
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    db, _source = sg_forest(trees=TREES, fanout=2, depth=DEPTH)
+    bindings = forest_bindings(trees=TREES, queries=QUERIES)
+    cache = AnswerCache(capacity=128)
+    store = CountingTableStore(capacity=64)
+    prepared = PreparedQuery(
+        QUERY, db, cache=cache, counting_store=store
+    )
+
+    cold_results, cold_elapsed = _cold_stream(prepared, bindings, db)
+
+    started = time.perf_counter()
+    warm_results = prepared.run_batch(bindings, db=db)
+    warm_elapsed = time.perf_counter() - started
+
+    # A second client sharing only the counting-table store: its
+    # answer cache is empty, so every binding reaches the engine, but
+    # phase 1 (the left-graph DFS) is served from the store.
+    reuse_client = PreparedQuery(
+        QUERY, db, cache=AnswerCache(capacity=128), counting_store=store
+    )
+    store_hits_before = store.hits
+    reuse_results = reuse_client.run_batch(bindings[:TREES], db=db)
+    store_hits = store.hits - store_hits_before
+
+    # Mutate the database between queries: sg(a, Y) gains one answer.
+    db.add_fact("flat", "a", "s3_new_peer")
+    post_prepared = prepared.run(("a",), db=db)
+    post_cold = run_strategy(
+        prepared.method, prepared.bind(("a",)), db
+    )
+
+    data = {
+        "db": db,
+        "bindings": bindings,
+        "prepared": prepared,
+        "cache": cache,
+        "store": store,
+        "cold_results": cold_results,
+        "cold_elapsed": cold_elapsed,
+        "warm_results": warm_results,
+        "warm_elapsed": warm_elapsed,
+        "reuse_results": reuse_results,
+        "store_hits": store_hits,
+        "post_prepared": post_prepared,
+        "post_cold": post_cold,
+    }
+    register_table("s3_repeated_queries", _render_table(data))
+    return data
+
+
+def _render_table(data):
+    lines = [
+        "S3: repeated queries over a %d-tree forest (depth %d, "
+        "%d queries)" % (TREES, DEPTH, QUERIES),
+        "method            : %s" % data["prepared"].method,
+        "cold stream       : %.4fs" % data["cold_elapsed"],
+        "warm stream       : %.4fs" % data["warm_elapsed"],
+        "speedup           : %.1fx"
+        % (data["cold_elapsed"] / max(data["warm_elapsed"], 1e-9)),
+        "cache hit rate    : %.0f%%" % (100.0 * data["cache"].hit_rate),
+        "counting reuse    : %d tables" % data["store_hits"],
+    ]
+    return "\n".join(lines)
+
+
+def test_s3_time_cold(benchmark, measurements):
+    db = measurements["db"]
+    prepared = measurements["prepared"]
+    query = prepared.bind(("a1",))
+    benchmark(lambda: run_strategy(prepared.method, query, db))
+
+
+def test_s3_time_warm(benchmark, measurements):
+    db = measurements["db"]
+    prepared = measurements["prepared"]
+    benchmark(lambda: prepared.run(("a1",), db=db))
+
+
+def test_s3_warm_answers_identical(measurements, benchmark):
+    def check():
+        cold = measurements["cold_results"]
+        warm = measurements["warm_results"]
+        assert len(cold) == len(warm) == QUERIES
+        for cold_result, warm_result in zip(cold, warm):
+            assert warm_result.answers == cold_result.answers
+
+    assert_claims(benchmark, check)
+
+
+def test_s3_warm_at_least_3x_faster(measurements, benchmark):
+    def check():
+        assert (
+            measurements["warm_elapsed"] * 3
+            <= measurements["cold_elapsed"]
+        ), (
+            "warm %.4fs vs cold %.4fs"
+            % (measurements["warm_elapsed"], measurements["cold_elapsed"])
+        )
+
+    assert_claims(benchmark, check)
+
+
+def test_s3_cache_hit_rate(measurements, benchmark):
+    def check():
+        cache = measurements["cache"]
+        # QUERIES bindings over TREES distinct roots: everything after
+        # the first cycle is a hit.
+        assert cache.hits >= QUERIES - TREES
+        assert cache.hit_rate >= 0.5
+
+    assert_claims(benchmark, check)
+
+
+def test_s3_counting_table_reuse(measurements, benchmark):
+    def check():
+        assert measurements["store_hits"] >= TREES
+        for reuse, cold in zip(
+            measurements["reuse_results"], measurements["cold_results"]
+        ):
+            assert reuse.answers == cold.answers
+            assert reuse.extras.get("counting_table_reused") is True
+
+    assert_claims(benchmark, check)
+
+
+def test_s3_mutation_invalidates(measurements, benchmark):
+    def check():
+        post_prepared = measurements["post_prepared"]
+        post_cold = measurements["post_cold"]
+        # The prepared result must see the new fact, not the cache.
+        assert post_prepared.stats.cache_hits == 0
+        assert post_prepared.answers == post_cold.answers
+        assert ("s3_new_peer",) in post_prepared.answers
+        # And the pre-mutation cold answers did not contain it.
+        assert ("s3_new_peer",) not in measurements["cold_results"][0].answers
+
+    assert_claims(benchmark, check)
+
+
+def test_s3_run_batch_deterministic(measurements, benchmark):
+    def check():
+        db = measurements["db"]
+        bindings = measurements["bindings"][:8]
+        prepared = measurements["prepared"]
+        first = prepared.run_batch(bindings, db=db)
+        second = prepared.run_batch(bindings, db=db)
+        assert [r.answers for r in first] == [r.answers for r in second]
+        for binding, result in zip(bindings, first):
+            cold = run_strategy(
+                prepared.method, prepared.bind(binding), db
+            )
+            assert result.answers == cold.answers
+
+    assert_claims(benchmark, check)

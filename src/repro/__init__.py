@@ -37,9 +37,12 @@ from .engine import (
     evaluate_query,
 )
 from .exec import (
+    AnswerCache,
+    CountingTableStore,
     ExecutionReport,
     ExecutionResult,
     FallbackPolicy,
+    PreparedQuery,
     STRATEGIES,
     run_resilient,
     run_strategy,
@@ -61,17 +64,20 @@ evaluate = evaluate_query
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnswerCache",
     "Atom",
     "CancellationToken",
     "Comparison",
     "Compound",
     "Constant",
+    "CountingTableStore",
     "Database",
     "EvalStats",
     "ExecutionReport",
     "ExecutionResult",
     "FallbackPolicy",
     "Negation",
+    "PreparedQuery",
     "ResourceBudget",
     "OptimizationPlan",
     "Program",

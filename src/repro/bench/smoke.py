@@ -126,6 +126,71 @@ def run_guard_overhead():
     }
 
 
+def run_query_cache_probe():
+    """Measure the prepared-query layer on a repeated-binding stream.
+
+    Cold: a fresh ``run_strategy`` pipeline per binding.  Warm: one
+    :class:`~repro.exec.prepared.PreparedQuery` with an answer cache
+    and a counting-table store.  A third pass with an empty answer
+    cache but the warm store counts how many counting sets phase 1
+    reused.  Answers are cross-checked on every binding.
+    """
+    import time as time_module
+
+    from ..data.workloads import WORKLOADS, forest_bindings, sg_forest
+    from ..exec.cache import AnswerCache, CountingTableStore
+    from ..exec.prepared import PreparedQuery
+    from ..exec.strategies import run_strategy
+
+    trees, queries = 4, 16
+    db, _source = sg_forest(trees=trees, fanout=2, depth=5)
+    bindings = forest_bindings(trees=trees, queries=queries)
+    cache = AnswerCache(capacity=64)
+    store = CountingTableStore(capacity=32)
+    prepared = PreparedQuery(
+        WORKLOADS["sg_forest"].query, db, cache=cache,
+        counting_store=store,
+    )
+
+    started = time_module.perf_counter()
+    cold = [
+        run_strategy(prepared.method, prepared.bind(binding), db)
+        for binding in bindings
+    ]
+    cold_elapsed = time_module.perf_counter() - started
+
+    started = time_module.perf_counter()
+    warm = prepared.run_batch(bindings, db=db)
+    warm_elapsed = time_module.perf_counter() - started
+
+    answers_match = all(
+        w.answers == c.answers for w, c in zip(warm, cold)
+    )
+
+    reuse_client = PreparedQuery(
+        WORKLOADS["sg_forest"].query, db,
+        cache=AnswerCache(capacity=64), counting_store=store,
+    )
+    hits_before = store.hits
+    reuse = reuse_client.run_batch(bindings[:trees], db=db)
+    answers_match = answers_match and all(
+        r.answers == c.answers for r, c in zip(reuse, cold)
+    )
+
+    return {
+        "label": "sg_forest",
+        "method": prepared.method,
+        "queries": queries,
+        "cache_hits": cache.hits,
+        "cache_misses": cache.misses,
+        "hit_rate": cache.hit_rate,
+        "cold_elapsed": cold_elapsed,
+        "warm_elapsed": warm_elapsed,
+        "counting_table_reuse": store.hits - hits_before,
+        "answers_match": answers_match,
+    }
+
+
 def write_smoke(directory=".", tag=None):
     """Run the smoke pass and write ``BENCH_<tag>.json`` in ``directory``.
 
@@ -141,6 +206,7 @@ def write_smoke(directory=".", tag=None):
         "records": records,
         "resilience": run_resilience_probe(),
         "guard_overhead": run_guard_overhead(),
+        "query_cache": run_query_cache_probe(),
         "total_elapsed": sum(
             r["elapsed"] for r in records if r["elapsed"] is not None
         ),

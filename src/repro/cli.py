@@ -4,6 +4,7 @@ Four subcommands::
 
     python -m repro run PROGRAM.dl [--db FACTS.dl] [--method auto]
                        [--timeout S] [--max-facts N] [--resilient]
+                       [--cache [CAPACITY]] [--batch BINDINGS]
     python -m repro rewrite PROGRAM.dl --method magic
     python -m repro explain PROGRAM.dl [--db FACTS.dl]
     python -m repro bench WORKLOAD [--methods m1,m2] [--param k=v ...]
@@ -73,8 +74,76 @@ def _make_budget(args):
     return ResourceBudget(timeout=args.timeout, max_facts=args.max_facts)
 
 
+def _parse_bindings(text):
+    """Parse ``--batch`` bindings: comma-separated, colons inside.
+
+    ``"ann,bob"`` is two one-constant bindings; ``"ann:1,bob:2"`` two
+    two-constant bindings.  Integer-looking values become ints, since
+    that is how the fact parser reads them.
+    """
+    def coerce(token):
+        try:
+            return int(token)
+        except ValueError:
+            return token
+
+    bindings = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        bindings.append(
+            tuple(coerce(part) for part in chunk.split(":"))
+        )
+    return bindings
+
+
+def _cmd_run_prepared(args, query, db, out):
+    from .exec import AnswerCache, CountingTableStore, PreparedQuery
+
+    cache = AnswerCache(capacity=args.cache if args.cache else 128)
+    prepared = PreparedQuery(
+        query, db if args.method == "auto" else None,
+        method=args.method, cache=cache,
+        counting_store=CountingTableStore(),
+    )
+    bindings = (
+        _parse_bindings(args.batch) if args.batch else [None]
+    )
+    out.write("method : %s (prepared)\n" % prepared.method)
+    budget = _make_budget(args)
+    results = prepared.run_batch(bindings, db=db, budget=budget)
+    for binding, result in zip(bindings, results):
+        shown = binding if binding is not None else \
+            prepared.default_constants
+        out.write(
+            "query  : %s -> %d answers%s\n"
+            % (
+                ", ".join(str(v) for v in shown),
+                len(result.answers),
+                " (cached)" if result.extras.get("cache_hit") else "",
+            )
+        )
+    if len(results) == 1:
+        for answer in sorted(results[0].answers):
+            out.write("answer : %s\n" % (answer,))
+    out.write(
+        "cache  : %d hits, %d misses (%.0f%% hit rate)\n"
+        % (cache.hits, cache.misses, 100.0 * cache.hit_rate)
+    )
+    return 0
+
+
 def _cmd_run(args, out):
     query, db = _load_query_and_db(args)
+    if args.cache is not None or args.batch:
+        if args.resilient:
+            out.write(
+                "error: --cache/--batch cannot be combined with "
+                "--resilient\n"
+            )
+            return 1
+        return _cmd_run_prepared(args, query, db, out)
     if args.resilient:
         from .exec.resilient import DEFAULT_CHAIN, FallbackPolicy, \
             run_resilient
@@ -259,6 +328,17 @@ def build_parser():
         "--resilient", action="store_true",
         help="degrade through a strategy fallback chain instead of "
              "failing on the first method error",
+    )
+    run.add_argument(
+        "--cache", type=int, nargs="?", const=128, metavar="CAPACITY",
+        help="prepare the query once and serve it through an LRU "
+             "answer cache (default capacity 128)",
+    )
+    run.add_argument(
+        "--batch", metavar="BINDINGS",
+        help="evaluate the prepared query for many bindings: comma-"
+             "separated, constants within one binding separated by "
+             "colons (e.g. 'ann,bob' or 'ann:1,bob:2')",
     )
     run.set_defaults(func=_cmd_run)
 

@@ -136,6 +136,51 @@ def sg_example5():
     """), "a"
 
 
+def forest_root(index):
+    """Query constant of forest tree ``index``: ``a``, ``a1``, ``a2``…
+
+    Tree 0 keeps the name ``a`` so the workload's hard-coded query
+    ``sg(a, Y)?`` works unchanged; the other roots are the natural
+    rebinding targets for prepared-query workloads.
+    """
+    return "a" if index == 0 else "a%d" % index
+
+
+def sg_forest(trees=4, fanout=2, depth=4):
+    """Several disjoint mirrored same-generation trees in one database.
+
+    Each tree is an independent copy of the :func:`sg_tree` shape with
+    its own root constant (:func:`forest_root`), so one database serves
+    a whole stream of ``sg(c, Y)?`` queries with different ``c`` — the
+    repeated-query workload behind experiment S3.
+    """
+    from ..engine.database import Database
+
+    db = Database()
+    for index in range(trees):
+        up_facts, up_root, up_leaves = generators.full_tree(
+            fanout, depth, "up", "t%da" % index
+        )
+        down_facts, _down_root, down_leaves = generators.full_tree(
+            fanout, depth, "tmp", "t%db" % index
+        )
+        root = forest_root(index)
+        for _pred, (parent, child) in up_facts:
+            db.add_fact("up", root if parent == up_root else parent, child)
+        for _pred, (parent, child) in down_facts:
+            db.add_fact("down", child, parent)
+        for x, y in zip(up_leaves, down_leaves):
+            db.add_fact("flat", x, y)
+    return db, "a"
+
+
+def forest_bindings(trees=4, queries=16):
+    """A repeated-query binding stream cycling over the forest roots."""
+    return tuple(
+        (forest_root(index % trees),) for index in range(queries)
+    )
+
+
 def multi_rule_chain(depth=12):
     """Alternating up1/up2 chains with matching down1/down2 chains."""
     from ..engine.database import Database
@@ -275,6 +320,11 @@ WORKLOADS = {
     "sg_chain": Workload(
         "sg_chain", SG_TEXT, sg_chain,
         "Same generation over two chains with flat crossings",
+        _ALL_ACYCLIC + ("classical_counting", "encoded_counting"),
+    ),
+    "sg_forest": Workload(
+        "sg_forest", SG_TEXT, sg_forest,
+        "Disjoint mirrored sg trees, one root per repeated query (S3)",
         _ALL_ACYCLIC + ("classical_counting", "encoded_counting"),
     ),
     "sg_cyclic": Workload(

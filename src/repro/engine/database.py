@@ -87,6 +87,26 @@ class Database:
             return EmptyRelation(key[0], key[1])
         return rel
 
+    def epoch_of(self, key):
+        """The mutation epoch of the relation for ``key`` (0 if absent).
+
+        Relation epochs are monotone insertion counters (see
+        :attr:`~repro.engine.relation.Relation.epoch`); a relation that
+        does not exist yet reports epoch 0, the same value it will
+        report right up until its first fact arrives.
+        """
+        rel = self._relations.get(key)
+        return 0 if rel is None else rel.epoch
+
+    def epochs(self, keys):
+        """Epoch snapshot for ``keys``, in the given order.
+
+        The returned tuple is the invalidation fingerprint used by the
+        cross-query caches: two snapshots over the same keys are equal
+        exactly when none of those relations gained a fact in between.
+        """
+        return tuple(self.epoch_of(key) for key in keys)
+
     def keys(self):
         return set(self._relations)
 

@@ -43,6 +43,9 @@ class EvalStats:
         "index_builds",
         "index_probes",
         "batch_rows",
+        "cache_hits",
+        "cache_misses",
+        "prepare_reuse",
         "rule_profile",
     )
 
@@ -55,6 +58,14 @@ class EvalStats:
         self.index_builds = 0
         self.index_probes = 0
         self.batch_rows = 0
+        #: Answer-cache hits / misses recorded by the prepared-query
+        #: layer (:mod:`repro.exec.prepared`).  A hit means the run
+        #: performed no join work at all.
+        self.cache_hits = 0
+        self.cache_misses = 0
+        #: Runs that reused a :class:`~repro.exec.prepared.PreparedQuery`'s
+        #: rewriting and compiled rules instead of rebuilding them.
+        self.prepare_reuse = 0
         self.rule_profile = {}
 
     @property
@@ -100,6 +111,9 @@ class EvalStats:
         self.index_builds += other.index_builds
         self.index_probes += other.index_probes
         self.batch_rows += other.batch_rows
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.prepare_reuse += other.prepare_reuse
         for label, entry in other.rule_profile.items():
             self.note_rule(
                 label, entry["seconds"], entry["derived"]
@@ -114,7 +128,10 @@ class EvalStats:
         ``index_builds`` is excluded on purpose: indexes persist on
         relations, so a repeat run over the same database builds fewer
         of them — the counter describes cache state, not the program.
-        Wall-clock profile entries are excluded for the same reason.
+        Wall-clock profile entries are excluded for the same reason,
+        and so are the prepared-query counters (``cache_hits``,
+        ``cache_misses``, ``prepare_reuse``): whether a run hit a cache
+        describes the serving layer's state, not the program's work.
         """
         return {
             "rule_firings": self.rule_firings,

@@ -46,7 +46,8 @@ class Relation:
     (benchmark A3); production paths never set it.
     """
 
-    __slots__ = ("name", "arity", "tuples", "_indexes", "use_indexes")
+    __slots__ = ("name", "arity", "tuples", "_indexes", "use_indexes",
+                 "epoch")
 
     def __init__(self, name, arity, use_indexes=True):
         self.name = name
@@ -54,6 +55,13 @@ class Relation:
         self.tuples = set()
         self._indexes = {}
         self.use_indexes = use_indexes
+        #: Monotone mutation counter: bumped once per *new* row, so two
+        #: relations with equal epochs seen by the same observer hold
+        #: the same tuples.  Cross-query caches key their entries on the
+        #: epochs of the relations a query reads (see
+        #: :mod:`repro.exec.cache`), which makes invalidation free: a
+        #: mutated relation simply never matches a stale key again.
+        self.epoch = 0
 
     def __len__(self):
         return len(self.tuples)
@@ -74,6 +82,7 @@ class Relation:
         if row in self.tuples:
             return False
         self.tuples.add(row)
+        self.epoch += 1
         for positions, index in self._indexes.items():
             if len(positions) == 1:
                 key = row[positions[0]]
@@ -107,14 +116,16 @@ class Relation:
                 stats.index_builds += 1
         return index
 
-    def ensure_index(self, positions):
+    def ensure_index(self, positions, stats=None):
         """Build (or return) the hash index on ``positions`` now.
 
         The index is maintained incrementally by subsequent :meth:`add`
         calls, so declaring probe positions up front turns later bulk
         loads into incremental index maintenance instead of a rebuild.
+        A build triggered here counts toward ``stats.index_builds``
+        exactly like one triggered by a :meth:`lookup` probe.
         """
-        return self._index_for(tuple(positions))
+        return self._index_for(tuple(positions), stats)
 
     def lookup(self, positions, key, stats=None):
         """Return the candidate rows with ``positions`` equal to ``key``.
@@ -188,6 +199,7 @@ class Relation:
         clone = Relation(self.name, self.arity,
                          use_indexes=self.use_indexes)
         clone.tuples = set(self.tuples)
+        clone.epoch = self.epoch
         clone._indexes = {
             positions: {key: list(rows) for key, rows in index.items()}
             for positions, index in self._indexes.items()
@@ -206,6 +218,9 @@ class EmptyRelation:
     """A read-only stand-in for relations with no tuples."""
 
     __slots__ = ("name", "arity")
+
+    #: Empty stand-ins never mutate, so their epoch is a constant.
+    epoch = 0
 
     def __init__(self, name, arity):
         self.name = name
@@ -228,6 +243,12 @@ class EmptyRelation:
         return iter(())
 
     def lookup(self, positions, key, stats=None):
+        for position in positions:
+            if not 0 <= position < self.arity:
+                raise ValueError(
+                    "lookup position %d out of range for %s/%d"
+                    % (position, self.name, self.arity)
+                )
         return ()
 
     def __repr__(self):

@@ -28,7 +28,8 @@ class SemiNaiveEngine:
     """Evaluator holding derived relations for one program run."""
 
     def __init__(self, program, db, stats=None, max_iterations=None,
-                 reorder=False, seminaive=True, trace=None, budget=None):
+                 reorder=False, seminaive=True, trace=None, budget=None,
+                 compiled_cache=None):
         if reorder:
             from ..datalog.rules import Program
             from .planner import reorder_program_rules
@@ -54,7 +55,13 @@ class SemiNaiveEngine:
         #: Rule → :class:`CompiledRule` cache, filled on first use.
         #: Rules whose bodies lie outside the compiled fragment keep
         #: ``supported=False`` and run through the legacy evaluator.
-        self._compiled = {}
+        #: Callers that evaluate the same rule objects repeatedly (the
+        #: prepared-query layer) may pass a pre-populated
+        #: ``compiled_cache`` dict (``id(rule) -> CompiledRule``) so
+        #: compilation happens once per query form instead of once per
+        #: engine instance.
+        self._compiled = compiled_cache if compiled_cache is not None \
+            else {}
         self.derived = {}
         #: Program facts for predicates with no rules are base facts
         #: (the paper's definition); they overlay the database.

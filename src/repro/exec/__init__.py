@@ -1,7 +1,9 @@
 """Dedicated evaluators and uniform strategy executors."""
 
+from .cache import AnswerCache, CountingTableStore
 from .counting_engine import CountingEngine, CountingRow, CountingTable
 from .magic_counting import MagicCountingEngine, recurring_nodes
+from .prepared import PreparedQuery
 from .qsq import QSQEngine, qsq_evaluate
 from .resilient import (
     DEFAULT_CHAIN,
@@ -31,8 +33,11 @@ from .strategies import (
 )
 
 __all__ = [
+    "AnswerCache",
     "AttemptRecord",
     "CountingEngine",
+    "CountingTableStore",
+    "PreparedQuery",
     "CountingRow",
     "CountingTable",
     "DEFAULT_CHAIN",

@@ -1,0 +1,154 @@
+"""Bounded cross-query caches with epoch-based invalidation.
+
+Two stores back the prepared-query layer (:mod:`repro.exec.prepared`):
+
+* :class:`AnswerCache` — an LRU map from ``(query form, constants,
+  epoch snapshot)`` to final answer sets.  Invalidation is *implicit*:
+  the key embeds the mutation epochs of every base relation the
+  rewritten program reads (see
+  :meth:`~repro.engine.database.Database.epochs`), so a database update
+  changes the key and stale entries simply stop matching.  They age out
+  of the LRU instead of being hunted down.
+* :class:`CountingTableStore` — an LRU map from a source node to the
+  counting set built from it (phase 1 of the dedicated evaluators).
+  Tables are validated *explicitly* against an epoch snapshot on
+  lookup, because a stale table must never be extended — unlike answer
+  entries, which are only ever returned whole or not at all.
+
+Both caches are deliberately dumb containers: what goes into the key —
+and therefore what "same query" means — is decided by the prepared
+layer.
+"""
+
+from collections import OrderedDict
+
+
+class AnswerCache:
+    """Bounded LRU cache for final query answers.
+
+    ``get`` accepts an optional ``valid`` predicate over the stored
+    entry; an entry failing the predicate is dropped and counted as an
+    invalidation plus a miss.  The prepared layer uses this to reject
+    entries recorded against a different (dead or replaced)
+    :class:`~repro.engine.database.Database` instance.
+    """
+
+    __slots__ = ("capacity", "_entries", "hits", "misses", "evictions",
+                 "invalidations")
+
+    def __init__(self, capacity=128):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1, got %r"
+                             % (capacity,))
+        self.capacity = capacity
+        self._entries = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def get(self, key, valid=None):
+        entry = self._entries.get(key)
+        if entry is not None and (valid is None or valid(entry)):
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+        if entry is not None:
+            del self._entries[key]
+            self.invalidations += 1
+        self.misses += 1
+        return None
+
+    def put(self, key, entry):
+        entries = self._entries
+        if key in entries:
+            entries[key] = entry
+            entries.move_to_end(key)
+            return
+        entries[key] = entry
+        if len(entries) > self.capacity:
+            entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self):
+        self._entries.clear()
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, key):
+        return key in self._entries
+
+    @property
+    def hit_rate(self):
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return 0.0 if total == 0 else self.hits / total
+
+    def __repr__(self):
+        return "AnswerCache(%d/%d entries, %d hits, %d misses)" % (
+            len(self._entries), self.capacity, self.hits, self.misses
+        )
+
+
+class CountingTableStore:
+    """Bounded LRU store for counting sets, validated by epoch snapshot.
+
+    Keys identify a source node of a specific query form; the stored
+    value is the :class:`~repro.exec.counting_engine.CountingTable`
+    built from that node plus the epoch snapshot of the base relations
+    the DFS read.  A lookup under a different snapshot drops the entry:
+    the left graph may have gained arcs, so the table cannot be
+    trusted, only rebuilt.
+    """
+
+    __slots__ = ("capacity", "_entries", "hits", "misses", "evictions",
+                 "invalidations")
+
+    def __init__(self, capacity=64):
+        if capacity < 1:
+            raise ValueError("store capacity must be >= 1, got %r"
+                             % (capacity,))
+        self.capacity = capacity
+        self._entries = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def get(self, key, epochs):
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        stored_epochs, table = entry
+        if stored_epochs != epochs:
+            del self._entries[key]
+            self.invalidations += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return table
+
+    def put(self, key, epochs, table):
+        entries = self._entries
+        if key in entries:
+            entries[key] = (epochs, table)
+            entries.move_to_end(key)
+            return
+        entries[key] = (epochs, table)
+        if len(entries) > self.capacity:
+            entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self):
+        self._entries.clear()
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __repr__(self):
+        return "CountingTableStore(%d/%d tables, %d hits, %d misses)" % (
+            len(self._entries), self.capacity, self.hits, self.misses
+        )

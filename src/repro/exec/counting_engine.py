@@ -135,7 +135,7 @@ class CountingEngine:
 
     def __init__(self, canonical, goal_key, source_values, get_relation,
                  stats=None, require_acyclic=False, answer_order="bfs",
-                 budget=None):
+                 budget=None, query_cache=None, table_store=None):
         self.canonical = canonical
         self.goal_key = goal_key
         self.source_values = tuple(source_values)
@@ -161,8 +161,18 @@ class CountingEngine:
         #: :class:`~repro.engine.compile.BoundQuery`), keyed by rule
         #: identity.  Each body is compiled once and re-run under fresh
         #: positional bindings for every node/state, replacing the
-        #: per-visit dict-substitution evaluation.
-        self._queries = {}
+        #: per-visit dict-substitution evaluation.  A prepared query
+        #: passes a shared ``query_cache`` dict so the compilation
+        #: survives across engine instances for the same clique.
+        self._queries = query_cache if query_cache is not None else {}
+        #: Optional node-keyed counting-table store (``get(node)`` /
+        #: ``put(node, table)``): when the source node was already
+        #: explored by an earlier run, phase 1 (the left-graph DFS and
+        #: ahead/back-arc construction) is skipped entirely and the run
+        #: goes straight to the answer phase.
+        self.table_store = table_store
+        #: True when phase 1 was served from ``table_store``.
+        self.table_reused = False
         self.table = None
         self._answers = None
         self._parents = {}
@@ -211,8 +221,30 @@ class CountingEngine:
         return results
 
     def build_counting_set(self):
-        """DFS the left graph and materialize the counting table."""
+        """DFS the left graph and materialize the counting table.
+
+        With a ``table_store``, a node already explored by an earlier
+        run returns its memoized table without touching the database —
+        the §3.4 counting set is node-keyed, so it is independent of
+        which query instance reached the node first.  The store is
+        responsible for epoch validity (see
+        :class:`~repro.exec.cache.CountingTableStore`); a memoized
+        table with back arcs still raises under ``require_acyclic``
+        exactly like a freshly built one.
+        """
         source = (self.goal_key, self.source_values)
+        if self.table_store is not None:
+            table = self.table_store.get(source)
+            if table is not None:
+                if self.require_acyclic and not table.is_acyclic():
+                    raise NotApplicableError(
+                        "left-part graph contains %d back arcs; the "
+                        "acyclic pointer method does not apply"
+                        % table.back_arc_count
+                    )
+                self.table = table
+                self.table_reused = True
+                return table
         classification = classify_arcs(source, self._successors)
         if self.require_acyclic and not classification.is_acyclic():
             raise NotApplicableError(
@@ -242,6 +274,8 @@ class CountingEngine:
             table.back_arc_count += 1
             self.stats.facts_derived += 1
         self.table = table
+        if self.table_store is not None:
+            self.table_store.put(source, table)
         return table
 
     # -- phase 2: answers ---------------------------------------------
@@ -391,6 +425,7 @@ class CountingEngine:
         return self._state_count
 
     def run(self):
-        """Build the counting set and compute the answers."""
-        self.build_counting_set()
+        """Build (or reuse) the counting set and compute the answers."""
+        if self.table is None:
+            self.build_counting_set()
         return self.compute_answers()

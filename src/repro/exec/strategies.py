@@ -239,20 +239,34 @@ def _check_left_graph_acyclic(adorned, db, stats, method):
     rule that is neither left- nor right-linear shaped (those rules are
     the ones extending the path argument).
     """
-    from ..graph.properties import strongly_connected_components
-    from ..rewriting.linearity import GENERAL, rule_shape
-
     clique, support_rules = goal_clique_of(adorned)
     canonical = canonicalize_clique(clique, adorned)
     get_relation = _support_resolver(adorned, support_rules, db, stats)
+    check_pushing_cycles(
+        canonical, adorned.goal.key, query_constants(adorned.goal),
+        get_relation, method,
+    )
+
+
+def check_pushing_cycles(canonical, goal_key, source_values, get_relation,
+                         method):
+    """Core of the divergence check, parameterized on prepared artifacts.
+
+    The prepared-query layer (:mod:`repro.exec.prepared`) canonicalizes
+    the clique once per query form and re-runs only this data-dependent
+    classification per binding.
+    """
+    from ..graph.properties import strongly_connected_components
+    from ..rewriting.linearity import GENERAL, rule_shape
+
     engine = CountingEngine(
         canonical,
-        adorned.goal.key,
-        query_constants(adorned.goal),
+        goal_key,
+        tuple(source_values),
         get_relation,
         stats=EvalStats(),
     )
-    source = (adorned.goal.key, tuple(query_constants(adorned.goal)))
+    source = (goal_key, tuple(source_values))
     classification = classify_arcs(source, engine._successors)
     if classification.is_acyclic():
         return

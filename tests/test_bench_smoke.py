@@ -24,3 +24,8 @@ def test_write_smoke_artifact(tmp_path):
     assert payload["total_elapsed"] >= 0.0
     labels = {record["label"] for record in payload["records"]}
     assert labels == {name for name, _, _ in SMOKE_CELLS}
+    cache_block = payload["query_cache"]
+    assert cache_block["answers_match"] is True
+    assert cache_block["cache_hits"] > 0
+    assert 0.0 < cache_block["hit_rate"] <= 1.0
+    assert cache_block["counting_table_reuse"] > 0

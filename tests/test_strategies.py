@@ -19,6 +19,7 @@ SIZED = {
     "sg_tree": [dict(fanout=2, depth=3), dict(fanout=3, depth=3)],
     "sg_cylinder": [dict(width=3, height=4), dict(width=4, height=6)],
     "sg_chain": [dict(depth=6), dict(depth=20)],
+    "sg_forest": [dict(trees=2, fanout=2, depth=3)],
     "sg_cyclic": [dict(cycle_length=3, down_length=12),
                   dict(cycle_length=5, down_length=30)],
     "multi_rule": [dict(depth=7), dict(depth=14)],
