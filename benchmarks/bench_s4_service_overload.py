@@ -1,0 +1,284 @@
+"""S4 — the concurrent query service under overload and faults.
+
+Workload: an open-loop burst of ``sg(c, Y)?`` bindings over a forest
+database, offered to a :class:`~repro.serve.service.QueryService` far
+faster than its worker pool can serve them.  The admission queue is
+bounded, so the burst must shed typed — never queue without limit,
+never fail untyped — while everything actually served stays correct.
+
+Claims asserted:
+
+* queue depth never exceeds the configured capacity, at any offered
+  load;
+* every shed request failed with the typed ``Overloaded`` error
+  (reason ``queue_full`` at admission, ``expired`` past deadline);
+* served answers are identical to single-threaded evaluation of the
+  same admitted bindings — concurrency never changes an answer;
+* the admission ledger balances: submitted = admitted + shed + closed,
+  and every admitted request reaches exactly one terminal state;
+* with a zero deadline every admitted request is shed unevaluated;
+* a poisoned run (cycle closed in one tree, injected stalls, one
+  worker) trips the primary strategy's breaker, degrades through the
+  fallback chain, and produces an identical ``service`` counter block
+  across two same-seed runs.
+
+Set ``REPRO_BENCH_SMOKE=1`` to shrink the workload for CI smoke runs.
+"""
+
+import os
+
+import pytest
+
+from conftest import register_table
+from _common import assert_claims
+
+from repro.data.workloads import (
+    WORKLOADS,
+    forest_bindings,
+    forest_root,
+    poison_forest,
+    sg_forest,
+)
+from repro.engine.faults import FaultInjector
+from repro.errors import Overloaded
+from repro.exec import AnswerCache, PreparedQuery
+from repro.exec.strategies import run_strategy
+from repro.serve import BreakerBoard, QueryService, RetryPolicy
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+TREES = 4
+DEPTH = 4 if SMOKE else 6
+QUERIES = 32 if SMOKE else 128
+WORKERS = 4
+CAPACITY = 8
+
+QUERY = WORKLOADS["sg_forest"].query
+
+
+def _overload_burst(prepared, db, bindings):
+    """Submit every binding open-loop; classify the outcomes."""
+    service = QueryService(prepared, db, workers=WORKERS,
+                           queue_capacity=CAPACITY)
+    shed_submit, admitted = [], []
+    for binding in bindings:
+        try:
+            admitted.append((binding, service.submit(binding)))
+        except Overloaded as exc:
+            shed_submit.append((binding, exc))
+    served, shed_queue, failed = [], [], []
+    for binding, future in admitted:
+        error = future.exception(timeout=600.0)
+        if error is None:
+            served.append((binding, future.result(0)))
+        elif isinstance(error, Overloaded):
+            shed_queue.append((binding, error))
+        else:  # pragma: no cover - would fail the typed-shedding claim
+            failed.append((binding, error))
+    service.drain()
+    return {
+        "service": service,
+        "served": served,
+        "shed_submit": shed_submit,
+        "shed_queue": shed_queue,
+        "failed": failed,
+    }
+
+
+def _poisoned_run(seed):
+    """One single-worker pass over a poisoned forest under faults."""
+    db, _source = sg_forest(trees=2, fanout=2, depth=3)
+    # An answer cache puts the injector's "cache" stall point on the
+    # serving hot path, so the fault plan actually exercises the locked
+    # critical sections.
+    prepared = PreparedQuery(QUERY, db, cache=AnswerCache(capacity=32))
+    poison_forest(db, tree=1)
+    bindings = forest_bindings(trees=2, queries=12)
+    injector = FaultInjector(seed=seed)
+    injector.delay_sections(0.0002, every=3)
+    board = BreakerBoard(threshold=2, cooldown=1e9)
+    baseline = {
+        binding: run_strategy("naive", prepared.bind(binding), db).answers
+        for binding in set(bindings)
+    }
+    with injector:
+        service = QueryService(
+            prepared, db, workers=1, queue_capacity=len(bindings),
+            breakers=board, retry=RetryPolicy(max_attempts=2, seed=seed),
+        )
+        try:
+            results = [service.run(binding, wait=600.0)
+                       for binding in bindings]
+        finally:
+            service.drain()
+    answers_ok = all(
+        result.answers == baseline[binding]
+        for binding, result in zip(bindings, results)
+    )
+    return service.counters(), answers_ok, injector.sections_stalled
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    db, _source = sg_forest(trees=TREES, fanout=2, depth=DEPTH)
+    prepared = PreparedQuery(QUERY, db)
+    bindings = forest_bindings(trees=TREES, queries=QUERIES)
+    single = {
+        binding: run_strategy(prepared.method, prepared.bind(binding),
+                              db).answers
+        for binding in set(bindings)
+    }
+
+    burst = _overload_burst(prepared, db, bindings)
+
+    # Zero-deadline pass: whatever is admitted must be shed unevaluated.
+    expired_service = QueryService(prepared, db, workers=2,
+                                   queue_capacity=CAPACITY)
+    expired_outcomes = []
+    for binding in bindings[: CAPACITY]:
+        try:
+            expired_outcomes.append(
+                expired_service.submit(binding, timeout=0.0)
+            )
+        except Overloaded:
+            pass
+    expired_errors = [
+        future.exception(timeout=600.0) for future in expired_outcomes
+    ]
+    expired_service.drain()
+
+    poisoned_first, poisoned_ok, stalls = _poisoned_run(seed=5)
+    poisoned_second, _ok, _stalls = _poisoned_run(seed=5)
+
+    data = {
+        "bindings": bindings,
+        "prepared": prepared,
+        "single": single,
+        "burst": burst,
+        "expired_errors": expired_errors,
+        "expired_counters": expired_service.counters(),
+        "poisoned_first": poisoned_first,
+        "poisoned_second": poisoned_second,
+        "poisoned_ok": poisoned_ok,
+        "stalls": stalls,
+    }
+    register_table("s4_service_overload", _render_table(data))
+    return data
+
+
+def _render_table(data):
+    counters = data["burst"]["service"].counters()
+    poisoned = data["poisoned_first"]
+    lines = [
+        "S4: %d-binding burst at a %d-worker service (queue capacity %d)"
+        % (QUERIES, WORKERS, CAPACITY),
+        "method            : %s" % data["prepared"].method,
+        "offered           : %d" % counters["submitted"],
+        "served            : %d" % counters["completed"],
+        "shed (queue full) : %d" % counters["shed_overload"],
+        "shed (expired)    : %d" % counters["shed_expired"],
+        "max queue depth   : %d (cap %d)"
+        % (counters["max_queue_depth"], CAPACITY),
+        "poisoned run      : %d fallbacks, %d breaker trip(s), "
+        "%d rejection(s), %d stall(s)"
+        % (poisoned["fallbacks"], poisoned["breaker_trips"],
+           poisoned["breaker_rejections"], data["stalls"]),
+    ]
+    return "\n".join(lines)
+
+
+def test_s4_time_serve(benchmark, measurements):
+    prepared = measurements["prepared"]
+    db = measurements["burst"]["service"].db
+    service = QueryService(prepared, db, workers=2,
+                           queue_capacity=CAPACITY)
+    binding = (forest_root(0),)
+    try:
+        benchmark(lambda: service.run(binding, wait=600.0))
+    finally:
+        service.drain()
+
+
+def test_s4_queue_depth_bounded(measurements, benchmark):
+    def check():
+        counters = measurements["burst"]["service"].counters()
+        assert counters["max_queue_depth"] <= CAPACITY
+
+    assert_claims(benchmark, check)
+
+
+def test_s4_sheds_typed_under_overload(measurements, benchmark):
+    def check():
+        burst = measurements["burst"]
+        # The burst outruns the pool: admission control engaged.
+        assert burst["shed_submit"], "burst never overloaded the queue"
+        # Nothing failed untyped; every shed is a reasoned Overloaded.
+        assert burst["failed"] == []
+        for _binding, error in burst["shed_submit"]:
+            assert isinstance(error, Overloaded)
+            assert error.reason == "queue_full"
+        for _binding, error in burst["shed_queue"]:
+            assert error.reason == "expired"
+
+    assert_claims(benchmark, check)
+
+
+def test_s4_served_answers_identical_to_single_threaded(
+        measurements, benchmark):
+    def check():
+        single = measurements["single"]
+        served = measurements["burst"]["served"]
+        assert served, "no requests survived admission"
+        for binding, result in served:
+            assert result.answers == single[binding], binding
+
+    assert_claims(benchmark, check)
+
+
+def test_s4_admission_ledger_balances(measurements, benchmark):
+    def check():
+        counters = measurements["burst"]["service"].counters()
+        assert counters["submitted"] == QUERIES
+        assert counters["submitted"] == (
+            counters["admitted"] + counters["shed_overload"]
+            + counters["rejected_closed"]
+        )
+        assert counters["admitted"] == (
+            counters["completed"] + counters["failed"]
+            + counters["cancelled"] + counters["shed_expired"]
+        )
+
+    assert_claims(benchmark, check)
+
+
+def test_s4_zero_deadline_sheds_unevaluated(measurements, benchmark):
+    def check():
+        errors = measurements["expired_errors"]
+        counters = measurements["expired_counters"]
+        assert errors, "zero-deadline pass admitted nothing"
+        for error in errors:
+            assert isinstance(error, Overloaded)
+            assert error.reason == "expired"
+        assert counters["completed"] == 0
+        assert counters["shed_expired"] == counters["admitted"]
+
+    assert_claims(benchmark, check)
+
+
+def test_s4_poisoned_run_degrades_and_answers(measurements, benchmark):
+    def check():
+        counters = measurements["poisoned_first"]
+        assert measurements["poisoned_ok"]
+        assert counters["fallbacks"] > 0
+        assert counters["breaker_trips"] >= 1
+        assert counters["failed"] == 0
+        assert measurements["stalls"] > 0
+
+    assert_claims(benchmark, check)
+
+
+def test_s4_counters_deterministic_same_seed(measurements, benchmark):
+    def check():
+        assert (measurements["poisoned_first"]
+                == measurements["poisoned_second"])
+
+    assert_claims(benchmark, check)

@@ -31,6 +31,7 @@ from .datalog import (
 from .engine import (
     CancellationToken,
     Database,
+    DatabaseSnapshot,
     EvalStats,
     QueryResult,
     ResourceBudget,
@@ -46,6 +47,12 @@ from .exec import (
     STRATEGIES,
     run_resilient,
     run_strategy,
+)
+from .serve import (
+    BreakerBoard,
+    CircuitBreaker,
+    QueryService,
+    RetryPolicy,
 )
 from .rewriting import (
     OptimizationPlan,
@@ -66,19 +73,24 @@ __version__ = "1.0.0"
 __all__ = [
     "AnswerCache",
     "Atom",
+    "BreakerBoard",
     "CancellationToken",
+    "CircuitBreaker",
     "Comparison",
     "Compound",
     "Constant",
     "CountingTableStore",
     "Database",
+    "DatabaseSnapshot",
     "EvalStats",
     "ExecutionReport",
     "ExecutionResult",
     "FallbackPolicy",
     "Negation",
     "PreparedQuery",
+    "QueryService",
     "ResourceBudget",
+    "RetryPolicy",
     "OptimizationPlan",
     "Program",
     "ProgramAnalysis",

@@ -191,6 +191,78 @@ def run_query_cache_probe():
     }
 
 
+def run_service_probe():
+    """Exercise the serving layer: one healthy and one poisoned pass.
+
+    Healthy: every binding is admitted and completes on the primary
+    strategy; answers are cross-checked against single-threaded runs.
+    Poisoned: :func:`~repro.data.workloads.poison_forest` closes an
+    up-cycle in one tree, the primary strategy fails typed until its
+    breaker trips, and requests still answer through the fallback
+    chain.  The poisoned pass uses one worker so every counter —
+    admissions, fallbacks, breaker trips and rejections — is
+    deterministic and a behaviour drift shows up in the artifact diff.
+    """
+    from ..data.workloads import (
+        WORKLOADS,
+        forest_bindings,
+        forest_root,
+        poison_forest,
+        sg_forest,
+    )
+    from ..exec.prepared import PreparedQuery
+    from ..exec.strategies import run_strategy
+    from ..serve import BreakerBoard, QueryService, RetryPolicy
+
+    trees, queries = 2, 8
+    db, _source = sg_forest(trees=trees, fanout=2, depth=4)
+    prepared = PreparedQuery(WORKLOADS["sg_forest"].query, db)
+    bindings = forest_bindings(trees=trees, queries=queries)
+
+    with QueryService(prepared, db, workers=2, queue_capacity=queries,
+                      retry=RetryPolicy(seed=0)) as service:
+        futures = [service.submit(b, timeout=30.0) for b in bindings]
+        results = [f.result(timeout=60.0) for f in futures]
+    answers_match = all(
+        r.answers == run_strategy(
+            prepared.method, prepared.bind(b), db
+        ).answers
+        for b, r in zip(bindings, results)
+    )
+    healthy = service.counters()
+
+    poison_forest(db, tree=trees - 1)
+    poisoned_binding = (forest_root(trees - 1),)
+    baseline = run_strategy(
+        "naive", prepared.bind(poisoned_binding), db
+    ).answers
+    board = BreakerBoard(threshold=2, cooldown=60.0)
+    with QueryService(prepared, db, workers=1, queue_capacity=queries,
+                      breakers=board) as service:
+        poisoned = [
+            service.run(poisoned_binding, wait=60.0) for _ in range(4)
+        ]
+    answers_match = answers_match and all(
+        r.answers == baseline for r in poisoned
+    )
+    degraded = service.counters()
+
+    keep = ("submitted", "admitted", "completed", "failed",
+            "shed_overload", "shed_expired", "retried", "fallbacks",
+            "breaker_trips", "breaker_rejections")
+    return {
+        "label": "sg_forest",
+        "method": prepared.method,
+        "queries": queries,
+        "answers_match": answers_match,
+        "healthy": {key: healthy[key] for key in keep},
+        "poisoned": dict(
+            {key: degraded[key] for key in keep},
+            breaker_states=degraded["breaker_states"],
+        ),
+    }
+
+
 def write_smoke(directory=".", tag=None):
     """Run the smoke pass and write ``BENCH_<tag>.json`` in ``directory``.
 
@@ -207,6 +279,7 @@ def write_smoke(directory=".", tag=None):
         "resilience": run_resilience_probe(),
         "guard_overhead": run_guard_overhead(),
         "query_cache": run_query_cache_probe(),
+        "service": run_service_probe(),
         "total_elapsed": sum(
             r["elapsed"] for r in records if r["elapsed"] is not None
         ),

@@ -8,6 +8,8 @@ Four subcommands::
     python -m repro rewrite PROGRAM.dl --method magic
     python -m repro explain PROGRAM.dl [--db FACTS.dl]
     python -m repro bench WORKLOAD [--methods m1,m2] [--param k=v ...]
+    python -m repro serve-bench [--queries N] [--workers N]
+                       [--capacity N] [--timeout S] [--poison]
 
 ``PROGRAM.dl`` is a program text containing exactly one ``?-`` goal;
 ``--db`` points at a fact file (facts may also live in the program
@@ -257,6 +259,84 @@ def _cmd_bench(args, out):
     return 0
 
 
+def _cmd_serve_bench(args, out):
+    """Drive a QueryService over an sg_forest binding stream.
+
+    Open-loop: every binding is submitted up front, so offered load can
+    exceed ``--capacity`` and exercise admission control.  Served
+    answers are cross-checked against single-threaded evaluation of the
+    same bindings before the counter block is printed.
+    """
+    import json as json_module
+    import time as time_module
+
+    from .data.workloads import (
+        WORKLOADS, forest_bindings, poison_forest, sg_forest,
+    )
+    from .errors import Overloaded
+    from .exec import PreparedQuery
+    from .exec.strategies import run_strategy
+    from .serve import BreakerBoard, QueryService, RetryPolicy
+
+    db, _source = sg_forest(trees=args.trees, fanout=args.fanout,
+                            depth=args.depth)
+    prepared = PreparedQuery(WORKLOADS["sg_forest"].query, db)
+    if args.poison:
+        leaf, root = poison_forest(db, tree=args.trees - 1)
+        out.write("poison : up(%s, %s) closes a cycle in tree %d\n"
+                  % (leaf, root, args.trees - 1))
+    bindings = forest_bindings(trees=args.trees, queries=args.queries)
+    service = QueryService(
+        prepared, db, workers=args.workers,
+        queue_capacity=args.capacity, default_timeout=args.timeout,
+        retry=RetryPolicy(seed=args.seed),
+        breakers=BreakerBoard(threshold=args.breaker_threshold),
+    )
+    out.write(
+        "method : %s (%d worker(s), queue capacity %d)\n"
+        % (prepared.method, args.workers, args.capacity)
+    )
+    started = time_module.perf_counter()
+    admitted = []
+    for binding in bindings:
+        try:
+            admitted.append((binding, service.submit(binding)))
+        except Overloaded:
+            pass  # counted by the service as shed_overload
+    served, failed = [], []
+    for binding, future in admitted:
+        error = future.exception(timeout=600.0)
+        if error is None:
+            served.append((binding, future.result(0)))
+        else:
+            failed.append((binding, error))
+    elapsed = time_module.perf_counter() - started
+    service.drain()
+    mismatched = sum(
+        1 for binding, result in served
+        if result.answers != run_strategy(
+            result.method, prepared.bind(binding), db
+        ).answers
+    )
+    counters = service.counters()
+    out.write(
+        "load   : %d offered -> %d served, %d shed, %d failed\n"
+        % (len(bindings), len(served),
+           counters["shed_overload"] + counters["shed_expired"],
+           len(failed))
+    )
+    out.write(
+        "verify : %s\n"
+        % ("answers match single-threaded evaluation" if not mismatched
+           else "%d served answers MISMATCH" % mismatched)
+    )
+    out.write("time   : %.4fs\n" % elapsed)
+    out.write("service counters:\n")
+    out.write(json_module.dumps(counters, indent=2, sort_keys=True))
+    out.write("\n")
+    return 1 if mismatched else 0
+
+
 def _cmd_experiments(args, out):
     """Regenerate every experiment table by running the bench suite."""
     import os
@@ -381,6 +461,36 @@ def build_parser():
     bench.add_argument("--csv", help="also write records to a CSV file")
     bench.add_argument("--json", help="also write records to a JSON file")
     bench.set_defaults(func=_cmd_bench)
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="drive a concurrent QueryService over the sg_forest "
+             "workload and print its admission/breaker counters",
+    )
+    serve.add_argument("--trees", type=int, default=4,
+                       help="forest trees / distinct roots (default 4)")
+    serve.add_argument("--fanout", type=int, default=2)
+    serve.add_argument("--depth", type=int, default=4)
+    serve.add_argument("--queries", type=int, default=32,
+                       help="bindings submitted open-loop (default 32)")
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument("--capacity", type=int, default=8,
+                       help="admission queue capacity (default 8)")
+    serve.add_argument(
+        "--timeout", type=float, metavar="SECONDS",
+        help="per-request deadline propagated into every attempt",
+    )
+    serve.add_argument("--seed", type=int, default=0,
+                       help="retry-backoff seed (default 0)")
+    serve.add_argument("--breaker-threshold", type=int, default=5,
+                       help="consecutive failures that trip a strategy "
+                            "breaker (default 5)")
+    serve.add_argument(
+        "--poison", action="store_true",
+        help="close an up-cycle in the last tree so the primary "
+             "strategy fails and the breaker/fallback path is exercised",
+    )
+    serve.set_defaults(func=_cmd_serve_bench)
 
     experiments = sub.add_parser(
         "experiments",

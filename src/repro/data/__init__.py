@@ -1,6 +1,23 @@
 """Synthetic data generators and canonical workloads."""
 
 from . import generators
-from .workloads import WORKLOADS, Workload, get_workload
+from .workloads import (
+    WORKLOADS,
+    Workload,
+    forest_bindings,
+    forest_root,
+    get_workload,
+    poison_forest,
+    sg_forest,
+)
 
-__all__ = ["WORKLOADS", "Workload", "generators", "get_workload"]
+__all__ = [
+    "WORKLOADS",
+    "Workload",
+    "forest_bindings",
+    "forest_root",
+    "generators",
+    "get_workload",
+    "poison_forest",
+    "sg_forest",
+]

@@ -181,6 +181,29 @@ def forest_bindings(trees=4, queries=16):
     )
 
 
+def poison_forest(db, tree=0):
+    """Close an ``up``-cycle in one tree of an :func:`sg_forest` database.
+
+    Adds a single ``up(<leaf>, <root>)`` edge back from the tree's
+    deepest layer to its root, so the counting methods fail typed on
+    queries rooted in that tree while every other tree stays healthy —
+    the controlled-degradation scenario behind the serving-layer
+    breaker tests.  Returns the ``(leaf, root)`` edge added.
+    """
+    root = forest_root(tree)
+    up = db.relation("up", 2)
+    parents = {parent for parent, _child in up}
+    prefix = "t%da" % tree
+    leaves = sorted(
+        str(child) for _parent, child in up
+        if child not in parents and str(child).startswith(prefix)
+    )
+    if not leaves:
+        raise ValueError("tree %d has no up-leaves to poison" % tree)
+    db.add_fact("up", leaves[0], root)
+    return leaves[0], root
+
+
 def multi_rule_chain(depth=12):
     """Alternating up1/up2 chains with matching down1/down2 chains."""
     from ..engine.database import Database

@@ -3,7 +3,7 @@ semi-naive fixpoint and instrumentation."""
 
 from .builtins import eval_comparison
 from .compile import BoundQuery, CompiledBody, CompiledRule, compile_body
-from .database import Database
+from .database import Database, DatabaseSnapshot
 from .faults import FaultInjector, InjectedFault
 from .fixpoint import QueryResult, evaluate_query, goal_filter, project_free
 from .guard import CancellationToken, ResourceBudget
@@ -22,6 +22,7 @@ __all__ = [
     "CompiledBody",
     "CompiledRule",
     "Database",
+    "DatabaseSnapshot",
     "FaultInjector",
     "InjectedFault",
     "InternPool",

@@ -8,7 +8,17 @@ Facts can be loaded three ways:
 
 The database only ever stores plain Python values (strings, ints,
 tuples, frozensets) — terms are normalized before insertion.
+
+Concurrency: mutators (:meth:`Database.add_fact` / :meth:`add_facts` /
+:meth:`relation`) serialize on an internal lock, and concurrent readers
+take :meth:`Database.snapshot` — a cheap epoch-pinned read view whose
+relations never change, so a reader can never observe a half-applied
+``add_facts`` batch.  The snapshot is lazy: pinning records only the
+per-relation epochs (taken under the mutation lock); row sets
+materialize from each relation's insertion log on first access.
 """
+
+import threading
 
 from ..datalog.parser import parse_program
 from .interning import InternPool
@@ -30,6 +40,10 @@ class Database:
     def __init__(self):
         self._relations = {}
         self.intern_pool = InternPool()
+        #: Serializes mutations against snapshot pinning.  Reads do not
+        #: take it — they either race benignly (single monotone facts)
+        #: or go through an epoch-pinned :meth:`snapshot`.
+        self._lock = threading.RLock()
 
     @classmethod
     def from_facts(cls, facts):
@@ -60,24 +74,35 @@ class Database:
 
     def add_fact(self, name, *values):
         """Insert one fact, e.g. ``db.add_fact("up", "a", "b")``."""
-        self.relation(name, len(values)).add(
-            self.intern_pool.intern_row(values)
-        )
+        with self._lock:
+            self.relation(name, len(values)).add(
+                self.intern_pool.intern_row(values)
+            )
 
     def add_facts(self, facts):
-        intern_row = self.intern_pool.intern_row
-        for name, values in facts:
-            self.relation(name, len(values)).add(
-                intern_row(tuple(values))
-            )
+        """Insert many facts as one atomic batch.
+
+        The whole batch runs under the mutation lock, so an epoch
+        snapshot taken concurrently sees either none of it or all of it
+        — never a half-applied batch.
+        """
+        with self._lock:
+            intern_row = self.intern_pool.intern_row
+            for name, values in facts:
+                self.relation(name, len(values)).add(
+                    intern_row(tuple(values))
+                )
 
     def relation(self, name, arity):
         """The relation for ``name/arity``, created empty on first use."""
         key = (name, arity)
         rel = self._relations.get(key)
         if rel is None:
-            rel = Relation(name, arity)
-            self._relations[key] = rel
+            with self._lock:
+                rel = self._relations.get(key)
+                if rel is None:
+                    rel = Relation(name, arity)
+                    self._relations[key] = rel
         return rel
 
     def get(self, key):
@@ -137,11 +162,28 @@ class Database:
     def copy(self):
         clone = Database()
         # The pool is append-only, so sharing it keeps interned ids
-        # stable across snapshots at zero copying cost.
+        # stable across snapshots at zero copying cost.  The lock keeps
+        # a concurrent add_facts batch from landing half inside the
+        # copy.
         clone.intern_pool = self.intern_pool
-        for key, rel in self._relations.items():
-            clone._relations[key] = rel.copy()
+        with self._lock:
+            for key, rel in self._relations.items():
+                clone._relations[key] = rel.copy()
         return clone
+
+    def snapshot(self):
+        """A cheap epoch-pinned read view of this database.
+
+        Pinning records each relation's current epoch under the
+        mutation lock — O(#relations), no row copying — and the
+        returned :class:`DatabaseSnapshot` serves every read from that
+        frozen point: rows added afterwards (or whole new relations)
+        are invisible, and a concurrent :meth:`add_facts` batch is
+        either fully visible or fully absent.  Row sets materialize
+        lazily from the relations' insertion logs on first access, so
+        snapshots of relations the reader never touches stay free.
+        """
+        return DatabaseSnapshot(self)
 
     def to_text(self):
         """Serialize as program text; inverse of :meth:`from_text`.
@@ -170,3 +212,117 @@ class Database:
             for k, rel in sorted(self._relations.items())
         )
         return "Database(%s)" % inner
+
+
+class _PinnedRelation:
+    """A lazy, read-only view of one relation frozen at a pinned epoch.
+
+    Creation is O(1): it stores the source and the epoch to pin at.
+    The first read access materializes a frozen
+    :class:`~repro.engine.relation.Relation` from the source's
+    insertion log (safe against concurrent appends — the log is
+    append-only and the pin never reaches past its epoch) and delegates
+    everything to it from then on.  Should two threads race the
+    materialization, both build equivalent frozen relations and the
+    last assignment wins — wasted work, never wrong answers.
+    """
+
+    __slots__ = ("name", "arity", "epoch", "_source", "_frozen")
+
+    def __init__(self, source, epoch):
+        self.name = source.name
+        self.arity = source.arity
+        #: The pinned epoch — reported to cache-key snapshots in place
+        #: of the live relation's moving counter.
+        self.epoch = epoch
+        self._source = source
+        self._frozen = None
+
+    def _rel(self):
+        rel = self._frozen
+        if rel is None:
+            rel = self._source.pinned(self.epoch)
+            self._frozen = rel
+        return rel
+
+    def __len__(self):
+        return len(self._rel())
+
+    def __iter__(self):
+        return iter(self._rel())
+
+    def __contains__(self, row):
+        return row in self._rel()
+
+    def match(self, pattern):
+        return self._rel().match(pattern)
+
+    def lookup(self, positions, key, stats=None):
+        return self._rel().lookup(positions, key, stats)
+
+    def ensure_index(self, positions, stats=None):
+        return self._rel().ensure_index(positions, stats)
+
+    def copy(self):
+        """A mutable copy of the pinned contents."""
+        return self._rel().copy()
+
+    def __repr__(self):
+        return "_PinnedRelation(%s/%d @ epoch %d)" % (
+            self.name, self.arity, self.epoch
+        )
+
+
+class DatabaseSnapshot(Database):
+    """An epoch-pinned, read-only view of a :class:`Database`.
+
+    Behaves like the source database for every *read* — ``get`` /
+    ``epochs`` / ``constants`` / ``copy`` and the full evaluation stack
+    work unchanged — but its contents are frozen at the epochs observed
+    when the snapshot was taken, so readers on other threads never see
+    a half-applied mutation.  ``epoch_of``/``epochs`` report the pinned
+    values, which keeps cross-query cache keys stable for as long as a
+    service generation serves from one snapshot.
+
+    Mutating a snapshot raises ``TypeError``; the interning pool is
+    shared with the source (append-only, so canonical instances and ids
+    agree across the pin).
+    """
+
+    def __init__(self, source):
+        self._relations = {}
+        self.intern_pool = source.intern_pool
+        self._lock = threading.RLock()
+        with source._lock:
+            for key, rel in source._relations.items():
+                self._relations[key] = _PinnedRelation(rel, rel.epoch)
+
+    def snapshot(self):
+        """Snapshots are immutable; re-snapshotting returns ``self``."""
+        return self
+
+    def add_fact(self, name, *values):
+        raise TypeError(
+            "DatabaseSnapshot is read-only; mutate the source database "
+            "and take a new snapshot"
+        )
+
+    def add_facts(self, facts):
+        raise TypeError(
+            "DatabaseSnapshot is read-only; mutate the source database "
+            "and take a new snapshot"
+        )
+
+    def relation(self, name, arity):
+        """The pinned relation, or an empty stand-in (never creates)."""
+        rel = self._relations.get((name, arity))
+        if rel is None:
+            return EmptyRelation(name, arity)
+        return rel
+
+    def __repr__(self):
+        inner = ", ".join(
+            "%s/%d@%d" % (k[0], k[1], rel.epoch)
+            for k, rel in sorted(self._relations.items())
+        )
+        return "DatabaseSnapshot(%s)" % inner

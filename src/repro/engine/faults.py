@@ -15,6 +15,12 @@ engines, deterministically and reproducibly:
 * **copy corruption** — every K-th :meth:`Relation.copy` returns a
   clone with one seeded row dropped and one bogus row added, modelling
   a partially-failed snapshot.  The *source* relation is never touched.
+* **critical-section stalls** — every K-th entry into an instrumented
+  critical section (the cross-query caches' lock bodies publish
+  checkpoints through :func:`stall`) sleeps a configured number of
+  seconds.  Races that need a long hold-time window — a reader
+  observing a half-updated LRU, a lost counter increment — become
+  deterministic instead of depending on scheduler luck.
 
 The injector is a context manager; ``install``/``uninstall`` patch the
 hot-path methods only while active, so the production paths carry a
@@ -27,6 +33,7 @@ classes); installing a second raises ``RuntimeError``.
 """
 
 import random
+import threading
 import time
 
 from ..errors import EvaluationError
@@ -56,6 +63,19 @@ def fire(point, stats=None):
         _ACTIVE._observe(point, stats)
 
 
+def stall(point):
+    """Critical-section hook: induced delay inside instrumented locks.
+
+    ``point`` names the section (``"cache"`` for the cross-query cache
+    bodies).  Unlike :func:`fire` this never raises — a stall models a
+    slow thread holding a lock, not a failure — so it is safe to call
+    while holding that lock.  A no-op unless an injector with a
+    :meth:`~FaultInjector.delay_sections` plan is installed.
+    """
+    if _ACTIVE is not None:
+        _ACTIVE._stall(point)
+
+
 def active_injector():
     """The installed :class:`FaultInjector`, or ``None``."""
     return _ACTIVE
@@ -82,10 +102,19 @@ class FaultInjector:
         self._delay_every = None
         self._delay_seconds = 0.0
         self._corrupt_every = None
+        self._section_every = None
+        self._section_seconds = 0.0
+        self._section_points = frozenset(("cache",))
+        self._section_calls = 0
+        # Engines on several threads may hit checkpoints concurrently
+        # (the serving layer runs a worker pool), so counter updates
+        # and one-shot plan consumption are serialized.
+        self._counter_lock = threading.Lock()
         # Observability counters.
         self.checkpoints_seen = 0
         self.probes_delayed = 0
         self.copies_corrupted = 0
+        self.sections_stalled = 0
         self.faults_raised = 0
         # Patching state.
         self._installed = False
@@ -118,6 +147,22 @@ class FaultInjector:
         if every < 1:
             raise ValueError("every must be >= 1")
         self._corrupt_every = every
+        return self
+
+    def delay_sections(self, seconds, every=1, points=None):
+        """Sleep ``seconds`` inside every ``every``-th critical section.
+
+        The sleep happens *while the section's lock is held* (the
+        :func:`stall` checkpoint sits inside the lock body), widening
+        the race window other threads contend against.  ``points``
+        restricts the plan to named sections (default: ``cache``).
+        """
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self._section_every = every
+        self._section_seconds = seconds
+        if points is not None:
+            self._section_points = frozenset(points)
         return self
 
     # -- installation ------------------------------------------------
@@ -157,18 +202,32 @@ class FaultInjector:
     # -- fault behaviours --------------------------------------------
 
     def _observe(self, point, stats):
-        self.checkpoints_seen += 1
-        if (
-            self._raise_after is not None
-            and point in self._raise_points
-            and self.checkpoints_seen >= self._raise_after
-        ):
+        with self._counter_lock:
+            self.checkpoints_seen += 1
+            if (
+                self._raise_after is None
+                or point not in self._raise_points
+                or self.checkpoints_seen < self._raise_after
+            ):
+                return
             self.faults_raised += 1
             self._raise_after = None  # one-shot
-            raise InjectedFault(
-                "%s (at %s checkpoint %d)"
-                % (self._raise_message, point, self.checkpoints_seen)
-            )
+            seen = self.checkpoints_seen
+        raise InjectedFault(
+            "%s (at %s checkpoint %d)"
+            % (self._raise_message, point, seen)
+        )
+
+    def _stall(self, point):
+        if self._section_every is None or point not in self._section_points:
+            return
+        with self._counter_lock:
+            self._section_calls += 1
+            due = self._section_calls % self._section_every == 0
+            if due:
+                self.sections_stalled += 1
+        if due:
+            self._sleep(self._section_seconds)
 
     def _patch_lookup(self):
         injector = self
@@ -177,9 +236,12 @@ class FaultInjector:
         calls = [0]
 
         def lookup(self, positions, key, stats=None):
-            calls[0] += 1
-            if calls[0] % injector._delay_every == 0:
-                injector.probes_delayed += 1
+            with injector._counter_lock:
+                calls[0] += 1
+                due = calls[0] % injector._delay_every == 0
+                if due:
+                    injector.probes_delayed += 1
+            if due:
                 injector._sleep(injector._delay_seconds)
             return original(self, positions, key, stats)
 
@@ -193,8 +255,10 @@ class FaultInjector:
 
         def copy(self):
             clone = original(self)
-            calls[0] += 1
-            if calls[0] % injector._corrupt_every == 0 and len(clone):
+            with injector._counter_lock:
+                calls[0] += 1
+                due = calls[0] % injector._corrupt_every == 0
+            if due and len(clone):
                 injector._corrupt(clone)
             return clone
 
@@ -227,6 +291,11 @@ class FaultInjector:
             )
         if self._corrupt_every is not None:
             plans.append("corrupt/%d" % self._corrupt_every)
+        if self._section_every is not None:
+            plans.append(
+                "stall(%gs/%d)"
+                % (self._section_seconds, self._section_every)
+            )
         return "FaultInjector(%s%s)" % (
             "installed, " if self._installed else "",
             ", ".join(plans) if plans else "no-op",

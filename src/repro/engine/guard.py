@@ -26,6 +26,7 @@ Budgets are *single-use*: the deadline clock starts at the first check
 strategy attempt rather than sharing one across the chain.
 """
 
+import threading
 import time
 
 from ..errors import (
@@ -39,26 +40,33 @@ from ..errors import (
 class CancellationToken:
     """Cooperative cancellation flag shared between caller and engine.
 
-    Thread-safe by construction: the only mutation is a monotonic flag
-    flip, so no lock is needed.
+    Backed by a :class:`threading.Event`, so a flip on one thread is
+    immediately visible to an engine checking the token on another —
+    the serving layer (:mod:`repro.serve`) cancels straggling workers
+    this way during drain.  The flag is monotonic: once cancelled, a
+    token never goes live again.
     """
 
-    __slots__ = ("_cancelled",)
+    __slots__ = ("_event",)
 
     def __init__(self):
-        self._cancelled = False
+        self._event = threading.Event()
 
     def cancel(self):
         """Request cancellation; the next budget check raises."""
-        self._cancelled = True
+        self._event.set()
 
     @property
     def cancelled(self):
-        return self._cancelled
+        return self._event.is_set()
+
+    def wait(self, timeout=None):
+        """Block until cancelled or ``timeout`` elapses; returns the flag."""
+        return self._event.wait(timeout)
 
     def __repr__(self):
         return "CancellationToken(%s)" % (
-            "cancelled" if self._cancelled else "live"
+            "cancelled" if self.cancelled else "live"
         )
 
 
@@ -138,6 +146,37 @@ class ResourceBudget:
         if self._deadline is None:
             return False
         return self._clock() > self._deadline
+
+    def child(self, timeout=None, max_facts=None, max_rounds=None,
+              token=None):
+        """Derive a fresh budget bounded by this budget's remaining time.
+
+        Budgets are single-use, but a request that retries (or fans out
+        into per-attempt budgets) must not be granted a fresh deadline
+        each time: the child's ``timeout`` is clamped to the parent's
+        :meth:`remaining` wall-clock allowance, so the *request*
+        deadline propagates through every derived attempt.  Calling
+        :meth:`child` starts the parent clock (deriving "remaining"
+        implies the request is in flight).
+
+        ``max_facts`` / ``max_rounds`` / ``token`` default to the
+        parent's values; pass explicit ones to override.  The parent's
+        injectable clock is always inherited, so tests driving a fake
+        clock see the same time in every generation.
+        """
+        remaining = self.remaining()
+        if remaining is not None:
+            remaining = max(0.0, remaining)
+            timeout = remaining if timeout is None \
+                else min(timeout, remaining)
+        return ResourceBudget(
+            timeout=timeout,
+            max_facts=self.max_facts if max_facts is None else max_facts,
+            max_rounds=self.max_rounds if max_rounds is None
+            else max_rounds,
+            token=self.token if token is None else token,
+            clock=self._clock,
+        )
 
     def check(self, stats=None):
         """Raise a typed budget error if any limit is exhausted.

@@ -30,16 +30,25 @@ append-only, so sharing is safe and keeps ids stable across snapshots.
 """
 
 import sys
+import threading
 
 
 class InternPool:
-    """Append-only table of canonical constant values and their ids."""
+    """Append-only table of canonical constant values and their ids.
 
-    __slots__ = ("_canon", "_ids")
+    Safe to share across threads: :meth:`intern` races are benign (two
+    threads canonicalizing the same new value both publish equal
+    instances; the pointer fast path merely warms up one insert later),
+    but :meth:`ident` must hand out *stable* ids, so id assignment is
+    serialized on a lock.
+    """
+
+    __slots__ = ("_canon", "_ids", "_id_lock")
 
     def __init__(self):
         self._canon = {}
         self._ids = {}
+        self._id_lock = threading.Lock()
 
     def intern(self, value):
         """Return the canonical instance equal to ``value``.
@@ -67,8 +76,11 @@ class InternPool:
         key = (value.__class__, value)
         ident = self._ids.get(key)
         if ident is None:
-            ident = len(self._ids)
-            self._ids[key] = ident
+            with self._id_lock:
+                ident = self._ids.get(key)
+                if ident is None:
+                    ident = len(self._ids)
+                    self._ids[key] = ident
         return ident
 
     def intern_row(self, row):

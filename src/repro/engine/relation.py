@@ -47,7 +47,7 @@ class Relation:
     """
 
     __slots__ = ("name", "arity", "tuples", "_indexes", "use_indexes",
-                 "epoch")
+                 "epoch", "_log")
 
     def __init__(self, name, arity, use_indexes=True):
         self.name = name
@@ -62,6 +62,12 @@ class Relation:
         #: :mod:`repro.exec.cache`), which makes invalidation free: a
         #: mutated relation simply never matches a stale key again.
         self.epoch = 0
+        #: New rows in insertion order — ``_log[:E]`` is exactly the
+        #: contents the relation had when ``epoch`` was ``E``, which is
+        #: what makes :meth:`pinned` snapshots O(E) row *references*
+        #: instead of a deep rebuild.  Append-only, one entry per epoch
+        #: bump.
+        self._log = []
 
     def __len__(self):
         return len(self.tuples)
@@ -82,6 +88,10 @@ class Relation:
         if row in self.tuples:
             return False
         self.tuples.add(row)
+        # Log before the epoch bump: a concurrent reader that sees the
+        # new epoch value is then guaranteed to find the row in the log
+        # prefix it slices (list appends are atomic under the GIL).
+        self._log.append(row)
         self.epoch += 1
         for positions, index in self._indexes.items():
             if len(positions) == 1:
@@ -200,10 +210,36 @@ class Relation:
                          use_indexes=self.use_indexes)
         clone.tuples = set(self.tuples)
         clone.epoch = self.epoch
+        clone._log = list(self._log)
         clone._indexes = {
             positions: {key: list(rows) for key, rows in index.items()}
             for positions, index in self._indexes.items()
         }
+        return clone
+
+    def pinned(self, epoch):
+        """A frozen clone holding exactly the first ``epoch`` rows.
+
+        The insertion log records one row per epoch bump, so the prefix
+        of length ``epoch`` is precisely the relation's contents when
+        its epoch had that value — the building block of
+        :meth:`~repro.engine.database.Database.snapshot` read views.
+        Safe to call while another thread appends: the log is
+        append-only and the slice never reaches past ``epoch``.  The
+        clone starts with no indexes (the source's indexes may already
+        reflect newer rows); readers build their own lazily as usual.
+        """
+        if epoch < 0 or epoch > len(self._log):
+            raise ValueError(
+                "cannot pin %s at epoch %d (log holds %d rows)"
+                % (self.name, epoch, len(self._log))
+            )
+        clone = Relation(self.name, self.arity,
+                         use_indexes=self.use_indexes)
+        rows = self._log[:epoch]
+        clone.tuples = set(rows)
+        clone._log = rows
+        clone.epoch = epoch
         return clone
 
     def __repr__(self):

@@ -106,6 +106,39 @@ class EvaluationCancelled(BudgetExceededError):
     """A cooperative :class:`CancellationToken` was triggered."""
 
 
+class ServiceError(ReproError):
+    """Base class for query-service failures (:mod:`repro.serve`)."""
+
+
+class Overloaded(ServiceError):
+    """Admission control rejected or shed a request.
+
+    Raised *fast* at submit time when the service queue is at capacity
+    (``reason='queue_full'``), and recorded as a request's outcome when
+    its deadline expired while it sat in the queue, so it was shed
+    without evaluation (``reason='expired'``).  Either way the service
+    spent no join work on the request — callers are expected to back
+    off and retry, not to treat this as a query failure.
+    """
+
+    def __init__(self, message, reason="queue_full"):
+        super().__init__(message)
+        self.reason = reason
+
+
+class ServiceClosed(ServiceError):
+    """A request was submitted to a draining or shut-down service."""
+
+
+class CircuitOpenError(ServiceError):
+    """A strategy was skipped because its circuit breaker is open.
+
+    Recorded on the skipped :class:`~repro.exec.resilient.AttemptRecord`
+    (the chain degrades past it like any other failure) and raised to
+    the caller only when *no* strategy was allowed to run.
+    """
+
+
 class ResilienceExhaustedError(ReproError):
     """Every strategy in a resilient fallback chain failed.
 

@@ -18,9 +18,24 @@ Two stores back the prepared-query layer (:mod:`repro.exec.prepared`):
 Both caches are deliberately dumb containers: what goes into the key —
 and therefore what "same query" means — is decided by the prepared
 layer.
+
+Concurrency: every public operation runs under a per-cache
+:class:`threading.RLock`, so the LRU reorder + counter update of a
+``get`` and the insert + eviction of a ``put`` are atomic with respect
+to other threads — the serving layer (:mod:`repro.serve`) shares one
+cache across its whole worker pool.  The invariant ``hits + misses ==
+lookups`` holds under arbitrary contention; :meth:`assert_consistent`
+checks it (tests hammer the caches from many threads and then call
+it).  The :func:`repro.engine.faults.stall` checkpoint inside each
+critical section lets the fault injector stretch lock hold times
+deterministically, so lost-update bugs that need a long race window
+become reproducible.
 """
 
+import threading
 from collections import OrderedDict
+
+from ..engine.faults import stall as _stall
 
 
 class AnswerCache:
@@ -33,8 +48,8 @@ class AnswerCache:
     :class:`~repro.engine.database.Database` instance.
     """
 
-    __slots__ = ("capacity", "_entries", "hits", "misses", "evictions",
-                 "invalidations")
+    __slots__ = ("capacity", "_entries", "_lock", "lookups", "hits",
+                 "misses", "evictions", "invalidations")
 
     def __init__(self, capacity=128):
         if capacity < 1:
@@ -42,42 +57,69 @@ class AnswerCache:
                              % (capacity,))
         self.capacity = capacity
         self._entries = OrderedDict()
+        self._lock = threading.RLock()
+        self.lookups = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
 
     def get(self, key, valid=None):
-        entry = self._entries.get(key)
-        if entry is not None and (valid is None or valid(entry)):
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return entry
-        if entry is not None:
-            del self._entries[key]
-            self.invalidations += 1
-        self.misses += 1
-        return None
+        with self._lock:
+            _stall("cache")
+            self.lookups += 1
+            entry = self._entries.get(key)
+            if entry is not None and (valid is None or valid(entry)):
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry
+            if entry is not None:
+                del self._entries[key]
+                self.invalidations += 1
+            self.misses += 1
+            return None
 
     def put(self, key, entry):
-        entries = self._entries
-        if key in entries:
+        with self._lock:
+            _stall("cache")
+            entries = self._entries
+            if key in entries:
+                entries[key] = entry
+                entries.move_to_end(key)
+                return
             entries[key] = entry
-            entries.move_to_end(key)
-            return
-        entries[key] = entry
-        if len(entries) > self.capacity:
-            entries.popitem(last=False)
-            self.evictions += 1
+            if len(entries) > self.capacity:
+                entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self):
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
+
+    def assert_consistent(self):
+        """Check the counter/size invariants; raises AssertionError.
+
+        ``hits + misses == lookups`` (every lookup got exactly one
+        verdict) and the entry count never exceeds capacity.  Both must
+        hold under arbitrary thread contention.
+        """
+        with self._lock:
+            assert self.hits + self.misses == self.lookups, (
+                "cache counters diverged: %d hits + %d misses != %d "
+                "lookups" % (self.hits, self.misses, self.lookups)
+            )
+            assert len(self._entries) <= self.capacity, (
+                "cache overflow: %d entries > capacity %d"
+                % (len(self._entries), self.capacity)
+            )
 
     def __len__(self):
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key):
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     @property
     def hit_rate(self):
@@ -102,8 +144,8 @@ class CountingTableStore:
     trusted, only rebuilt.
     """
 
-    __slots__ = ("capacity", "_entries", "hits", "misses", "evictions",
-                 "invalidations")
+    __slots__ = ("capacity", "_entries", "_lock", "lookups", "hits",
+                 "misses", "evictions", "invalidations")
 
     def __init__(self, capacity=64):
         if capacity < 1:
@@ -111,42 +153,63 @@ class CountingTableStore:
                              % (capacity,))
         self.capacity = capacity
         self._entries = OrderedDict()
+        self._lock = threading.RLock()
+        self.lookups = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
 
     def get(self, key, epochs):
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        stored_epochs, table = entry
-        if stored_epochs != epochs:
-            del self._entries[key]
-            self.invalidations += 1
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return table
+        with self._lock:
+            _stall("cache")
+            self.lookups += 1
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            stored_epochs, table = entry
+            if stored_epochs != epochs:
+                del self._entries[key]
+                self.invalidations += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return table
 
     def put(self, key, epochs, table):
-        entries = self._entries
-        if key in entries:
+        with self._lock:
+            _stall("cache")
+            entries = self._entries
+            if key in entries:
+                entries[key] = (epochs, table)
+                entries.move_to_end(key)
+                return
             entries[key] = (epochs, table)
-            entries.move_to_end(key)
-            return
-        entries[key] = (epochs, table)
-        if len(entries) > self.capacity:
-            entries.popitem(last=False)
-            self.evictions += 1
+            if len(entries) > self.capacity:
+                entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self):
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
+
+    def assert_consistent(self):
+        """Counter/size invariants under contention; raises AssertionError."""
+        with self._lock:
+            assert self.hits + self.misses == self.lookups, (
+                "store counters diverged: %d hits + %d misses != %d "
+                "lookups" % (self.hits, self.misses, self.lookups)
+            )
+            assert len(self._entries) <= self.capacity, (
+                "store overflow: %d entries > capacity %d"
+                % (len(self._entries), self.capacity)
+            )
 
     def __len__(self):
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __repr__(self):
         return "CountingTableStore(%d/%d tables, %d hits, %d misses)" % (

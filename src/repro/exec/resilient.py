@@ -31,6 +31,7 @@ from ..engine.database import Database
 from ..engine.guard import ResourceBudget
 from ..errors import (
     BudgetExceededError,
+    CircuitOpenError,
     CountingDivergenceError,
     EvaluationError,
     NotApplicableError,
@@ -110,9 +111,10 @@ class FallbackPolicy:
 class AttemptRecord:
     """One stage of a resilient run: a strategy and its outcome."""
 
-    __slots__ = ("method", "error", "elapsed", "stats")
+    __slots__ = ("method", "error", "elapsed", "stats", "breaker_state")
 
-    def __init__(self, method, error=None, elapsed=0.0, stats=None):
+    def __init__(self, method, error=None, elapsed=0.0, stats=None,
+                 breaker_state=None):
         self.method = method
         #: The typed error the stage failed with, or ``None`` on success.
         self.error = error
@@ -120,6 +122,11 @@ class AttemptRecord:
         #: Partial :class:`EvalStats` — for budget errors, how far the
         #: stage got before the abort; ``None`` when unavailable.
         self.stats = stats
+        #: The strategy's circuit-breaker state *after* this attempt was
+        #: recorded, or ``None`` when the run had no breakers.  A
+        #: :class:`~repro.errors.CircuitOpenError` attempt with
+        #: ``elapsed == 0`` is a skip, not a real execution.
+        self.breaker_state = breaker_state
 
     @property
     def failed(self):
@@ -189,11 +196,39 @@ class ExecutionReport:
                 else "failed: %s (%s)" % (attempt.error_class,
                                           attempt.error)
             )
+            if attempt.breaker_state is not None:
+                outcome += "  [breaker: %s]" % attempt.breaker_state
             lines.append(
                 "%-18s %8.4fs  %s" % (attempt.method, attempt.elapsed,
                                       outcome)
             )
         return "\n".join(lines)
+
+    def summary(self):
+        """Structured run log for service/ops telemetry.
+
+        One dict with the winning method and headline counters plus a
+        per-attempt list carrying each stage's wall-clock seconds and
+        the state its circuit breaker was left in — enough to diagnose
+        a shed or retried request from logs alone, without the report
+        object in hand.
+        """
+        return {
+            "method": self.method,
+            "succeeded": self.succeeded,
+            "fallback_depth": self.fallback_depth,
+            "budget_aborts": self.budget_aborts,
+            "total_elapsed": self.total_elapsed,
+            "attempts": [
+                {
+                    "method": attempt.method,
+                    "outcome": attempt.error_class or "ok",
+                    "elapsed": attempt.elapsed,
+                    "breaker": attempt.breaker_state,
+                }
+                for attempt in self.attempts
+            ],
+        }
 
     def __repr__(self):
         return "ExecutionReport(%s, %d attempts, %d budget aborts)" % (
@@ -202,7 +237,8 @@ class ExecutionReport:
         )
 
 
-def run_resilient(query, db, policy=None):
+def run_resilient(query, db, policy=None, breakers=None,
+                  budget_factory=None):
     """Run ``query`` under a degrading strategy chain.
 
     Returns an :class:`ExecutionReport` whose ``result`` holds the
@@ -211,6 +247,18 @@ def run_resilient(query, db, policy=None):
     stage fails — by construction impossible with the default chain's
     terminal ``naive`` stage unless a budget is set tight enough to
     starve even that.
+
+    ``breakers`` (anything with ``get(method) -> CircuitBreaker or
+    None``, e.g. a :class:`~repro.serve.breaker.BreakerBoard` or plain
+    dict) wires per-strategy circuit breakers into the chain: a stage
+    whose breaker refuses admission is *skipped* — recorded as a
+    zero-elapsed :class:`~repro.errors.CircuitOpenError` attempt — and
+    real strategy failures feed the breaker.  Budget aborts do not:
+    they describe the caller's limits, not the strategy's health.
+
+    ``budget_factory`` overrides ``policy.make_budget`` with a caller
+    callable building each attempt's fresh budget — the serving layer
+    threads request deadlines through the chain this way.
     """
     if policy is None:
         policy = FallbackPolicy()
@@ -220,25 +268,51 @@ def run_resilient(query, db, policy=None):
         raise TypeError("expected a Database")
     report = ExecutionReport(policy)
     for method in policy.chain:
-        budget = policy.make_budget()
+        breaker = None if breakers is None else breakers.get(method)
+        if breaker is not None and not breaker.allow():
+            report.attempts.append(
+                AttemptRecord(
+                    method,
+                    error=CircuitOpenError(
+                        "circuit for %r is %s; stage skipped"
+                        % (method, breaker.state)
+                    ),
+                    breaker_state=breaker.state,
+                )
+            )
+            continue
+        budget = budget_factory() if budget_factory is not None \
+            else policy.make_budget()
         attempt_db = db.copy() if policy.isolate else db
         started = perf_counter()
         try:
             result = run_strategy(method, query, attempt_db,
                                   budget=budget)
         except policy.catch as exc:
+            if breaker is not None and not isinstance(
+                exc, BudgetExceededError
+            ):
+                breaker.record_failure()
             report.attempts.append(
                 AttemptRecord(
                     method,
                     error=exc,
                     elapsed=perf_counter() - started,
                     stats=getattr(exc, "stats", None),
+                    breaker_state=None if breaker is None
+                    else breaker.state,
                 )
             )
             continue
+        if breaker is not None:
+            breaker.record_success()
         report.attempts.append(
-            AttemptRecord(method, elapsed=perf_counter() - started,
-                          stats=result.stats)
+            AttemptRecord(
+                method, elapsed=perf_counter() - started,
+                stats=result.stats,
+                breaker_state=None if breaker is None
+                else breaker.state,
+            )
         )
         report.result = result
         return report

@@ -1,0 +1,21 @@
+"""Concurrent query serving: admission control, deadlines, breakers.
+
+The production-facing front end over the prepared-query layer: a
+:class:`QueryService` runs one query form on a worker pool with a
+bounded admission queue, per-request deadline propagation, seeded
+retry backoff, per-strategy circuit breakers and graceful drain.  See
+:mod:`repro.serve.service` for the full contract.
+"""
+
+from .breaker import BreakerBoard, CircuitBreaker
+from .retry import RetryPolicy
+from .service import QueryFuture, QueryService, ServiceStats
+
+__all__ = [
+    "BreakerBoard",
+    "CircuitBreaker",
+    "QueryFuture",
+    "QueryService",
+    "RetryPolicy",
+    "ServiceStats",
+]

@@ -1,0 +1,79 @@
+"""Deterministic seeded backoff for budget-aborted attempts.
+
+A request whose attempt died on a :class:`~repro.errors.
+BudgetExceededError` may simply have lost a race — an injected stall, a
+neighbour hogging the worker, a transiently slow probe — so the service
+retries it.  Naive retries synchronize: every shed request comes back
+at the same instant and overloads the queue again.  The classic fix is
+exponential backoff with jitter; the twist here is that *all*
+randomness flows from one seed plus the request id, so a run can be
+replayed fault-for-fault and delay-for-delay — the same determinism
+contract :mod:`repro.engine.faults` keeps.
+"""
+
+import random
+
+
+class RetryPolicy:
+    """How often, and after what delays, budget-aborted attempts retry.
+
+    Parameters
+    ----------
+    max_attempts : int
+        Total attempts per request (1 = no retries).
+    base_delay : float
+        Seconds before the first retry, pre-jitter.
+    multiplier : float
+        Exponential growth factor between retries.
+    jitter : float
+        Fraction of the delay added as seeded noise: the actual delay
+        is ``delay * (1 + jitter * u)`` with ``u`` uniform in [0, 1).
+    seed : int
+        Root of all randomness.  The per-request stream is seeded with
+        ``(seed, request_id)``, so delays are deterministic per request
+        and independent across requests — no hidden shared-RNG state to
+        race on between worker threads.
+    """
+
+    __slots__ = ("max_attempts", "base_delay", "multiplier", "jitter",
+                 "seed")
+
+    def __init__(self, max_attempts=3, base_delay=0.05, multiplier=2.0,
+                 jitter=0.5, seed=0):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if base_delay < 0 or multiplier < 1.0 or jitter < 0:
+            raise ValueError(
+                "base_delay/jitter must be non-negative and "
+                "multiplier >= 1"
+            )
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.jitter = jitter
+        self.seed = seed
+
+    def backoff(self, request_id):
+        """Yield the retry delays for one request, in order.
+
+        Yields ``max_attempts - 1`` values.  The generator owns a
+        private :class:`random.Random`, so concurrent requests drawing
+        jitter never perturb each other's sequences — same seed, same
+        request id, same delays, on any schedule.
+        """
+        # Mix seed and request id into one int (random.Random only
+        # accepts scalar seeds); the odd multiplier keeps nearby
+        # request ids on unrelated streams.
+        rng = random.Random(self.seed * 0x9E3779B1 + request_id)
+        delay = self.base_delay
+        for _attempt in range(self.max_attempts - 1):
+            yield delay * (1.0 + self.jitter * rng.random())
+            delay *= self.multiplier
+
+    def __repr__(self):
+        return (
+            "RetryPolicy(%d attempt(s), base=%gs, x%g, jitter=%g, "
+            "seed=%d)"
+            % (self.max_attempts, self.base_delay, self.multiplier,
+               self.jitter, self.seed)
+        )

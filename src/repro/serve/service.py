@@ -1,0 +1,566 @@
+"""A concurrent, overload-safe front end over prepared queries.
+
+:class:`QueryService` serves one prepared query form from a pool of
+worker threads, with the failure modes of a production query tier
+designed in rather than bolted on:
+
+* **Admission control / load shedding** — the request queue is bounded.
+  A submit that finds it full fails *fast* with a typed
+  :class:`~repro.errors.Overloaded` error instead of piling latency
+  onto every queued request behind it.  Queue depth can therefore never
+  exceed the configured capacity, no matter the offered load.
+* **Deadline propagation** — each request carries a deadline.  It is
+  threaded into every evaluation attempt as a derived
+  :class:`~repro.engine.guard.ResourceBudget`
+  (:meth:`~repro.engine.guard.ResourceBudget.child` clamps each
+  attempt to the request's remaining allowance), and a queued request
+  whose deadline already passed is shed by the worker without spending
+  any join work on it.
+* **Retries with seeded backoff** — attempts that die on a budget abort
+  are retried under a :class:`~repro.serve.retry.RetryPolicy`; delays
+  are deterministic per ``(seed, request id)``.
+* **Per-strategy circuit breakers** — strategy failures feed a shared
+  :class:`~repro.serve.breaker.BreakerBoard`.  A strategy whose breaker
+  is open is skipped (in the primary path and inside the resilient
+  fallback chain alike) until its cooldown passes.
+* **Snapshot isolation** — requests evaluate against an epoch-pinned
+  :meth:`~repro.engine.database.Database.snapshot` generation, so a
+  concurrent writer can never show a worker a half-applied mutation;
+  the generation is refreshed (cheaply, only when epochs actually
+  moved) at admission time.
+* **Graceful drain** — :meth:`QueryService.drain` stops admissions,
+  lets workers finish queued and in-flight work, and after an optional
+  grace period flips the straggling requests'
+  :class:`~repro.engine.guard.CancellationToken`\\ s so evaluation
+  stops at the next round boundary.
+
+Answers served concurrently are byte-identical to single-threaded
+evaluation of the same requests — the overload benchmark
+(``benchmarks/bench_s4_service_overload.py``) enforces exactly that.
+"""
+
+import queue
+import threading
+import time
+
+from ..engine.guard import CancellationToken, ResourceBudget
+from ..errors import (
+    BudgetExceededError,
+    CircuitOpenError,
+    CountingDivergenceError,
+    EvaluationCancelled,
+    EvaluationError,
+    NotApplicableError,
+    Overloaded,
+    ReproError,
+    ServiceClosed,
+)
+from ..exec.resilient import DEFAULT_CHAIN, FallbackPolicy, run_resilient
+from .breaker import BreakerBoard
+from .retry import RetryPolicy
+
+_SENTINEL = object()
+
+#: Strategy-health failures: these trip breakers and degrade to the
+#: fallback chain.  Budget aborts are deliberately absent — they
+#: describe the caller's limits and are handled by retry instead.
+_STRATEGY_ERRORS = (
+    NotApplicableError,
+    CountingDivergenceError,
+    EvaluationError,
+)
+
+
+class ServiceStats:
+    """Thread-safe counters describing one service's lifetime.
+
+    The admission ledger always balances: ``submitted == admitted +
+    shed_overload + rejected_closed``, and every admitted request ends
+    in exactly one of ``completed`` / ``failed`` / ``cancelled`` /
+    ``shed_expired``.
+    """
+
+    __slots__ = ("_lock", "submitted", "admitted", "shed_overload",
+                 "shed_expired", "rejected_closed", "completed",
+                 "failed", "cancelled", "retried", "fallbacks",
+                 "refreshes", "max_queue_depth")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.admitted = 0
+        self.shed_overload = 0
+        self.shed_expired = 0
+        self.rejected_closed = 0
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+        self.retried = 0
+        self.fallbacks = 0
+        self.refreshes = 0
+        self.max_queue_depth = 0
+
+    def bump(self, name, amount=1):
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
+
+    def note_depth(self, depth):
+        with self._lock:
+            if depth > self.max_queue_depth:
+                self.max_queue_depth = depth
+
+    def as_dict(self):
+        with self._lock:
+            return {
+                "submitted": self.submitted,
+                "admitted": self.admitted,
+                "shed_overload": self.shed_overload,
+                "shed_expired": self.shed_expired,
+                "rejected_closed": self.rejected_closed,
+                "completed": self.completed,
+                "failed": self.failed,
+                "cancelled": self.cancelled,
+                "retried": self.retried,
+                "fallbacks": self.fallbacks,
+                "refreshes": self.refreshes,
+                "max_queue_depth": self.max_queue_depth,
+            }
+
+    def __repr__(self):
+        return "ServiceStats(%s)" % ", ".join(
+            "%s=%d" % (k, v) for k, v in self.as_dict().items() if v
+        )
+
+
+class QueryFuture:
+    """The pending outcome of one submitted request.
+
+    :meth:`result` blocks for the answer (re-raising the request's
+    typed error if it failed); :meth:`cancel` flips the request's
+    cancellation token, which stops evaluation cooperatively at the
+    next budget checkpoint.
+    """
+
+    __slots__ = ("request_id", "_done", "_result", "_error", "_token")
+
+    def __init__(self, request_id, token):
+        self.request_id = request_id
+        self._done = threading.Event()
+        self._result = None
+        self._error = None
+        self._token = token
+
+    def done(self):
+        return self._done.is_set()
+
+    def result(self, timeout=None):
+        """The :class:`~repro.exec.strategies.ExecutionResult`, or the
+        request's typed error re-raised.  Raises ``TimeoutError`` if
+        the outcome does not land within ``timeout`` seconds."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                "request %d not done within %gs" % (self.request_id,
+                                                    timeout)
+            )
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def exception(self, timeout=None):
+        """The request's error (``None`` on success); blocks like
+        :meth:`result`."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                "request %d not done within %gs" % (self.request_id,
+                                                    timeout)
+            )
+        return self._error
+
+    def cancel(self):
+        """Request cooperative cancellation of this request."""
+        self._token.cancel()
+
+    def _resolve(self, result=None, error=None):
+        self._result = result
+        self._error = error
+        self._done.set()
+
+    def __repr__(self):
+        state = "pending"
+        if self._done.is_set():
+            state = "error: %s" % type(self._error).__name__ \
+                if self._error is not None else "done"
+        return "QueryFuture(#%d, %s)" % (self.request_id, state)
+
+
+class _Request:
+    __slots__ = ("id", "constants", "deadline", "budget", "token",
+                 "future", "db", "submitted_at")
+
+    def __init__(self, request_id, constants, deadline, budget, token,
+                 future, db, submitted_at):
+        self.id = request_id
+        self.constants = constants
+        #: Absolute deadline on the service clock, or ``None``.
+        self.deadline = deadline
+        #: Caller-supplied parent budget (optional) — attempts derive
+        #: children from it so its fact/round caps propagate too.
+        self.budget = budget
+        self.token = token
+        self.future = future
+        #: The snapshot generation pinned at admission.
+        self.db = db
+        self.submitted_at = submitted_at
+
+
+class QueryService:
+    """Serve a :class:`~repro.exec.prepared.PreparedQuery` concurrently.
+
+    Parameters
+    ----------
+    prepared : :class:`~repro.exec.prepared.PreparedQuery`
+        The query form to serve.  Anything duck-typing its
+        ``method`` / ``run(constants, db=..., budget=...)`` / ``bind``
+        surface works (tests exploit this).
+    db : :class:`~repro.engine.database.Database`
+        The live database.  Requests are evaluated against epoch-pinned
+        snapshot generations of it (unless ``snapshots=False``).
+    workers : int
+        Worker-thread pool size.
+    queue_capacity : int
+        Bounded-queue capacity; admission past it sheds with
+        :class:`~repro.errors.Overloaded`.
+    default_timeout : float or None
+        Per-request deadline (seconds from admission) used when a
+        submit names none.
+    retry : :class:`~repro.serve.retry.RetryPolicy` or None
+        Backoff schedule for budget-aborted attempts (None = one
+        attempt).
+    breakers : :class:`~repro.serve.breaker.BreakerBoard` or None
+        Shared per-strategy breakers; a default board is created when
+        omitted.
+    fallback : bool
+        Degrade through the resilient strategy chain when the prepared
+        method fails or its breaker is open (True by default).
+    snapshots : bool
+        Pin an epoch snapshot per admission generation (True) or serve
+        the live database directly (False — only safe without
+        concurrent writers).
+    clock, sleep : callables
+        Injectable time sources for deadlines/breakers and backoff
+        sleeps; tests drive fake time through these.
+    """
+
+    def __init__(self, prepared, db, workers=2, queue_capacity=16,
+                 default_timeout=None, retry=None, breakers=None,
+                 fallback=True, snapshots=True, clock=None, sleep=None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        self.prepared = prepared
+        self.db = db
+        self.queue_capacity = queue_capacity
+        self.default_timeout = default_timeout
+        self.retry = retry if retry is not None else RetryPolicy(
+            max_attempts=1
+        )
+        self.breakers = breakers if breakers is not None else \
+            BreakerBoard()
+        self.fallback = fallback
+        self.snapshots = snapshots
+        self.stats = ServiceStats()
+        self._clock = clock if clock is not None else time.monotonic
+        self._sleep = sleep if sleep is not None else time.sleep
+        self._queue = queue.Queue(maxsize=queue_capacity)
+        self._admit_lock = threading.Lock()
+        self._closed = False
+        self._next_id = 0
+        #: Admitted-but-unfinished requests, for drain cancellation.
+        self._outstanding = {}
+        self._generation = db.snapshot() if snapshots else db
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                name="repro-serve-%d" % index,
+                daemon=True,
+            )
+            for index in range(workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- admission -----------------------------------------------------
+
+    def submit(self, constants=None, timeout=None, budget=None):
+        """Admit one request; returns a :class:`QueryFuture`.
+
+        Raises :class:`~repro.errors.ServiceClosed` after
+        :meth:`drain`, and :class:`~repro.errors.Overloaded` (fast,
+        without queuing) when the bounded queue is at capacity.
+        """
+        self.stats.bump("submitted")
+        now = self._clock()
+        if timeout is None:
+            timeout = self.default_timeout
+        deadline = None if timeout is None else now + timeout
+        token = CancellationToken()
+        with self._admit_lock:
+            if self._closed:
+                self.stats.bump("rejected_closed")
+                raise ServiceClosed(
+                    "service is draining; admissions are closed"
+                )
+            request_id = self._next_id
+            self._next_id += 1
+            future = QueryFuture(request_id, token)
+            request = _Request(
+                request_id, constants, deadline, budget, token, future,
+                self._refreshed_generation(), now,
+            )
+            try:
+                self._queue.put_nowait(request)
+            except queue.Full:
+                self.stats.bump("shed_overload")
+                raise Overloaded(
+                    "queue at capacity (%d queued); request shed"
+                    % self.queue_capacity,
+                    reason="queue_full",
+                ) from None
+            self._outstanding[request_id] = request
+        self.stats.bump("admitted")
+        self.stats.note_depth(self._queue.qsize())
+        return future
+
+    def run(self, constants=None, timeout=None, budget=None,
+            wait=None):
+        """Submit and block for the result (closed-loop convenience)."""
+        return self.submit(constants, timeout=timeout,
+                           budget=budget).result(wait)
+
+    def _refreshed_generation(self):
+        """The current snapshot generation, re-pinned iff epochs moved.
+
+        Keeping the generation object stable while the database is
+        quiet is what keeps the answer cache hot: its validity check is
+        by database identity, so gratuitous re-pinning would read as an
+        invalidation on every entry.
+        """
+        if not self.snapshots:
+            return self.db
+        generation = self._generation
+        live = self.db._relations
+        pinned = generation._relations
+        stale = len(live) != len(pinned)
+        if not stale:
+            for key, rel in live.items():
+                view = pinned.get(key)
+                if view is None or view.epoch != rel.epoch:
+                    stale = True
+                    break
+        if stale:
+            generation = self.db.snapshot()
+            self._generation = generation
+            self.stats.bump("refreshes")
+        return generation
+
+    # -- the worker side -----------------------------------------------
+
+    def _worker_loop(self):
+        while True:
+            request = self._queue.get()
+            if request is _SENTINEL:
+                return
+            try:
+                self._serve(request)
+            finally:
+                with self._admit_lock:
+                    self._outstanding.pop(request.id, None)
+
+    def _serve(self, request):
+        now = self._clock()
+        if request.deadline is not None and now >= request.deadline:
+            # Shed without evaluation: the deadline passed while the
+            # request sat in the queue.
+            self.stats.bump("shed_expired")
+            request.future._resolve(error=Overloaded(
+                "deadline expired after %.4fs in queue; request shed "
+                "unevaluated" % (now - request.submitted_at),
+                reason="expired",
+            ))
+            return
+        try:
+            result = self._attempts(request)
+        except EvaluationCancelled as exc:
+            self.stats.bump("cancelled")
+            request.future._resolve(error=exc)
+        except ReproError as exc:
+            self.stats.bump("failed")
+            request.future._resolve(error=exc)
+        else:
+            self.stats.bump("completed")
+            request.future._resolve(result=result)
+
+    def _budget_for(self, request):
+        """A fresh per-attempt budget carrying the request's remaining
+        deadline, cancellation token, and any caller-supplied caps."""
+        remaining = None
+        if request.deadline is not None:
+            remaining = max(0.0, request.deadline - self._clock())
+        if request.budget is not None:
+            return request.budget.child(
+                timeout=remaining, token=request.token
+            )
+        return ResourceBudget(
+            timeout=remaining, token=request.token, clock=self._clock
+        )
+
+    def _attempts(self, request):
+        """Primary strategy with retry/breaker, then the fallback chain."""
+        method = self.prepared.method
+        breaker = self.breakers.get(method)
+        backoff = self.retry.backoff(request.id)
+        attempt = 0
+        while True:
+            if not breaker.allow():
+                if not self.fallback:
+                    raise CircuitOpenError(
+                        "circuit for %r is %s and no fallback is "
+                        "configured" % (method, breaker.state)
+                    )
+                return self._fallback(request, skip=method)
+            attempt += 1
+            budget = self._budget_for(request)
+            try:
+                result = self.prepared.run(
+                    request.constants, db=request.db, budget=budget
+                )
+            except BudgetExceededError as exc:
+                # The caller's limits, not the strategy's health: never
+                # recorded on the breaker.  Retry while the schedule
+                # and the request deadline both allow.
+                if isinstance(exc, EvaluationCancelled):
+                    raise
+                delay = next(backoff, None)
+                if delay is None:
+                    raise
+                if request.deadline is not None and (
+                    self._clock() + delay >= request.deadline
+                ):
+                    raise
+                self.stats.bump("retried")
+                self._sleep(delay)
+                continue
+            except _STRATEGY_ERRORS:
+                breaker.record_failure()
+                if not self.fallback:
+                    raise
+                return self._fallback(request, skip=method)
+            breaker.record_success()
+            result.extras["service"] = {
+                "attempts": attempt,
+                "fallback": False,
+                "generation": id(request.db),
+            }
+            return result
+
+    def _fallback(self, request, skip):
+        """Degrade through the resilient chain (minus ``skip``), with
+        the shared breaker board and request-derived budgets."""
+        self.stats.bump("fallbacks")
+        chain = tuple(m for m in DEFAULT_CHAIN if m != skip)
+        policy = FallbackPolicy(chain=chain)
+        report = run_resilient(
+            self.prepared.bind(request.constants), request.db, policy,
+            breakers=self.breakers,
+            budget_factory=lambda: self._budget_for(request),
+        )
+        result = report.result
+        result.extras["service"] = {
+            "attempts": len(report.attempts),
+            "fallback": True,
+            "resilient": report.summary(),
+            "generation": id(request.db),
+        }
+        return result
+
+    # -- shutdown ------------------------------------------------------
+
+    def drain(self, grace=None):
+        """Stop admissions, finish accepted work, cancel stragglers.
+
+        Admissions close immediately (subsequent submits raise
+        :class:`~repro.errors.ServiceClosed`); queued and in-flight
+        requests run to completion.  With ``grace`` set, workers still
+        alive after that many (real) seconds get their requests'
+        cancellation tokens flipped, which aborts evaluation at the
+        next budget checkpoint with
+        :class:`~repro.errors.EvaluationCancelled`.  Returns True when
+        everything finished gracefully, False when stragglers had to be
+        cancelled.  Idempotent.
+        """
+        with self._admit_lock:
+            already = self._closed
+            self._closed = True
+        if not already:
+            for _ in self._workers:
+                # Sentinels queue behind every admitted request (FIFO),
+                # so each worker drains real work before exiting.  If
+                # the queue is full of stuck work the put itself can't
+                # land — cancel the stragglers to make room.
+                while True:
+                    try:
+                        self._queue.put(_SENTINEL, timeout=grace)
+                        break
+                    except queue.Full:
+                        self._cancel_outstanding()
+        deadline = None if grace is None else time.monotonic() + grace
+        graceful = True
+        for worker in self._workers:
+            worker.join(
+                None if deadline is None
+                else max(0.0, deadline - time.monotonic())
+            )
+            if worker.is_alive():
+                graceful = False
+        if not graceful:
+            # Grace expired: flip every outstanding token and wait for
+            # the workers to notice at their next round boundary.
+            self._cancel_outstanding()
+            for worker in self._workers:
+                worker.join()
+        return graceful
+
+    def close(self, grace=None):
+        """Alias for :meth:`drain` (context-manager exit path)."""
+        return self.drain(grace=grace)
+
+    def _cancel_outstanding(self):
+        with self._admit_lock:
+            requests = list(self._outstanding.values())
+        for request in requests:
+            request.token.cancel()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.drain()
+        return False
+
+    # -- observability -------------------------------------------------
+
+    def counters(self):
+        """The ``service`` counter block: admission ledger, retries,
+        breaker trips/rejections and per-strategy breaker states."""
+        counters = self.stats.as_dict()
+        counters["breaker_trips"] = self.breakers.trips
+        counters["breaker_rejections"] = self.breakers.rejections
+        counters["breaker_states"] = self.breakers.states()
+        return counters
+
+    def __repr__(self):
+        return "QueryService(%s, %d worker(s), %s)" % (
+            getattr(self.prepared, "method", "?"), len(self._workers),
+            "closed" if self._closed else "open",
+        )

@@ -1,0 +1,808 @@
+"""The concurrent serving layer: admission control, deadlines,
+retries, circuit breakers and graceful drain.
+
+Fake prepared objects (anything with ``method`` / ``run`` / ``bind``)
+drive the deterministic control-flow tests; the real
+``PreparedQuery`` over an ``sg_forest`` database backs the
+answers-identical and breaker/fallback integration tests.  Thread
+timing never decides an assertion: blocking fakes gate on events, and
+deadlines/breakers run on injectable fake clocks.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import Database
+from repro.data.workloads import (
+    WORKLOADS,
+    forest_bindings,
+    forest_root,
+    poison_forest,
+    sg_forest,
+)
+from repro.engine.guard import CancellationToken, ResourceBudget
+from repro.errors import (
+    BudgetExceededError,
+    CircuitOpenError,
+    CountingDivergenceError,
+    DeadlineExceeded,
+    EvaluationCancelled,
+    NotApplicableError,
+    Overloaded,
+    ServiceClosed,
+    ServiceError,
+)
+from repro.exec import AnswerCache, CountingTableStore, PreparedQuery
+from repro.exec.resilient import FallbackPolicy, run_resilient
+from repro.exec.strategies import run_strategy
+from repro.serve import (
+    BreakerBoard,
+    CircuitBreaker,
+    QueryService,
+    RetryPolicy,
+)
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock."""
+
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class FakeResult:
+    """Duck-types ExecutionResult far enough for the service."""
+
+    def __init__(self, answers=frozenset()):
+        self.answers = frozenset(answers)
+        self.method = "fake"
+        self.extras = {}
+
+
+class FakePrepared:
+    """A scriptable prepared query: per-call outcomes, optional gate.
+
+    ``outcomes`` is a list of either exceptions (raised) or answer
+    iterables (returned); the list is consumed per run call and the
+    last entry repeats.  With ``gate`` set, every run blocks until the
+    gate event fires (``started`` signals pickup).
+    """
+
+    method = "pointer_counting"
+
+    def __init__(self, outcomes=((),), gate=None):
+        self.outcomes = list(outcomes)
+        self.gate = gate
+        self.started = threading.Event()
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def run(self, constants, db=None, budget=None):
+        with self._lock:
+            self.calls += 1
+            outcome = (
+                self.outcomes.pop(0) if len(self.outcomes) > 1
+                else self.outcomes[0]
+            )
+        self.started.set()
+        if self.gate is not None:
+            self.gate.wait()
+        if isinstance(outcome, BaseException):
+            raise outcome
+        return FakeResult(outcome)
+
+    def bind(self, constants):
+        return WORKLOADS["sg_forest"].query
+
+
+class CancellableFake(FakePrepared):
+    """Blocks until the request's cancellation token flips."""
+
+    def run(self, constants, db=None, budget=None):
+        self.started.set()
+        budget.token.wait(30.0)
+        budget.check()
+        raise AssertionError("token never cancelled")
+
+
+def tiny_db():
+    return Database.from_text("flat(a, b).")
+
+
+class TestCancellationToken:
+    def test_flip_visible_across_threads(self):
+        token = CancellationToken()
+        seen = []
+
+        def watcher():
+            seen.append(token.wait(5.0))
+
+        thread = threading.Thread(target=watcher)
+        thread.start()
+        token.cancel()
+        thread.join()
+        assert seen == [True]
+        assert token.cancelled
+
+    def test_wait_timeout_returns_flag(self):
+        token = CancellationToken()
+        assert token.wait(0.0) is False
+        token.cancel()
+        assert token.wait(0.0) is True
+
+    def test_monotonic(self):
+        token = CancellationToken()
+        token.cancel()
+        token.cancel()
+        assert token.cancelled
+
+
+class TestBudgetChild:
+    def test_child_clamps_to_remaining(self):
+        clock = FakeClock()
+        parent = ResourceBudget(timeout=10.0, clock=clock).start()
+        clock.advance(4.0)
+        child = parent.child()
+        assert child.timeout == pytest.approx(6.0)
+
+    def test_child_never_extends_deadline(self):
+        clock = FakeClock()
+        parent = ResourceBudget(timeout=2.0, clock=clock).start()
+        child = parent.child(timeout=100.0)
+        assert child.timeout == pytest.approx(2.0)
+
+    def test_child_tighter_timeout_kept(self):
+        clock = FakeClock()
+        parent = ResourceBudget(timeout=10.0, clock=clock).start()
+        child = parent.child(timeout=1.0)
+        assert child.timeout == pytest.approx(1.0)
+
+    def test_expired_parent_yields_zero_allowance(self):
+        clock = FakeClock()
+        parent = ResourceBudget(timeout=1.0, clock=clock).start()
+        clock.advance(5.0)
+        child = parent.child()
+        assert child.timeout == 0.0
+        child.start()
+        clock.advance(1e-9)  # any movement at all breaches it
+        with pytest.raises(DeadlineExceeded):
+            child.check()
+
+    def test_child_inherits_caps_token_and_clock(self):
+        token = CancellationToken()
+        clock = FakeClock()
+        parent = ResourceBudget(max_facts=7, max_rounds=3, token=token,
+                                clock=clock)
+        child = parent.child()
+        assert child.timeout is None
+        assert child.max_facts == 7
+        assert child.max_rounds == 3
+        assert child.token is token
+        assert child._clock is clock
+
+    def test_child_overrides(self):
+        parent = ResourceBudget(max_facts=7)
+        override = CancellationToken()
+        child = parent.child(max_facts=1, max_rounds=9, token=override)
+        assert child.max_facts == 1
+        assert child.max_rounds == 9
+        assert child.token is override
+
+    def test_unlimited_parent_passes_through(self):
+        child = ResourceBudget().child(timeout=3.0)
+        assert child.timeout == pytest.approx(3.0)
+        assert child.is_unlimited() is False
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=10.0,
+                                 clock=FakeClock())
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.trips == 1
+
+    def test_success_resets_streak(self):
+        breaker = CircuitBreaker(threshold=2, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_open_rejects_until_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=10.0, clock=clock)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.allow() is False
+        assert breaker.rejections == 1
+        clock.advance(10.0)
+        assert breaker.allow() is True
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_admits_single_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow() is True
+        # Probe in flight: concurrent requests are rejected.
+        assert breaker.allow() is False
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_retrips(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.trips == 2
+        assert breaker.allow() is False
+
+    def test_board_creates_and_aggregates(self):
+        clock = FakeClock()
+        board = BreakerBoard(threshold=1, cooldown=5.0, clock=clock)
+        board.get("naive").record_failure()
+        board.get("magic")
+        assert board.states() == {"naive": OPEN, "magic": CLOSED}
+        assert board.trips == 1
+        board.get("naive").allow()
+        assert board.rejections == 1
+        assert {name for name, _breaker in board} == {"naive", "magic"}
+
+
+class TestRetryPolicy:
+    def test_same_seed_same_request_identical_delays(self):
+        policy = RetryPolicy(max_attempts=4, seed=42)
+        assert list(policy.backoff(7)) == list(policy.backoff(7))
+
+    def test_distinct_requests_distinct_jitter(self):
+        policy = RetryPolicy(max_attempts=4, seed=42)
+        assert list(policy.backoff(1)) != list(policy.backoff(2))
+
+    def test_schedule_length_and_growth(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.1,
+                             multiplier=2.0, jitter=0.0, seed=0)
+        delays = list(policy.backoff(0))
+        assert delays == pytest.approx([0.1, 0.2])
+
+    def test_single_attempt_means_no_delays(self):
+        assert list(RetryPolicy(max_attempts=1).backoff(0)) == []
+
+
+class TestCacheContention:
+    """Satellite: the LRU caches stay consistent under thread races."""
+
+    THREADS = 8
+    OPS = 300
+
+    def _hammer(self, worker):
+        failures = []
+
+        def wrapped(index):
+            try:
+                worker(index)
+            except BaseException as exc:  # pragma: no cover
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=wrapped, args=(index,))
+            for index in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert failures == []
+
+    def test_answer_cache_counters_balance(self):
+        cache = AnswerCache(capacity=16)
+
+        def worker(index):
+            for op in range(self.OPS):
+                key = ("q", (op + index) % 24)
+                if cache.get(key) is None:
+                    cache.put(key, (None, frozenset([(op,)])))
+                cache.assert_consistent()
+
+        self._hammer(worker)
+        cache.assert_consistent()
+        assert cache.lookups == self.THREADS * self.OPS
+        assert len(cache) <= 16
+
+    def test_answer_cache_contention_with_injected_stalls(
+            self, fault_injector):
+        cache = AnswerCache(capacity=8)
+        fault_injector.delay_sections(0.0005, every=7)
+
+        def worker(index):
+            for op in range(60):
+                key = (op + index) % 12
+                entry = cache.get(key)
+                if entry is None:
+                    cache.put(key, (None, frozenset()))
+
+        with fault_injector:
+            self._hammer(worker)
+        cache.assert_consistent()
+        assert fault_injector.sections_stalled > 0
+
+    def test_counting_store_counters_balance(self):
+        store = CountingTableStore(capacity=8)
+        epochs = (("up", 2, 0),)
+
+        def worker(index):
+            for op in range(self.OPS):
+                key = ("src", (op + index) % 12)
+                if store.get(key, epochs) is None:
+                    store.put(key, epochs, {"table": op})
+                store.assert_consistent()
+
+        self._hammer(worker)
+        store.assert_consistent()
+        assert store.lookups == self.THREADS * self.OPS
+
+
+class TestAdmissionControl:
+    def test_queue_full_sheds_typed_and_fast(self):
+        gate = threading.Event()
+        fake = FakePrepared(gate=gate)
+        service = QueryService(fake, tiny_db(), workers=1,
+                               queue_capacity=2, snapshots=False)
+        try:
+            first = service.submit()
+            assert fake.started.wait(5.0)  # worker holds request 1
+            queued = [service.submit(), service.submit()]
+            with pytest.raises(Overloaded) as excinfo:
+                service.submit()
+            assert excinfo.value.reason == "queue_full"
+            assert isinstance(excinfo.value, ServiceError)
+            gate.set()
+            for future in [first] + queued:
+                assert future.result(10.0).answers == frozenset()
+        finally:
+            gate.set()
+            service.drain()
+        counters = service.counters()
+        assert counters["shed_overload"] == 1
+        assert counters["admitted"] == 3
+        assert counters["submitted"] == (
+            counters["admitted"] + counters["shed_overload"]
+            + counters["rejected_closed"]
+        )
+        assert counters["max_queue_depth"] <= 2
+
+    def test_deadline_expired_in_queue_sheds_unevaluated(self):
+        clock = FakeClock()
+        gate = threading.Event()
+        fake = FakePrepared(gate=gate)
+        service = QueryService(fake, tiny_db(), workers=1,
+                               queue_capacity=4, snapshots=False,
+                               clock=clock)
+        try:
+            blocker = service.submit()
+            assert fake.started.wait(5.0)
+            calls_before = fake.calls
+            doomed = service.submit(timeout=1.0)
+            clock.advance(5.0)
+            gate.set()
+            assert blocker.result(10.0) is not None
+            with pytest.raises(Overloaded) as excinfo:
+                doomed.result(10.0)
+            assert excinfo.value.reason == "expired"
+            # Shed without evaluation: run never saw the request.
+            assert fake.calls == calls_before
+        finally:
+            gate.set()
+            service.drain()
+        assert service.counters()["shed_expired"] == 1
+
+    def test_default_timeout_applies(self):
+        clock = FakeClock()
+        gate = threading.Event()
+        fake = FakePrepared(gate=gate)
+        service = QueryService(fake, tiny_db(), workers=1,
+                               queue_capacity=4, default_timeout=2.0,
+                               snapshots=False, clock=clock)
+        try:
+            blocker = service.submit(timeout=100.0)
+            assert fake.started.wait(5.0)
+            doomed = service.submit()  # inherits default_timeout=2.0
+            clock.advance(3.0)
+            gate.set()
+            blocker.result(10.0)
+            with pytest.raises(Overloaded):
+                doomed.result(10.0)
+        finally:
+            gate.set()
+            service.drain()
+
+    def test_submit_after_drain_raises_service_closed(self):
+        fake = FakePrepared()
+        service = QueryService(fake, tiny_db(), workers=1,
+                               snapshots=False)
+        service.drain()
+        with pytest.raises(ServiceClosed):
+            service.submit()
+        assert service.counters()["rejected_closed"] == 1
+
+
+class TestDeadlinePropagation:
+    def test_attempt_budget_carries_remaining_deadline(self):
+        clock = FakeClock()
+        seen = []
+
+        class Probe(FakePrepared):
+            def run(self, constants, db=None, budget=None):
+                seen.append(budget)
+                return FakeResult()
+
+        service = QueryService(Probe(), tiny_db(), workers=1,
+                               queue_capacity=4, snapshots=False,
+                               clock=clock)
+        try:
+            service.run(timeout=8.0, wait=10.0)
+        finally:
+            service.drain()
+        (budget,) = seen
+        assert budget.timeout == pytest.approx(8.0)
+        assert budget.token is not None
+
+    def test_caller_budget_caps_survive_derivation(self):
+        parent = ResourceBudget(max_facts=5, max_rounds=2)
+        seen = []
+
+        class Probe(FakePrepared):
+            def run(self, constants, db=None, budget=None):
+                seen.append(budget)
+                return FakeResult()
+
+        service = QueryService(Probe(), tiny_db(), workers=1,
+                               snapshots=False)
+        try:
+            service.run(budget=parent, wait=10.0)
+        finally:
+            service.drain()
+        (budget,) = seen
+        assert budget.max_facts == 5
+        assert budget.max_rounds == 2
+        assert budget is not parent  # fresh child per attempt
+
+
+class TestRetries:
+    def test_budget_abort_retries_with_seeded_backoff(self):
+        sleeps = []
+        fake = FakePrepared(outcomes=[
+            BudgetExceededError("attempt 1"),
+            BudgetExceededError("attempt 2"),
+            (("a",),),
+        ])
+        retry = RetryPolicy(max_attempts=3, seed=11)
+        service = QueryService(fake, tiny_db(), workers=1,
+                               snapshots=False, retry=retry,
+                               sleep=sleeps.append)
+        try:
+            result = service.run(wait=10.0)
+        finally:
+            service.drain()
+        assert result.answers == frozenset({("a",)})
+        assert result.extras["service"]["attempts"] == 3
+        assert sleeps == list(retry.backoff(0))
+        assert service.counters()["retried"] == 2
+
+    def test_retries_exhausted_reraises_budget_error(self):
+        fake = FakePrepared(outcomes=[BudgetExceededError("always")])
+        service = QueryService(fake, tiny_db(), workers=1,
+                               snapshots=False,
+                               retry=RetryPolicy(max_attempts=2, seed=0),
+                               sleep=lambda _s: None)
+        try:
+            with pytest.raises(BudgetExceededError):
+                service.run(wait=10.0)
+        finally:
+            service.drain()
+        counters = service.counters()
+        assert counters["retried"] == 1
+        assert counters["failed"] == 1
+        assert fake.calls == 2
+
+    def test_no_retry_past_request_deadline(self):
+        clock = FakeClock()
+        fake = FakePrepared(outcomes=[BudgetExceededError("slow")])
+        retry = RetryPolicy(max_attempts=5, base_delay=10.0, seed=0)
+        service = QueryService(fake, tiny_db(), workers=1,
+                               snapshots=False, retry=retry,
+                               clock=clock, sleep=lambda _s: None)
+        try:
+            with pytest.raises(BudgetExceededError):
+                # Deadline 1s, first backoff delay ≥ 10s: no retry fits.
+                service.run(timeout=1.0, wait=10.0)
+        finally:
+            service.drain()
+        assert service.counters()["retried"] == 0
+        assert fake.calls == 1
+
+    def test_budget_aborts_never_trip_breakers(self):
+        board = BreakerBoard(threshold=1, clock=FakeClock())
+        fake = FakePrepared(outcomes=[BudgetExceededError("abort")])
+        service = QueryService(fake, tiny_db(), workers=1,
+                               snapshots=False, breakers=board,
+                               retry=RetryPolicy(max_attempts=1))
+        try:
+            with pytest.raises(BudgetExceededError):
+                service.run(wait=10.0)
+        finally:
+            service.drain()
+        assert board.get(fake.method).state == CLOSED
+        assert board.trips == 0
+
+
+class TestBreakersAndFallback:
+    def test_strategy_failures_trip_breaker_then_skip_to_fallback(self):
+        db, _source = sg_forest(trees=2, fanout=2, depth=3)
+        prepared = PreparedQuery(WORKLOADS["sg_forest"].query, db)
+        poison_forest(db, tree=1)
+        poisoned = (forest_root(1),)
+        baseline = run_strategy("naive", prepared.bind(poisoned),
+                                db).answers
+        board = BreakerBoard(threshold=2, cooldown=1e9)
+        service = QueryService(prepared, db, workers=1,
+                               queue_capacity=8, breakers=board)
+        try:
+            results = [service.run(poisoned, wait=60.0)
+                       for _ in range(4)]
+        finally:
+            service.drain()
+        assert all(r.answers == baseline for r in results)
+        assert all(r.extras["service"]["fallback"] for r in results)
+        assert board.get(prepared.method).state == OPEN
+        counters = service.counters()
+        assert counters["fallbacks"] == 4
+        assert counters["completed"] == 4
+        assert counters["breaker_trips"] >= 1
+        # Once open, the primary strategy is skipped outright.
+        assert counters["breaker_rejections"] >= 1
+
+    def test_fallback_annotates_resilient_summary(self):
+        db, _source = sg_forest(trees=1, fanout=2, depth=3)
+        prepared = PreparedQuery(WORKLOADS["sg_forest"].query, db)
+        poison_forest(db, tree=0)
+        service = QueryService(prepared, db, workers=1, queue_capacity=4)
+        try:
+            result = service.run((forest_root(0),), wait=60.0)
+        finally:
+            service.drain()
+        summary = result.extras["service"]["resilient"]
+        assert summary["succeeded"] is True
+        assert summary["method"] == result.method
+        assert summary["fallback_depth"] >= 1
+        outcomes = [a["outcome"] for a in summary["attempts"]]
+        assert outcomes[-1] == "ok"
+        assert all(a["breaker"] is not None for a in summary["attempts"])
+
+    def test_open_breaker_without_fallback_raises_typed(self):
+        board = BreakerBoard(threshold=1, cooldown=1e9,
+                             clock=FakeClock())
+        board.get(FakePrepared.method).record_failure()
+        fake = FakePrepared()
+        service = QueryService(fake, tiny_db(), workers=1,
+                               snapshots=False, breakers=board,
+                               fallback=False)
+        try:
+            with pytest.raises(CircuitOpenError):
+                service.run(wait=10.0)
+        finally:
+            service.drain()
+        assert fake.calls == 0
+
+    def test_strategy_error_without_fallback_propagates(self):
+        fake = FakePrepared(outcomes=[NotApplicableError("nope")])
+        service = QueryService(fake, tiny_db(), workers=1,
+                               snapshots=False, fallback=False)
+        try:
+            with pytest.raises(NotApplicableError):
+                service.run(wait=10.0)
+        finally:
+            service.drain()
+        assert service.counters()["failed"] == 1
+
+
+class TestResilientBreakers:
+    """run_resilient's breaker/budget_factory seams, used standalone."""
+
+    def test_open_breaker_skips_stage_with_zero_elapsed_record(self):
+        db, _source = sg_forest(trees=1, fanout=2, depth=2)
+        query = WORKLOADS["sg_forest"].query
+        board = BreakerBoard(threshold=1, cooldown=1e9,
+                             clock=FakeClock())
+        board.get("pointer_counting").record_failure()
+        report = run_resilient(query, db, breakers=board)
+        assert report.succeeded
+        assert report.method != "pointer_counting"
+        skipped = report.attempts[0]
+        assert skipped.error_class == "CircuitOpenError"
+        assert skipped.elapsed == 0.0
+        assert skipped.breaker_state == OPEN
+
+    def test_real_failures_feed_breakers(self, sg_query, example5_db):
+        board = BreakerBoard(threshold=1, cooldown=1e9,
+                             clock=FakeClock())
+        report = run_resilient(sg_query, example5_db, breakers=board)
+        assert report.succeeded
+        failed = [a.method for a in report.attempts
+                  if a.failed and a.error_class != "CircuitOpenError"]
+        for method in failed:
+            assert board.get(method).state == OPEN
+        assert board.get(report.method).state == CLOSED
+
+    def test_budget_factory_overrides_policy_budget(self, sg_query,
+                                                    sg_db):
+        built = []
+
+        def factory():
+            budget = ResourceBudget(timeout=30.0)
+            built.append(budget)
+            return budget
+
+        report = run_resilient(sg_query, sg_db,
+                               FallbackPolicy(timeout=0.000001),
+                               budget_factory=factory)
+        # The generous factory budget wins over the starved policy one.
+        assert report.succeeded
+        assert len(built) == len(report.attempts)
+
+    def test_summary_shape(self, sg_query, sg_db):
+        summary = run_resilient(sg_query, sg_db).summary()
+        assert summary["succeeded"] is True
+        assert summary["fallback_depth"] == 0
+        assert summary["budget_aborts"] == 0
+        assert summary["total_elapsed"] >= 0.0
+        (attempt,) = summary["attempts"]
+        assert attempt["method"] == summary["method"]
+        assert attempt["outcome"] == "ok"
+        assert attempt["breaker"] is None
+
+
+class TestAnswersIdentical:
+    def test_concurrent_answers_match_single_threaded(self):
+        trees, queries = 3, 18
+        db, _source = sg_forest(trees=trees, fanout=2, depth=4)
+        prepared = PreparedQuery(WORKLOADS["sg_forest"].query, db)
+        bindings = forest_bindings(trees=trees, queries=queries)
+        single = [
+            run_strategy(prepared.method, prepared.bind(binding),
+                         db).answers
+            for binding in bindings
+        ]
+        with QueryService(prepared, db, workers=4,
+                          queue_capacity=queries) as service:
+            futures = [service.submit(binding) for binding in bindings]
+            served = [future.result(60.0).answers for future in futures]
+        assert served == single
+        counters = service.counters()
+        assert counters["completed"] == queries
+        assert counters["failed"] == 0
+
+    def test_writer_between_requests_refreshes_generation(self):
+        db, _source = sg_forest(trees=1, fanout=2, depth=3)
+        prepared = PreparedQuery(WORKLOADS["sg_forest"].query, db)
+        binding = (forest_root(0),)
+        service = QueryService(prepared, db, workers=1, queue_capacity=4)
+        try:
+            before = service.run(binding, wait=60.0)
+            db.add_fact("flat", forest_root(0), "svc_new_peer")
+            after = service.run(binding, wait=60.0)
+        finally:
+            service.drain()
+        assert ("svc_new_peer",) not in before.answers
+        assert ("svc_new_peer",) in after.answers
+        counters = service.counters()
+        assert counters["refreshes"] == 1
+        # Distinct snapshot generations served the two requests.
+        assert (before.extras["service"]["generation"]
+                != after.extras["service"]["generation"])
+
+
+class TestDrain:
+    def test_drain_completes_queued_work(self):
+        fake = FakePrepared(outcomes=[(("a",),)])
+        service = QueryService(fake, tiny_db(), workers=2,
+                               queue_capacity=8, snapshots=False)
+        futures = [service.submit() for _ in range(6)]
+        assert service.drain() is True
+        for future in futures:
+            assert future.result(0).answers == frozenset({("a",)})
+        assert service.counters()["completed"] == 6
+
+    def test_drain_is_idempotent(self):
+        service = QueryService(FakePrepared(), tiny_db(), workers=1,
+                               snapshots=False)
+        assert service.drain() is True
+        assert service.drain() is True
+
+    def test_drain_cancels_stragglers_after_grace(self):
+        fake = CancellableFake()
+        service = QueryService(fake, tiny_db(), workers=1,
+                               snapshots=False)
+        future = service.submit()
+        assert fake.started.wait(5.0)
+        graceful = service.drain(grace=0.05)
+        assert graceful is False
+        with pytest.raises(EvaluationCancelled):
+            future.result(10.0)
+        assert service.counters()["cancelled"] == 1
+
+    def test_future_cancel_stops_one_request(self):
+        fake = CancellableFake()
+        service = QueryService(fake, tiny_db(), workers=1,
+                               snapshots=False)
+        try:
+            future = service.submit()
+            assert fake.started.wait(5.0)
+            future.cancel()
+            with pytest.raises(EvaluationCancelled):
+                future.result(10.0)
+        finally:
+            service.drain()
+
+    def test_context_manager_drains(self):
+        fake = FakePrepared()
+        with QueryService(fake, tiny_db(), workers=1,
+                          snapshots=False) as service:
+            future = service.submit()
+        assert future.done()
+        with pytest.raises(ServiceClosed):
+            service.submit()
+
+
+class TestServiceUnderFaults:
+    def test_counters_deterministic_across_seeded_runs(self):
+        """Acceptance: same seed, same faults, same counter block."""
+
+        def one_run():
+            from repro.engine.faults import FaultInjector
+
+            db, _source = sg_forest(trees=2, fanout=2, depth=3)
+            prepared = PreparedQuery(WORKLOADS["sg_forest"].query, db)
+            poison_forest(db, tree=1)
+            injector = FaultInjector(seed=5)
+            injector.delay_sections(0.0002, every=3)
+            bindings = forest_bindings(trees=2, queries=10)
+            board = BreakerBoard(threshold=2, cooldown=1e9)
+            with injector:
+                service = QueryService(
+                    prepared, db, workers=1, queue_capacity=16,
+                    breakers=board,
+                    retry=RetryPolicy(max_attempts=2, seed=3),
+                )
+                try:
+                    for binding in bindings:
+                        service.run(binding, wait=60.0)
+                finally:
+                    service.drain()
+            return service.counters()
+
+        assert one_run() == one_run()
