@@ -35,8 +35,8 @@ class CircuitBreaker:
     """Trip after K consecutive failures; half-open after a cooldown."""
 
     __slots__ = ("threshold", "cooldown", "_clock", "_lock", "_state",
-                 "_failures", "_opened_at", "trips", "rejections",
-                 "successes", "failures")
+                 "_failures", "_opened_at", "_probed_at", "trips",
+                 "rejections", "successes", "failures")
 
     def __init__(self, threshold=5, cooldown=30.0, clock=None):
         if threshold < 1:
@@ -50,6 +50,7 @@ class CircuitBreaker:
         self._state = CLOSED
         self._failures = 0
         self._opened_at = None
+        self._probed_at = None
         #: Transitions into the open state (including half-open probes
         #: that failed and re-opened it).
         self.trips = 0
@@ -69,13 +70,25 @@ class CircuitBreaker:
     def allow(self):
         """May the strategy run now?  The first permitted call after an
         open breaker's cooldown becomes the half-open probe; until its
-        outcome is recorded, every other caller is rejected."""
+        outcome is recorded, every other caller is rejected.
+
+        A probe whose attempt ends with no recordable outcome (budget
+        aborts and cancellations are deliberately never recorded here)
+        must not wedge the breaker half-open forever: once a full
+        cooldown passes with the probe unresolved, the next caller is
+        admitted as a fresh probe."""
         with self._lock:
             if self._state == CLOSED:
                 return True
+            now = self._clock()
             if self._state == OPEN:
-                if self._clock() - self._opened_at >= self.cooldown:
+                if now - self._opened_at >= self.cooldown:
                     self._state = HALF_OPEN
+                    self._probed_at = now
+                    return True
+            elif self._state == HALF_OPEN:
+                if now - self._probed_at >= self.cooldown:
+                    self._probed_at = now
                     return True
             self.rejections += 1
             return False

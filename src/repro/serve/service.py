@@ -16,9 +16,13 @@ designed in rather than bolted on:
   attempt to the request's remaining allowance), and a queued request
   whose deadline already passed is shed by the worker without spending
   any join work on it.
-* **Retries with seeded backoff** — attempts that die on a budget abort
-  are retried under a :class:`~repro.serve.retry.RetryPolicy`; delays
-  are deterministic per ``(seed, request id)``.
+* **Retries with seeded backoff** — attempts that die on a
+  timing-dependent budget abort are retried under a
+  :class:`~repro.serve.retry.RetryPolicy`; delays are deterministic per
+  ``(seed, request id)``.  Deterministic aborts
+  (:class:`~repro.errors.FactBudgetExceeded` /
+  :class:`~repro.errors.RoundBudgetExceeded`) fail fast — against the
+  request's pinned snapshot a retry would fail identically.
 * **Per-strategy circuit breakers** — strategy failures feed a shared
   :class:`~repro.serve.breaker.BreakerBoard`.  A strategy whose breaker
   is open is skipped (in the primary path and inside the resilient
@@ -50,9 +54,11 @@ from ..errors import (
     CountingDivergenceError,
     EvaluationCancelled,
     EvaluationError,
+    FactBudgetExceeded,
     NotApplicableError,
     Overloaded,
     ReproError,
+    RoundBudgetExceeded,
     ServiceClosed,
 )
 from ..exec.resilient import DEFAULT_CHAIN, FallbackPolicy, run_resilient
@@ -295,10 +301,13 @@ class QueryService:
     def submit(self, constants=None, timeout=None, budget=None):
         """Admit one request; returns a :class:`QueryFuture`.
 
-        Raises :class:`~repro.errors.ServiceClosed` after
-        :meth:`drain`, and :class:`~repro.errors.Overloaded` (fast,
-        without queuing) when the bounded queue is at capacity.
+        Raises ``ValueError`` (before the request counts as submitted)
+        when ``constants`` does not match the prepared form's arity,
+        :class:`~repro.errors.ServiceClosed` after :meth:`drain`, and
+        :class:`~repro.errors.Overloaded` (fast, without queuing) when
+        the bounded queue is at capacity.
         """
+        constants = self._validated(constants)
         self.stats.bump("submitted")
         now = self._clock()
         if timeout is None:
@@ -338,6 +347,24 @@ class QueryService:
         return self.submit(constants, timeout=timeout,
                            budget=budget).result(wait)
 
+    def _validated(self, constants):
+        """Reject malformed constants in the submitter's thread.
+
+        A wrong-arity binding must surface here as a ``ValueError``
+        before the request counts as submitted — never inside a worker,
+        where an untyped crash would kill the thread.
+        """
+        if constants is None:
+            return None
+        constants = tuple(constants)
+        bound = getattr(self.prepared, "bound_positions", None)
+        if bound is not None and len(constants) != len(bound):
+            raise ValueError(
+                "query form binds %d position(s), got %d constant(s)"
+                % (len(bound), len(constants))
+            )
+        return constants
+
     def _refreshed_generation(self):
         """The current snapshot generation, re-pinned iff epochs moved.
 
@@ -349,13 +376,20 @@ class QueryService:
         if not self.snapshots:
             return self.db
         generation = self._generation
-        live = self.db._relations
         pinned = generation._relations
+        # Snapshot the live epoch table under the database lock: a
+        # concurrent writer inserting a first-use relation key would
+        # otherwise resize the dict mid-iteration.
+        with self.db._lock:
+            live = [
+                (key, rel.epoch)
+                for key, rel in self.db._relations.items()
+            ]
         stale = len(live) != len(pinned)
         if not stale:
-            for key, rel in live.items():
+            for key, epoch in live:
                 view = pinned.get(key)
-                if view is None or view.epoch != rel.epoch:
+                if view is None or view.epoch != epoch:
                     stale = True
                     break
         if stale:
@@ -395,6 +429,14 @@ class QueryService:
             self.stats.bump("cancelled")
             request.future._resolve(error=exc)
         except ReproError as exc:
+            self.stats.bump("failed")
+            request.future._resolve(error=exc)
+        except BaseException as exc:
+            # An untyped bug escaping an attempt must not kill the
+            # worker thread: that would shrink the pool permanently,
+            # leave the future unresolved (hanging result() callers
+            # forever), and unbalance the admission ledger.  Resolve
+            # the future with the raw error instead.
             self.stats.bump("failed")
             request.future._resolve(error=exc)
         else:
@@ -437,9 +479,17 @@ class QueryService:
                 )
             except BudgetExceededError as exc:
                 # The caller's limits, not the strategy's health: never
-                # recorded on the breaker.  Retry while the schedule
-                # and the request deadline both allow.
+                # recorded on the breaker.  Retry timing-dependent
+                # aborts while the schedule and the request deadline
+                # both allow.  Fact/round caps are deterministic
+                # against the pinned snapshot and inherited budget, so
+                # a retry would fail identically — fail fast instead of
+                # burning backoff sleep in a worker slot.
                 if isinstance(exc, EvaluationCancelled):
+                    raise
+                if isinstance(
+                    exc, (FactBudgetExceeded, RoundBudgetExceeded)
+                ):
                     raise
                 delay = next(backoff, None)
                 if delay is None:
@@ -502,19 +552,29 @@ class QueryService:
         with self._admit_lock:
             already = self._closed
             self._closed = True
+        # One absolute deadline covers sentinel puts and joins alike,
+        # so the graceful phase is bounded by ``grace`` overall rather
+        # than per step.
+        deadline = None if grace is None else time.monotonic() + grace
         if not already:
             for _ in self._workers:
                 # Sentinels queue behind every admitted request (FIFO),
                 # so each worker drains real work before exiting.  If
                 # the queue is full of stuck work the put itself can't
-                # land — cancel the stragglers to make room.
+                # land — cancel the stragglers to make room.  Past the
+                # deadline, a small floor keeps the retry loop from
+                # spinning hot while cancelled work unwinds.
                 while True:
                     try:
-                        self._queue.put(_SENTINEL, timeout=grace)
+                        self._queue.put(
+                            _SENTINEL,
+                            timeout=None if deadline is None else max(
+                                0.01, deadline - time.monotonic()
+                            ),
+                        )
                         break
                     except queue.Full:
                         self._cancel_outstanding()
-        deadline = None if grace is None else time.monotonic() + grace
         graceful = True
         for worker in self._workers:
             worker.join(

@@ -29,7 +29,9 @@ from repro.errors import (
     CountingDivergenceError,
     DeadlineExceeded,
     EvaluationCancelled,
+    FactBudgetExceeded,
     NotApplicableError,
+    RoundBudgetExceeded,
     Overloaded,
     ServiceClosed,
     ServiceError,
@@ -261,6 +263,22 @@ class TestCircuitBreaker:
         assert breaker.state == OPEN
         assert breaker.trips == 2
         assert breaker.allow() is False
+
+    def test_stalled_probe_readmits_after_cooldown(self):
+        # A probe whose attempt ends without a recordable outcome
+        # (budget abort, cancellation) must not wedge the breaker
+        # half-open forever.
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow() is True   # probe admitted, never recorded
+        assert breaker.allow() is False  # slot held within the cooldown
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow() is True   # fresh probe after cooldown
+        breaker.record_success()
+        assert breaker.state == CLOSED
 
     def test_board_creates_and_aggregates(self):
         clock = FakeClock()
@@ -545,6 +563,25 @@ class TestRetries:
         assert service.counters()["retried"] == 0
         assert fake.calls == 1
 
+    @pytest.mark.parametrize("error_class", [FactBudgetExceeded,
+                                             RoundBudgetExceeded])
+    def test_deterministic_budget_aborts_fail_fast(self, error_class):
+        # Fact/round caps are deterministic against the pinned snapshot:
+        # retrying them burns a worker slot to fail identically.
+        fake = FakePrepared(outcomes=[error_class("cap")])
+        service = QueryService(fake, tiny_db(), workers=1,
+                               snapshots=False,
+                               retry=RetryPolicy(max_attempts=5, seed=0),
+                               sleep=lambda _s: None)
+        try:
+            with pytest.raises(error_class):
+                service.run(wait=10.0)
+        finally:
+            service.drain()
+        assert service.counters()["retried"] == 0
+        assert service.counters()["failed"] == 1
+        assert fake.calls == 1
+
     def test_budget_aborts_never_trip_breakers(self):
         board = BreakerBoard(threshold=1, clock=FakeClock())
         fake = FakePrepared(outcomes=[BudgetExceededError("abort")])
@@ -776,6 +813,46 @@ class TestDrain:
         assert future.done()
         with pytest.raises(ServiceClosed):
             service.submit()
+
+
+class TestWorkerSurvival:
+    def test_untyped_error_resolves_future_and_keeps_worker(self):
+        # A non-ReproError escaping an attempt must not kill the worker
+        # thread (which would shrink the pool and hang result() callers
+        # forever): the future resolves with the raw error and the same
+        # worker keeps serving.
+        fake = FakePrepared(outcomes=[ValueError("boom"), (("a",),)])
+        service = QueryService(fake, tiny_db(), workers=1,
+                               snapshots=False)
+        try:
+            first = service.submit()
+            with pytest.raises(ValueError):
+                first.result(10.0)
+            assert service.run(wait=10.0).answers == frozenset({("a",)})
+        finally:
+            service.drain()
+        counters = service.counters()
+        assert counters["failed"] == 1
+        assert counters["completed"] == 1
+        assert counters["admitted"] == (
+            counters["completed"] + counters["failed"]
+            + counters["cancelled"] + counters["shed_expired"]
+        )
+
+    def test_wrong_arity_constants_rejected_at_submit(self):
+        # Malformed constants surface as ValueError in the submitter's
+        # thread, before the request counts as submitted.
+        db, _source = sg_forest(trees=1, fanout=2, depth=2)
+        prepared = PreparedQuery(WORKLOADS["sg_forest"].query, db)
+        service = QueryService(prepared, db, workers=1)
+        try:
+            with pytest.raises(ValueError):
+                service.submit(("a", "b", "c"))
+        finally:
+            service.drain()
+        counters = service.counters()
+        assert counters["submitted"] == 0
+        assert counters["admitted"] == 0
 
 
 class TestServiceUnderFaults:
