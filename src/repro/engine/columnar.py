@@ -1,0 +1,260 @@
+"""Column-major integer-id storage for relations.
+
+The paper's counting methods assume tuple access is "a direct access to
+the memory"; the biggest remaining gap between that model and this
+engine was row storage — Python tuples of interned objects, hashed
+object-at-a-time.  This module provides the dense half of the storage
+layer: every relation can mirror its rows as parallel ``array('q')``
+columns of **intern-pool ids** (see
+:meth:`~repro.engine.interning.InternPool.ident`).  Planning and the
+value-level join semantics stay exactly as they were; the id columns
+are a parallel, losslessly decodable view used for
+
+* O(rows) machine-word serialization (:meth:`ColumnStore.to_bytes`) —
+  the substrate for shard exchange and mmap persistence (ROADMAP items
+  2 and 4);
+* columnar prefix pinning: an epoch snapshot of a relation slices its
+  column arrays instead of re-encoding rows;
+* vectorized scans over a single column without touching row objects
+  (:meth:`ColumnStore.matching`), with an optional numpy fast path.
+
+Feature flags
+-------------
+
+``REPRO_COLUMNAR`` (default on) selects the columnar backend: id
+columns are maintained on database relations and the compiled join
+executor uses the generated nested-loop/vectorized-emit form
+(:mod:`repro.engine.codegen`).  Setting ``REPRO_COLUMNAR=0`` restores
+the legacy row-at-a-time storage and the interpreted slot-array
+executor — kept as an ablation and as the differential-testing
+baseline; both backends are required to produce byte-identical rendered
+answers and identical work counters.
+
+``REPRO_NUMPY`` (default off) additionally routes
+:meth:`ColumnStore.matching` through numpy when it is importable.  The
+flag is off by default so the default build has zero third-party
+dependencies; enabling it never changes results, only the scan speed.
+"""
+
+import os
+from array import array
+
+#: Module-level backend switch, initialized from the environment once.
+_COLUMNAR = os.environ.get("REPRO_COLUMNAR", "1") != "0"
+
+_NUMPY_WANTED = os.environ.get("REPRO_NUMPY", "0") != "0"
+_numpy = None
+if _NUMPY_WANTED:  # pragma: no cover - depends on the environment
+    try:
+        import numpy as _numpy
+    except ImportError:
+        _numpy = None
+
+
+def columnar_enabled():
+    """True when the columnar backend is selected."""
+    return _COLUMNAR
+
+
+def set_columnar(enabled):
+    """Flip the backend switch; returns the previous value.
+
+    Only relations and compiled bodies *created after* the flip observe
+    the new value — existing objects keep the backend they were built
+    with, which is what lets the differential suite hold one relation
+    per backend side by side.
+    """
+    global _COLUMNAR
+    previous = _COLUMNAR
+    _COLUMNAR = bool(enabled)
+    return previous
+
+
+class use_backend:
+    """Context manager pinning the backend flag for a ``with`` block."""
+
+    __slots__ = ("_enabled", "_previous")
+
+    def __init__(self, enabled):
+        self._enabled = bool(enabled)
+        self._previous = None
+
+    def __enter__(self):
+        self._previous = set_columnar(self._enabled)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        set_columnar(self._previous)
+        return False
+
+
+def numpy_active():
+    """True when the optional numpy fast path is available and enabled."""
+    return _numpy is not None
+
+
+class ColumnStore:
+    """Parallel ``array('q')`` id columns for one relation.
+
+    Row *ordinals* (0-based insertion positions) are the row identity;
+    the store never reorders or deletes, matching the append-only
+    insertion log of :class:`~repro.engine.relation.Relation`.  All ids
+    are intern-pool idents, so two stores over the same pool can be
+    compared, merged, or shipped between processes as raw bytes.
+    """
+
+    __slots__ = ("arity", "_columns",)
+
+    def __init__(self, arity, columns=None):
+        if arity < 0:
+            raise ValueError("arity must be non-negative, got %d" % arity)
+        self.arity = arity
+        if columns is None:
+            self._columns = tuple(array("q") for _ in range(arity))
+        else:
+            columns = tuple(columns)
+            if len(columns) != arity:
+                raise ValueError(
+                    "expected %d columns, got %d" % (arity, len(columns))
+                )
+            self._columns = columns
+
+    def __len__(self):
+        return len(self._columns[0]) if self._columns else 0
+
+    def append(self, ids):
+        """Append one id-encoded row (one id per column)."""
+        for column, ident in zip(self._columns, ids):
+            column.append(ident)
+
+    def column(self, position):
+        """The id array for ``position`` — the live array, do not mutate."""
+        return self._columns[position]
+
+    def row(self, ordinal):
+        """The id tuple stored at ``ordinal``."""
+        return tuple(column[ordinal] for column in self._columns)
+
+    def prefix(self, count):
+        """A new store holding the first ``count`` rows.
+
+        Column slicing is a C-level copy of machine words — this is
+        what makes epoch pinning of a columnar relation O(rows) memcpy
+        instead of a per-row re-encode.
+        """
+        if count < 0 or count > len(self):
+            raise ValueError(
+                "cannot take a %d-row prefix of %d rows"
+                % (count, len(self))
+            )
+        return ColumnStore(
+            self.arity,
+            tuple(column[:count] for column in self._columns),
+        )
+
+    def copy(self):
+        return ColumnStore(
+            self.arity, tuple(array("q", c) for c in self._columns)
+        )
+
+    def matching(self, positions, ids):
+        """Row ordinals whose ``positions`` hold exactly ``ids``.
+
+        The vectorized scan primitive: each bound column is compared
+        wholesale.  With numpy enabled the comparison runs as a fused
+        boolean mask; the portable path walks the first bound column at
+        C speed and verifies the remaining positions per candidate.
+        """
+        if not positions:
+            return list(range(len(self)))
+        if _numpy is not None:  # pragma: no cover - optional fast path
+            mask = None
+            for position, ident in zip(positions, ids):
+                column = _numpy.frombuffer(
+                    self._columns[position], dtype=_numpy.int64
+                )
+                this = column == ident
+                mask = this if mask is None else (mask & this)
+            return _numpy.nonzero(mask)[0].tolist()
+        first, rest = positions[0], positions[1:]
+        column = self._columns[first]
+        target = ids[0]
+        ordinals = []
+        start = 0
+        while True:
+            try:
+                ordinal = column.index(target, start)
+            except ValueError:
+                break
+            start = ordinal + 1
+            ok = True
+            for position, ident in zip(rest, ids[1:]):
+                if self._columns[position][ordinal] != ident:
+                    ok = False
+                    break
+            if ok:
+                ordinals.append(ordinal)
+        return ordinals
+
+    def nbytes(self):
+        """Total machine bytes held by the columns."""
+        return sum(len(c) * c.itemsize for c in self._columns)
+
+    def to_bytes(self):
+        """Serialize as raw little-endian machine words.
+
+        Layout: 8-byte arity, 8-byte row count, then each column's
+        words back to back.  No per-row framing — a deserializer
+        reslices by count, which is what makes shard serialization
+        proportional to raw data size instead of row count times
+        object overhead.
+        """
+        import struct
+        import sys
+
+        header = struct.pack("<qq", self.arity, len(self))
+        parts = [header]
+        for column in self._columns:
+            if sys.byteorder == "big":  # pragma: no cover
+                column = array("q", column)
+                column.byteswap()
+            parts.append(column.tobytes())
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data):
+        """Rebuild a store serialized by :meth:`to_bytes`."""
+        import struct
+        import sys
+
+        arity, count = struct.unpack_from("<qq", data, 0)
+        if arity < 0 or count < 0:
+            raise ValueError("corrupt column store header")
+        word = array("q").itemsize
+        expected = 16 + arity * count * word
+        if len(data) != expected:
+            raise ValueError(
+                "corrupt column store: expected %d bytes, got %d"
+                % (expected, len(data))
+            )
+        columns = []
+        offset = 16
+        for _ in range(arity):
+            column = array("q")
+            column.frombytes(data[offset:offset + count * word])
+            if sys.byteorder == "big":  # pragma: no cover
+                column.byteswap()
+            columns.append(column)
+            offset += count * word
+        return cls(arity, tuple(columns))
+
+    def __eq__(self, other):
+        if not isinstance(other, ColumnStore):
+            return NotImplemented
+        return (self.arity == other.arity
+                and self._columns == other._columns)
+
+    def __repr__(self):
+        return "ColumnStore(arity=%d, rows=%d, %d bytes)" % (
+            self.arity, len(self), self.nbytes()
+        )

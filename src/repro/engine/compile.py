@@ -51,6 +51,24 @@ from ..datalog.terms import (
 from ..datalog.unify import resolve
 from ..errors import EvaluationError
 from .builtins import _ordered
+from .codegen import (
+    generate_bound_collector,
+    generate_collector,
+    generate_emitter,
+    generate_entry_collector,
+    generate_runner,
+)
+from .columnar import columnar_enabled
+
+#: Direct implementations of the binary arithmetic functors; ``min`` /
+#: ``max`` and any future n-ary forms stay on the generic
+#: ``eval_arith`` fold.
+_ARITH_BINOPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "//": lambda a, b: a // b,
+}
 
 #: Sentinel returned by the executor's ``next`` calls on exhaustion.
 _DONE = object()
@@ -107,6 +125,26 @@ def _compile_eval(term, slot_of):
         if functor == TUPLE:
             return lambda slots: tuple(fn(slots) for fn in parts)
         if functor in ARITH_FUNCTORS:
+            binop = _ARITH_BINOPS.get(functor)
+            if binop is not None and len(parts) == 2:
+                a_fn, b_fn = parts
+
+                def eval_binop(slots):
+                    # Mirrors eval_arith exactly: both operands are
+                    # evaluated first, then checked in order.
+                    a = a_fn(slots)
+                    b = b_fn(slots)
+                    if not isinstance(a, (int, float)):
+                        raise EvaluationError(
+                            "arithmetic on non-numeric value %r" % (a,)
+                        )
+                    if not isinstance(b, (int, float)):
+                        raise EvaluationError(
+                            "arithmetic on non-numeric value %r" % (b,)
+                        )
+                    return binop(a, b)
+
+                return eval_binop
             return lambda slots: eval_arith(
                 functor, [fn(slots) for fn in parts]
             )
@@ -254,12 +292,17 @@ def _compile_scan(lit_index, atom, slot_of, bound, alloc):
                 )
     bound |= live
     positions = tuple(positions)
+    key_parts = tuple(key_parts)
     key_fn = _make_key_fn(key_parts) if positions else None
     only_writes = all(kind == _OP_WRITE for _, kind, _ in ops)
     write_pairs = tuple(
         (pos, data) for pos, kind, data in ops if kind == _OP_WRITE
     )
     ops = tuple(ops)
+    # Everything the specializing code generator needs to reproduce
+    # this scan as inline source (see repro.engine.codegen); attached
+    # to the closure so CompiledBody can hand its steps over wholesale.
+    spec = (lit_index, atom, positions, key_parts, ops)
 
     if only_writes:
 
@@ -278,6 +321,7 @@ def _compile_scan(lit_index, atom, slot_of, bound, alloc):
                     slots[slot] = row[pos]
                 yield None
 
+        scan.scan_spec = spec
         return scan
 
     def scan(slots, resolver, stats):
@@ -305,6 +349,7 @@ def _compile_scan(lit_index, atom, slot_of, bound, alloc):
             if ok:
                 yield None
 
+    scan.scan_spec = spec
     return scan
 
 
@@ -318,11 +363,15 @@ def _compile_negation(lit_index, negation, slot_of, bound):
         fns.append(_compile_eval(arg, slot_of))
     fns = tuple(fns)
 
-    def negate(slots, resolver, stats):
+    def negate_test(slots, resolver):
         relation = resolver(lit_index, atom)
-        if tuple(fn(slots) for fn in fns) not in relation:
+        return tuple(fn(slots) for fn in fns) not in relation
+
+    def negate(slots, resolver, stats):
+        if negate_test(slots, resolver):
             yield None
 
+    negate.inline_spec = ("rfilter", negate_test)
     return negate
 
 
@@ -347,10 +396,14 @@ def _compile_comparison(comparison, slot_of, bound, alloc):
         left_fn = _compile_eval(left, slot_of)
         right_fn = _compile_eval(right, slot_of)
 
+        def ordered_test(slots):
+            return _ordered(op, left_fn(slots), right_fn(slots))
+
         def ordered(slots, resolver, stats):
-            if _ordered(op, left_fn(slots), right_fn(slots)):
+            if ordered_test(slots):
                 yield None
 
+        ordered.inline_spec = ("filter", ordered_test)
         return ordered
 
     if op == "!=":
@@ -359,10 +412,14 @@ def _compile_comparison(comparison, slot_of, bound, alloc):
         left_fn = _compile_eval(left, slot_of)
         right_fn = _compile_eval(right, slot_of)
 
+        def differs_test(slots):
+            return left_fn(slots) != right_fn(slots)
+
         def differs(slots, resolver, stats):
-            if left_fn(slots) != right_fn(slots):
+            if differs_test(slots):
                 yield None
 
+        differs.inline_spec = ("filter", differs_test)
         return differs
 
     if op in ("=", "is"):
@@ -377,10 +434,14 @@ def _compile_comparison(comparison, slot_of, bound, alloc):
         if left_ground:
             left_fn = _compile_eval(left, slot_of)
 
+            def equals_test(slots):
+                return left_fn(slots) == right_fn(slots)
+
             def equals(slots, resolver, stats):
-                if left_fn(slots) == right_fn(slots):
+                if equals_test(slots):
                     yield None
 
+            equals.inline_spec = ("filter", equals_test)
             return equals
         if isinstance(left, Variable):
             index = alloc(left.name)
@@ -390,14 +451,19 @@ def _compile_comparison(comparison, slot_of, bound, alloc):
                 slots[index] = right_fn(slots)
                 yield None
 
+            binds.inline_spec = ("assign", index, right_fn)
             return binds
         if isinstance(left, Compound):
             matcher = _compile_match(left, slot_of, bound, alloc)
 
+            def decomposes_test(slots):
+                return matcher(right_fn(slots), slots)
+
             def decomposes(slots, resolver, stats):
-                if matcher(right_fn(slots), slots):
+                if decomposes_test(slots):
                     yield None
 
+            decomposes.inline_spec = ("filter", decomposes_test)
             return decomposes
         return None
 
@@ -467,10 +533,18 @@ class CompiledBody:
     ``bound_names`` occupy the first slots in order, so callers can
     preload bindings positionally.  ``bound_after`` is the set of names
     guaranteed ground once the body has been fully matched.
+
+    When the columnar backend is enabled at construction time the body
+    additionally carries a *specialized executor* generated by
+    :mod:`repro.engine.codegen` — straight-line nested loops replacing
+    the interpreted generator stack — and can hand out batch
+    *emitters* via :meth:`emitter`.  Both produce results and counter
+    updates identical to the interpreted path; generation failure just
+    means the interpreted path is used.
     """
 
     __slots__ = ("body", "bound_names", "slot_of", "nslots", "steps",
-                 "bound_after")
+                 "bound_after", "_runner", "_emitters", "_collectors")
 
     def __init__(self, body, bound_names, slot_of, steps, bound_after):
         self.body = body
@@ -479,6 +553,18 @@ class CompiledBody:
         self.nslots = len(slot_of)
         self.steps = tuple(steps)
         self.bound_after = frozenset(bound_after)
+        # The flag is read once here so a body compiled under one
+        # backend keeps behaving identically even if the process-wide
+        # flag is flipped afterwards (the differential tests hold
+        # bodies from both backends side by side).
+        self._runner = None
+        self._emitters = {}
+        self._collectors = {}
+        if columnar_enabled():
+            try:
+                self._runner = generate_runner(self.steps)
+            except Exception:
+                self._runner = None
 
     def make_slots(self):
         return [None] * self.nslots
@@ -505,6 +591,13 @@ class CompiledBody:
         out what they need before advancing.  Enumeration order equals
         the legacy stack discipline exactly.
         """
+        runner = self._runner
+        if runner is not None:
+            return runner(resolver, slots, stats)
+        return self._execute_interp(resolver, slots, stats)
+
+    def _execute_interp(self, resolver, slots, stats=None):
+        """The interpreted generator-stack executor (reference path)."""
         steps = self.steps
         if not steps:
             yield slots
@@ -522,6 +615,104 @@ class CompiledBody:
             else:
                 depth += 1
                 iters[depth] = steps[depth](slots, resolver, stats)
+
+    def emitter(self, projection):
+        """A generated batch emitter for ``projection``, or None.
+
+        ``projection`` is a row spec as produced by
+        :func:`compile_row_spec`.  The emitter is a generator taking
+        ``(resolver, slots, stats)`` and yielding one *list* of
+        projected result tuples per innermost scan invocation, in the
+        exact enumeration order of :meth:`execute` — callers drain each
+        batch (e.g. into ``relation.add``) before the next one is
+        produced, which preserves the interpreted path's visibility of
+        in-pass mutations.  Returns None when codegen is off for this
+        body or the shape is not vectorizable; callers fall back to
+        :meth:`execute`.
+        """
+        cached = self._emitters.get(projection)
+        if cached is not None:
+            return cached or None
+        if self._runner is None:
+            self._emitters[projection] = False
+            return None
+        try:
+            fn = generate_emitter(self.steps, projection)
+        except Exception:
+            fn = None
+        self._emitters[projection] = fn if fn is not None else False
+        return fn
+
+    def collector(self, projection):
+        """A generated eager collector for ``projection``, or None.
+
+        Like :meth:`emitter` but the generated function *returns* one
+        flat list of every projected result tuple — no generator
+        frames, one call per body pass.  Enumeration order and counter
+        updates are identical to :meth:`execute`; what is lost is
+        batch-at-a-time visibility of in-pass mutations, so only
+        callers that drain the whole match set without writing to the
+        scanned relations (the bound-query path) may use it.
+        """
+        cached = self._collectors.get(projection)
+        if cached is not None:
+            return cached or None
+        if self._runner is None:
+            self._collectors[projection] = False
+            return None
+        try:
+            fn = generate_collector(self.steps, projection)
+        except Exception:
+            fn = None
+        self._collectors[projection] = fn if fn is not None else False
+        return fn
+
+    def entry_collector(self, projection, loader):
+        """An eager collector taking ``(resolver, values, stats)``.
+
+        Like :meth:`collector` with the slot allocation and the
+        positional ``values`` loads folded into the generated code —
+        the bound-query fast path.  ``loader`` maps value position ->
+        slot index.
+        """
+        key = (projection, tuple(loader))
+        cached = self._collectors.get(key)
+        if cached is not None:
+            return cached or None
+        if self._runner is None:
+            self._collectors[key] = False
+            return None
+        try:
+            fn = generate_entry_collector(
+                self.steps, projection, self.nslots, loader
+            )
+        except Exception:
+            fn = None
+        self._collectors[key] = fn if fn is not None else False
+        return fn
+
+    def bound_collector(self, projection, loader):
+        """An eager collector taking ``(state, values, stats)``.
+
+        The pass-level form: ``state`` (caller-owned, ``state[0]`` the
+        resolver) persists each scan's resolved relation and probe
+        view across calls — see :meth:`BoundQuery.bind`.
+        """
+        key = ("bound", projection, tuple(loader))
+        cached = self._collectors.get(key)
+        if cached is not None:
+            return cached or None
+        if self._runner is None:
+            self._collectors[key] = False
+            return None
+        try:
+            fn = generate_bound_collector(
+                self.steps, projection, self.nslots, loader
+            )
+        except Exception:
+            fn = None
+        self._collectors[key] = fn if fn is not None else False
+        return fn
 
 
 def compile_body(body, bound_names=()):
@@ -564,31 +755,41 @@ def compile_body(body, bound_names=()):
     )
 
 
-def compile_row(args, compiled):
-    """Compile argument terms to ``slots -> ground value tuple``.
+def compile_row_spec(args, compiled):
+    """Row-projection spec for argument terms, or None.
 
-    Used for rule heads and for trace premises.  Returns None when an
-    argument cannot be proven ground after the body — the legacy path
-    raises at runtime in that case and the caller should fall back.
+    Each entry is ``("const", value)``, ``("slot", index)``, or
+    ``("fn", slots -> value, frozenset(read slot indexes))``.  The spec
+    form feeds both :func:`compile_row` (a plain closure) and the code
+    generator's batch emitters, which substitute slot reads with direct
+    row indexing.  Returns None when an argument cannot be proven
+    ground after the body — the legacy path raises at runtime in that
+    case and the caller should fall back.
     """
-    fns = []
+    spec = []
     for arg in args:
         if isinstance(arg, Constant):
-            value = arg.value
-            fns.append((None, value))
+            spec.append(("const", arg.value))
         elif isinstance(arg, Variable):
             if arg.name not in compiled.bound_after:
                 return None
-            fns.append((compiled.slot_of[arg.name], None))
+            spec.append(("slot", compiled.slot_of[arg.name]))
         else:
             if not _vars_within(arg, compiled.bound_after):
                 return None
-            fns.append((-1, _compile_eval(arg, compiled.slot_of)))
-    spec = tuple(fns)
+            reads = frozenset(
+                compiled.slot_of[name] for name in arg.iter_variables()
+            )
+            spec.append(
+                ("fn", _compile_eval(arg, compiled.slot_of), reads)
+            )
+    return tuple(spec)
 
-    if all(index is not None and index >= 0 and fn is None
-           for index, fn in spec):
-        indexes = tuple(index for index, _ in spec)
+
+def row_spec_fn(spec):
+    """Build ``slots -> ground value tuple`` from a row spec."""
+    if all(entry[0] == "slot" for entry in spec):
+        indexes = tuple(entry[1] for entry in spec)
 
         def project(slots):
             return tuple(slots[i] for i in indexes)
@@ -597,12 +798,25 @@ def compile_row(args, compiled):
 
     def build(slots):
         return tuple(
-            fn if index is None else (slots[index] if fn is None
-                                      else fn(slots))
-            for index, fn in spec
+            entry[1] if entry[0] == "const"
+            else (slots[entry[1]] if entry[0] == "slot"
+                  else entry[1](slots))
+            for entry in spec
         )
 
     return build
+
+
+def compile_row(args, compiled):
+    """Compile argument terms to ``slots -> ground value tuple``.
+
+    Used for rule heads and for trace premises.  Returns None exactly
+    when :func:`compile_row_spec` does.
+    """
+    spec = compile_row_spec(args, compiled)
+    if spec is None:
+        return None
+    return row_spec_fn(spec)
 
 
 # -- bound queries (counting-engine call shape) ----------------------
@@ -630,14 +844,14 @@ class BoundQuery:
     """
 
     __slots__ = ("body", "in_names", "out_names", "compiled", "_loader",
-                 "_extract")
+                 "_extract", "_out_spec", "_emit", "_nin")
 
     def __init__(self, body, in_names, out_names):
         self.body = tuple(body)
         self.in_names = tuple(in_names)
         self.out_names = tuple(out_names)
         compiled = compile_body(self.body, self.in_names)
-        loader = extract = None
+        loader = extract = out_spec = None
         if compiled is not None:
             try:
                 loader = compiled.loader(self.in_names)
@@ -647,19 +861,86 @@ class BoundQuery:
             else:
                 if not set(self.out_names) <= compiled.bound_after:
                     compiled = None
+                else:
+                    out_spec = tuple(("slot", i) for i in extract)
         self.compiled = compiled
         self._loader = loader
         self._extract = extract
+        self._out_spec = out_spec
+        self._emit = (
+            compiled.entry_collector(out_spec, loader)
+            if compiled is not None else None
+        )
+        self._nin = len(loader) if loader is not None else 0
 
     def run(self, resolver, values, stats=None):
-        """Yield ``out_names`` value tuples for each body match."""
+        """``out_names`` value tuples for each body match.
+
+        Returns an iterable — an eagerly materialized list when the
+        body has a generated collector (every consumer drains the
+        result without interleaved writes, so eager evaluation is
+        observationally identical and skips per-call generator
+        frames), a lazy generator otherwise.
+        """
+        emit = self._emit
+        if emit is not None and len(values) == self._nin:
+            # Generated entry point: slot allocation and positional
+            # loads happen inside.  Guarded on exact length so a
+            # short/long values sequence keeps zip's truncation
+            # semantics on the slow path below.
+            return emit(resolver, values, stats)
         compiled = self.compiled
         if compiled is None:
-            yield from self._run_legacy(resolver, values, stats)
-            return
+            return self._run_legacy(resolver, values, stats)
         slots = compiled.make_slots()
         for slot, value in zip(self._loader, values):
             slots[slot] = value
+        collect = compiled.collector(self._out_spec)
+        if collect is not None:
+            return collect(resolver, slots, stats)
+        return self._run_execute(resolver, slots, stats)
+
+    def bind(self, resolver):
+        """A callable ``(values, stats=None)`` pinned to ``resolver``.
+
+        The pass-level fast path: each scan's resolved relation and
+        hoisted probe view persist *across calls* in a state list
+        owned by the returned closure, so a caller issuing thousands
+        of one-shot runs (the counting engines' node expansions) pays
+        the resolver and ``probe_index`` round-trips once per binding
+        instead of once per call.
+
+        The caller contracts that ``resolver`` is a fixed ``(index,
+        atom) -> relation`` mapping for the binding's lifetime —
+        relations may gain rows (both view kinds are maintained in
+        place by ``Relation.add``), but their *identity* must not
+        change.  Discard the binding when that stops holding; the
+        engines bind per evaluation run, over which it holds by
+        construction.  Results and counter updates are identical to
+        :meth:`run` with the same resolver.
+        """
+        compiled = self.compiled
+        emit = (
+            compiled.bound_collector(self._out_spec, self._loader)
+            if compiled is not None else None
+        )
+        if emit is None:
+            def run(values, stats=None,
+                    _run=self.run, _resolver=resolver):
+                return _run(_resolver, values, stats)
+            return run
+        state = [None] * emit._state_size
+        state[0] = resolver
+
+        def run(values, stats=None, _emit=emit, _state=state,
+                _nin=self._nin, _slow=self.run, _resolver=resolver):
+            if len(values) == _nin:
+                return _emit(_state, values, stats)
+            return _slow(_resolver, values, stats)
+        return run
+
+    def _run_execute(self, resolver, slots, stats):
+        compiled = self.compiled
         extract = self._extract
         for result in compiled.execute(resolver, slots, stats):
             yield tuple(result[i] for i in extract)
@@ -674,6 +955,36 @@ class BoundQuery:
             yield _bind_values(self.out_names, result)
 
 
+#: Structural (body, in_names, out_names, backend flag) -> BoundQuery.
+#: The counting engines rebuild their canonical rules on every run, so
+#: per-engine caches recompile the same few query shapes over and over;
+#: sharing across runs is safe because a BoundQuery is immutable after
+#: construction.  The backend flag is part of the key so a query
+#: compiled under one storage backend is never served under the other
+#: (the differential tests flip the process-wide flag mid-process).
+#: Bounded defensively: real programs have few shapes, fuzzed test
+#: runs generate many.
+_BOUND_QUERY_CACHE = {}
+_BOUND_QUERY_LIMIT = 2048
+
+
+def bound_query(body, in_names, out_names):
+    """A shared :class:`BoundQuery`, cached on structural identity."""
+    key = (tuple(body), tuple(in_names), tuple(out_names),
+           columnar_enabled())
+    try:
+        query = _BOUND_QUERY_CACHE.get(key)
+    except TypeError:
+        # Unhashable terms (exotic constant values); build uncached.
+        return BoundQuery(body, in_names, out_names)
+    if query is None:
+        if len(_BOUND_QUERY_CACHE) >= _BOUND_QUERY_LIMIT:
+            _BOUND_QUERY_CACHE.clear()
+        query = BoundQuery(body, in_names, out_names)
+        _BOUND_QUERY_CACHE[key] = query
+    return query
+
+
 # -- compiled rules (semi-naive call shape) --------------------------
 
 
@@ -681,23 +992,26 @@ class CompiledRule:
     """A whole rule compiled for the semi-naive engine.
 
     ``compiled`` is the body (None → fall back to the legacy rule
-    evaluator), ``head`` builds the ground head tuple from a match, and
+    evaluator), ``head`` builds the ground head tuple from a match,
+    ``head_spec`` is the row spec the batch emitters consume, and
     ``premises`` (built lazily, only when tracing) yields one ground
     value tuple per positive body atom in body order.
     """
 
-    __slots__ = ("rule", "compiled", "head", "premises")
+    __slots__ = ("rule", "compiled", "head", "head_spec", "premises")
 
     def __init__(self, rule):
         self.rule = rule
         compiled = compile_body(rule.body)
         head = None
+        head_spec = None
         premises = None
         if compiled is not None:
-            head = compile_row(rule.head.args, compiled)
-            if head is None:
+            head_spec = compile_row_spec(rule.head.args, compiled)
+            if head_spec is None:
                 compiled = None
             else:
+                head = row_spec_fn(head_spec)
                 fns = [
                     compile_row(atom.args, compiled)
                     for atom in rule.body_atoms()
@@ -706,6 +1020,7 @@ class CompiledRule:
                     premises = tuple(fns)
         self.compiled = compiled
         self.head = head
+        self.head_spec = head_spec if compiled is not None else None
         self.premises = premises
 
     @property
@@ -715,3 +1030,38 @@ class CompiledRule:
     @property
     def traceable(self):
         return self.premises is not None
+
+
+#: Structural (rule, backend flag) -> CompiledRule, mirroring
+#: ``_BOUND_QUERY_CACHE``: the rewritings rebuild structurally equal
+#: rule objects on every run, and a CompiledRule is immutable after
+#: construction, so sharing across engines is safe.  Rule equality
+#: ignores labels, which is fine — consumers read only structural
+#: parts (``rule.head.key``) from the cached instance; labels always
+#: come from the caller's own rule object.
+_COMPILED_RULE_CACHE = {}
+_COMPILED_RULE_LIMIT = 2048
+
+
+def compiled_rule(rule, factory=None):
+    """A shared :class:`CompiledRule`, cached on structural identity.
+
+    ``factory`` is a test seam: callers expose a patchable module
+    attribute and pass it through, and any factory other than the real
+    :class:`CompiledRule` bypasses the cache entirely so patched
+    instances never leak into (or out of) it.
+    """
+    if factory is not None and factory is not CompiledRule:
+        return factory(rule)
+    key = (rule, columnar_enabled())
+    try:
+        cached = _COMPILED_RULE_CACHE.get(key)
+    except TypeError:
+        # Unhashable constant values somewhere in the rule.
+        return CompiledRule(rule)
+    if cached is None:
+        if len(_COMPILED_RULE_CACHE) >= _COMPILED_RULE_LIMIT:
+            _COMPILED_RULE_CACHE.clear()
+        cached = CompiledRule(rule)
+        _COMPILED_RULE_CACHE[key] = cached
+    return cached

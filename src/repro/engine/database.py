@@ -101,7 +101,10 @@ class Database:
             with self._lock:
                 rel = self._relations.get(key)
                 if rel is None:
-                    rel = Relation(name, arity)
+                    # Base relations carry the intern pool so the
+                    # columnar backend (when enabled) can mirror rows
+                    # into id columns; see repro.engine.columnar.
+                    rel = Relation(name, arity, pool=self.intern_pool)
                     self._relations[key] = rel
         return rel
 
@@ -185,6 +188,30 @@ class Database:
         """
         return DatabaseSnapshot(self)
 
+    def storage_info(self):
+        """Storage descriptor: backend, per-relation rows and bytes.
+
+        The ``storage`` block of the bench artifacts reads this to
+        record which backend a measurement ran under and how many
+        machine bytes the id columns hold.
+        """
+        relations = {}
+        column_bytes = 0
+        backend = "rows"
+        with self._lock:
+            for key, rel in sorted(self._relations.items()):
+                info = rel.storage_info()
+                relations["%s/%d" % key] = info
+                if info["backend"] == "columnar":
+                    backend = "columnar"
+                    column_bytes += info["column_bytes"]
+        return {
+            "backend": backend,
+            "relations": relations,
+            "column_bytes": column_bytes,
+            "interned_ids": len(self.intern_pool),
+        }
+
     def to_text(self):
         """Serialize as program text; inverse of :meth:`from_text`.
 
@@ -254,11 +281,20 @@ class _PinnedRelation:
     def __contains__(self, row):
         return row in self._rel()
 
-    def match(self, pattern):
-        return self._rel().match(pattern)
+    def match(self, pattern, stats=None):
+        return self._rel().match(pattern, stats)
 
     def lookup(self, positions, key, stats=None):
         return self._rel().lookup(positions, key, stats)
+
+    def probe_index(self, positions, stats=None):
+        return self._rel().probe_index(positions, stats)
+
+    def probe_set(self):
+        return self._rel().probe_set()
+
+    def storage_info(self):
+        return self._rel().storage_info()
 
     def ensure_index(self, positions, stats=None):
         return self._rel().ensure_index(positions, stats)

@@ -119,6 +119,7 @@ class FaultInjector:
         # Patching state.
         self._installed = False
         self._orig_lookup = None
+        self._orig_probe_views = None
         self._orig_copy = None
 
     # -- plan configuration (chainable) -----------------------------
@@ -186,6 +187,10 @@ class FaultInjector:
         if self._orig_lookup is not None:
             Relation.lookup = self._orig_lookup
             self._orig_lookup = None
+        if self._orig_probe_views is not None:
+            Relation.probe_index, Relation.probe_set = \
+                self._orig_probe_views
+            self._orig_probe_views = None
         if self._orig_copy is not None:
             Relation.copy = self._orig_copy
             self._orig_copy = None
@@ -246,6 +251,15 @@ class FaultInjector:
             return original(self, positions, key, stats)
 
         Relation.lookup = lookup
+        # The compiled executor hoists index views (probe_index /
+        # probe_set) and probes them inline, bypassing lookup.  While
+        # probe delays are active, deny the views so every probe falls
+        # back to the patched lookup and the delay plan sees it.
+        self._orig_probe_views = (
+            Relation.probe_index, Relation.probe_set
+        )
+        Relation.probe_index = lambda self, positions, stats=None: None
+        Relation.probe_set = lambda self: None
 
     def _patch_copy(self):
         injector = self

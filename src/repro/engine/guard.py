@@ -135,16 +135,31 @@ class ResourceBudget:
         return self._clock() - self._started
 
     def remaining(self):
-        """Seconds left before the deadline, or ``None`` without one."""
+        """Seconds left before the deadline, or ``None`` without one.
+
+        Clamped at 0.0: an overrun budget has no time left, not
+        negative time — callers feed this into ``child()`` timeouts
+        and sleep computations, where a negative value would either
+        raise or, worse, be interpreted as "no limit".
+        """
         if self.timeout is None:
             return None
         self.start()
-        return self._deadline - self._clock()
+        return max(0.0, self._deadline - self._clock())
 
     def expired(self):
-        """Non-raising deadline probe."""
-        if self._deadline is None:
+        """Non-raising deadline probe.
+
+        Mirrors :meth:`check` exactly: probing starts the clock (so a
+        budget with a timeout reports expiry relative to first use
+        instead of always ``False`` before an explicit ``start``), and
+        the comparison is the same strict one ``check`` uses — at the
+        exact deadline instant the budget is not yet expired on either
+        path.
+        """
+        if self.timeout is None:
             return False
+        self.start()
         return self._clock() > self._deadline
 
     def child(self, timeout=None, max_facts=None, max_rounds=None,

@@ -43,11 +43,16 @@ class InternPool:
     serialized on a lock.
     """
 
-    __slots__ = ("_canon", "_ids", "_id_lock")
+    __slots__ = ("_canon", "_ids", "_values", "_id_lock")
 
     def __init__(self):
         self._canon = {}
         self._ids = {}
+        #: Reverse table: ``_values[ident]`` is the canonical value the
+        #: id was assigned to.  Append-only, published under the id
+        #: lock *before* the id itself, so any id a reader legitimately
+        #: holds already has its value in place.
+        self._values = []
         self._id_lock = threading.Lock()
 
     def intern(self, value):
@@ -80,8 +85,39 @@ class InternPool:
                 ident = self._ids.get(key)
                 if ident is None:
                     ident = len(self._ids)
+                    self._values.append(value)
                     self._ids[key] = ident
         return ident
+
+    def peek(self, value):
+        """The id of ``value`` if one was ever assigned, else ``None``.
+
+        Unlike :meth:`ident` this never allocates — probing for a
+        constant the database has never stored must not grow the pool.
+        """
+        value = self.intern(value)
+        return self._ids.get((value.__class__, value))
+
+    def value_of(self, ident):
+        """The canonical value behind ``ident``; the decode direction.
+
+        Ids are handed out densely from 0, so this is a direct list
+        index — the "direct access to the memory" the columnar storage
+        layer decodes through at output time.  Raises ``IndexError``
+        for ids this pool never assigned.
+        """
+        if ident < 0:
+            raise IndexError("intern ids are non-negative, got %d" % ident)
+        return self._values[ident]
+
+    def ident_row(self, row):
+        """Id-encode a value row (assigning ids on first use)."""
+        return tuple(self.ident(value) for value in row)
+
+    def decode_row(self, ids):
+        """Decode an id row back to its canonical value tuple."""
+        values = self._values
+        return tuple(values[ident] for ident in ids)
 
     def intern_row(self, row):
         return tuple(self.intern(value) for value in row)

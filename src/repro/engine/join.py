@@ -32,7 +32,7 @@ def match_atom(atom, relation, subst, stats=None):
         i for i, arg in enumerate(resolved)
         if not isinstance(arg, Constant)
     ]
-    for row in relation.match(pattern):
+    for row in relation.match(pattern, stats):
         if stats is not None:
             stats.tuples_scanned += 1
         extended = subst

@@ -23,7 +23,22 @@ Indexes make the nested-loop joins of the engine behave like index
 nested-loop joins, which is the performance model assumed by the paper
 (the pointer-based counting implementation is "a direct access to the
 memory").
+
+Storage backends
+----------------
+
+A relation constructed with an intern ``pool`` while the columnar
+backend is enabled (see :mod:`repro.engine.columnar`) additionally
+mirrors every row into parallel ``array('q')`` columns of intern-pool
+ids, in insertion-log order.  The id columns never replace the value
+rows — joins, rendering, and arithmetic read the canonical values
+exactly as before, so answers are byte-identical across backends — but
+they give the relation an O(rows) machine-word serialization, columnar
+prefix pinning for epoch snapshots, and a vectorized id-scan primitive
+(:meth:`Relation.scan_ids`).
 """
+
+from .columnar import ColumnStore, columnar_enabled
 
 
 class _Wildcard:
@@ -47,14 +62,26 @@ class Relation:
     """
 
     __slots__ = ("name", "arity", "tuples", "_indexes", "use_indexes",
-                 "epoch", "_log")
+                 "epoch", "_log", "_pool", "_ids")
 
-    def __init__(self, name, arity, use_indexes=True):
+    def __init__(self, name, arity, use_indexes=True, pool=None):
         self.name = name
         self.arity = arity
         self.tuples = set()
         self._indexes = {}
         self.use_indexes = use_indexes
+        #: Intern pool used for the columnar id mirror (None for plain
+        #: row storage — e.g. engine-internal derived relations).
+        self._pool = pool
+        #: Parallel id columns, maintained by :meth:`add` when the
+        #: columnar backend is active.  ``_ids`` row ordinals coincide
+        #: with ``_log`` positions, so both views describe the same
+        #: insertion order.
+        self._ids = (
+            ColumnStore(arity)
+            if pool is not None and columnar_enabled()
+            else None
+        )
         #: Monotone mutation counter: bumped once per *new* row, so two
         #: relations with equal epochs seen by the same observer hold
         #: the same tuples.  Cross-query caches key their entries on the
@@ -85,13 +112,21 @@ class Relation:
                 "arity mismatch for %s: expected %d, got %r"
                 % (self.name, self.arity, row)
             )
-        if row in self.tuples:
+        # Single-hash insert: membership test plus ``set.add`` would
+        # hash the row twice, which is measurable when rows carry long
+        # tuple values (the extended counting rewriting's path lists —
+        # tuple hashes are not cached).
+        tuples = self.tuples
+        before = len(tuples)
+        tuples.add(row)
+        if len(tuples) == before:
             return False
-        self.tuples.add(row)
         # Log before the epoch bump: a concurrent reader that sees the
         # new epoch value is then guaranteed to find the row in the log
         # prefix it slices (list appends are atomic under the GIL).
         self._log.append(row)
+        if self._ids is not None:
+            self._ids.append(self._pool.ident_row(row))
         self.epoch += 1
         for positions, index in self._indexes.items():
             if len(positions) == 1:
@@ -137,6 +172,34 @@ class Relation:
         """
         return self._index_for(tuple(positions), stats)
 
+    def probe_index(self, positions, stats=None):
+        """A hoistable index view for repeated probes, or None.
+
+        The generated executors resolve each scan's relation once per
+        rule pass; when this returns a dict, they inline every
+        subsequent probe as ``index.get(key, ())`` plus the same
+        ``index_probes`` bump :meth:`lookup` performs.  Returns None
+        whenever the inline probe would not be equivalent — scans
+        without indexes, full scans, and full-arity probes (which are
+        set membership tests, see :meth:`probe_set`).  The dict is
+        maintained in place by :meth:`add`, so a hoisted reference
+        stays current for the whole pass.
+        """
+        if (not self.use_indexes or not positions
+                or len(positions) == self.arity):
+            return None
+        return self._index_for(tuple(positions), stats)
+
+    def probe_set(self):
+        """A hoistable membership view for full-arity probes, or None.
+
+        The full-arity counterpart of :meth:`probe_index`: generated
+        executors test ``row in view`` directly, mirroring the
+        full-arity fast path of :meth:`lookup` including its
+        ``index_probes`` accounting.
+        """
+        return self.tuples if self.use_indexes else None
+
     def lookup(self, positions, key, stats=None):
         """Return the candidate rows with ``positions`` equal to ``key``.
 
@@ -158,6 +221,11 @@ class Relation:
                 if all(row[i] == v for i, v in zip(positions, key))
             ]
         if len(positions) == self.arity:
+            # The full-arity fast path is a hash probe of the tuple set
+            # — count it like any other index probe, or the A3 ablation
+            # undercounts exactly the probes it is supposed to measure.
+            if stats is not None:
+                stats.index_probes += 1
             row = key if self.arity != 1 else (key,)
             return (row,) if row in self.tuples else ()
         index = self._indexes.get(positions)
@@ -167,11 +235,14 @@ class Relation:
             stats.index_probes += 1
         return index.get(key, ())
 
-    def match(self, pattern):
+    def match(self, pattern, stats=None):
         """Yield rows matching ``pattern``.
 
         ``pattern`` is a tuple of length ``arity`` whose entries are
-        either concrete values or :data:`WILDCARD`.
+        either concrete values or :data:`WILDCARD`.  ``stats`` threads
+        the same ``index_builds``/``index_probes`` accounting as
+        :meth:`lookup` — the tuple-at-a-time path does identical index
+        work, so it must be charged identically.
         """
         if len(pattern) != self.arity:
             raise ValueError(
@@ -189,9 +260,13 @@ class Relation:
                 if all(row[i] == pattern[i] for i in positions)
             )
         if len(positions) == self.arity:
+            if stats is not None:
+                stats.index_probes += 1
             row = tuple(pattern)
             return iter((row,)) if row in self.tuples else iter(())
-        index = self._index_for(positions)
+        index = self._index_for(positions, stats)
+        if stats is not None:
+            stats.index_probes += 1
         if len(positions) == 1:
             key = pattern[positions[0]]
         else:
@@ -207,10 +282,13 @@ class Relation:
         later ``add``s on either side stay independent.
         """
         clone = Relation(self.name, self.arity,
-                         use_indexes=self.use_indexes)
+                         use_indexes=self.use_indexes, pool=self._pool)
         clone.tuples = set(self.tuples)
         clone.epoch = self.epoch
         clone._log = list(self._log)
+        # Columns copy as machine words regardless of the flag's
+        # current value — the clone keeps the backend of its source.
+        clone._ids = None if self._ids is None else self._ids.copy()
         clone._indexes = {
             positions: {key: list(rows) for key, rows in index.items()}
             for positions, index in self._indexes.items()
@@ -235,12 +313,100 @@ class Relation:
                 % (self.name, epoch, len(self._log))
             )
         clone = Relation(self.name, self.arity,
-                         use_indexes=self.use_indexes)
+                         use_indexes=self.use_indexes, pool=self._pool)
         rows = self._log[:epoch]
         clone.tuples = set(rows)
         clone._log = rows
+        # Columnar prefix: the pinned view slices the id columns as raw
+        # machine words — no per-row re-encode.  Safe against
+        # concurrent appends for the same reason the log slice is: ids
+        # are appended before the epoch bump, so the first ``epoch``
+        # ordinals are complete by the time a reader holds ``epoch``.
+        clone._ids = (
+            None if self._ids is None else self._ids.prefix(epoch)
+        )
         clone.epoch = epoch
         return clone
+
+    # -- columnar view ------------------------------------------------
+
+    @property
+    def columnar(self):
+        """True when this relation maintains the id-column mirror."""
+        return self._ids is not None
+
+    def id_column(self, position):
+        """The ``array('q')`` of intern ids for one argument position.
+
+        Raises :class:`TypeError` on a row-storage relation — callers
+        that can exploit columns must check :attr:`columnar` first.
+        """
+        if self._ids is None:
+            raise TypeError(
+                "%s/%d uses row storage; no id columns"
+                % (self.name, self.arity)
+            )
+        return self._ids.column(position)
+
+    def id_row(self, ordinal):
+        """The id-encoded row at insertion ordinal ``ordinal``."""
+        if self._ids is None:
+            raise TypeError(
+                "%s/%d uses row storage; no id columns"
+                % (self.name, self.arity)
+            )
+        return self._ids.row(ordinal)
+
+    def scan_ids(self, positions, values):
+        """Insertion ordinals of rows matching ``values`` at ``positions``.
+
+        The vectorized id-scan: ``values`` are value-level constants,
+        encoded through the pool once, then compared column-wise as
+        machine words.  A value the pool has never seen cannot match
+        any stored row, so the scan returns ``[]`` without touching
+        the columns.
+        """
+        if self._ids is None:
+            raise TypeError(
+                "%s/%d uses row storage; no id columns"
+                % (self.name, self.arity)
+            )
+        ids = []
+        for value in values:
+            ident = self._pool.peek(value)
+            if ident is None:
+                return []
+            ids.append(ident)
+        return self._ids.matching(tuple(positions), tuple(ids))
+
+    def decode_ordinal(self, ordinal):
+        """Decode the row at ``ordinal`` through the intern pool.
+
+        The decode contract of the storage layer: for every ordinal,
+        ``decode_ordinal(i) == _log[i]`` — id encoding is lossless, so
+        rendered output is byte-identical whichever view produced it.
+        """
+        return self._pool.decode_row(self.id_row(ordinal))
+
+    def storage_info(self):
+        """Backend descriptor for observability and the bench probe."""
+        info = {
+            "backend": "columnar" if self._ids is not None else "rows",
+            "rows": len(self.tuples),
+            "indexes": len(self._indexes),
+        }
+        if self._ids is not None:
+            info["column_bytes"] = self._ids.nbytes()
+        return info
+
+    def column_bytes(self):
+        """Serialized id columns (see :meth:`ColumnStore.to_bytes`)."""
+        if self._ids is None:
+            raise TypeError(
+                "%s/%d uses row storage; nothing to serialize columnar"
+                % (self.name, self.arity)
+            )
+        return self._ids.to_bytes()
 
     def __repr__(self):
         return "Relation(%s/%d, %d tuples)" % (
@@ -271,7 +437,7 @@ class EmptyRelation:
     def __contains__(self, row):
         return False
 
-    def match(self, pattern):
+    def match(self, pattern, stats=None):
         if len(pattern) != self.arity:
             raise ValueError(
                 "pattern arity mismatch for %s: %r" % (self.name, pattern)

@@ -17,7 +17,7 @@ from ..datalog.analysis import ProgramAnalysis
 from ..datalog.atoms import Atom
 from ..errors import EvaluationError
 from . import faults
-from .compile import CompiledRule
+from .compile import CompiledRule, compiled_rule
 from .instrumentation import EvalStats
 from .join import evaluate_body, evaluate_rule, ground_atom, ground_head
 from .relation import EmptyRelation, Relation
@@ -139,7 +139,10 @@ class SemiNaiveEngine:
     def _compiled_rule(self, rule):
         compiled = self._compiled.get(id(rule))
         if compiled is None:
-            compiled = CompiledRule(rule)
+            # The module-global CompiledRule is a test seam (patched to
+            # force the legacy path); the shared cache steps aside for
+            # any patched factory.
+            compiled = compiled_rule(rule, factory=CompiledRule)
             self._compiled[id(rule)] = compiled
         return compiled
 
@@ -164,14 +167,36 @@ class SemiNaiveEngine:
         )
 
     def _apply_compiled(self, compiled, resolver, delta):
-        """Set-at-a-time rule pass: batched probes, direct tuple writes."""
+        """Set-at-a-time rule pass: batched probes, direct tuple writes.
+
+        When the body has a vectorized emitter (columnar backend on,
+        innermost step a plain scan) the head projection happens inside
+        a generated list comprehension, one whole batch per innermost
+        probe; each batch is drained into the relation before the next
+        is produced, so derivations become visible to subsequent probes
+        exactly as they did row at a time.
+        """
         stats = self.stats
         stats.rule_firings += 1
         key = compiled.rule.head.key
         relation = self._relation(key)
-        head = compiled.head
         body = compiled.compiled
         delta_rel = None
+        emit = body.emitter(compiled.head_spec)
+        if emit is not None:
+            for batch in emit(resolver, body.make_slots(), stats):
+                for row in batch:
+                    if relation.add(row):
+                        stats.facts_derived += 1
+                        if delta_rel is None:
+                            delta_rel = delta.setdefault(
+                                key, Relation(key[0], key[1])
+                            )
+                        delta_rel.add(row)
+                    else:
+                        stats.facts_duplicate += 1
+            return
+        head = compiled.head
         for slots in body.execute(resolver, body.make_slots(), stats):
             row = head(slots)
             if relation.add(row):

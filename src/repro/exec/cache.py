@@ -123,14 +123,42 @@ class AnswerCache:
 
     @property
     def hit_rate(self):
-        """Fraction of lookups served from the cache (0.0 when unused)."""
-        total = self.hits + self.misses
-        return 0.0 if total == 0 else self.hits / total
+        """Fraction of lookups served from the cache (0.0 when unused).
+
+        Reads both counters under the lock: torn reads (``hits`` from
+        before a concurrent lookup, ``misses`` from after) could
+        otherwise report a rate over or under the true value.
+        """
+        with self._lock:
+            total = self.hits + self.misses
+            return 0.0 if total == 0 else self.hits / total
+
+    def stats(self):
+        """One consistent snapshot of every counter, taken atomically.
+
+        The serving layer's ``counters()`` endpoint reads this instead
+        of the individual attributes so a concurrent ``get``/``put``
+        can never produce a snapshot violating ``hits + misses ==
+        lookups``.
+        """
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "lookups": self.lookups,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "hit_rate": 0.0 if total == 0 else self.hits / total,
+            }
 
     def __repr__(self):
-        return "AnswerCache(%d/%d entries, %d hits, %d misses)" % (
-            len(self._entries), self.capacity, self.hits, self.misses
-        )
+        with self._lock:
+            return "AnswerCache(%d/%d entries, %d hits, %d misses)" % (
+                len(self._entries), self.capacity, self.hits, self.misses
+            )
 
 
 class CountingTableStore:
@@ -211,7 +239,32 @@ class CountingTableStore:
         with self._lock:
             return len(self._entries)
 
+    @property
+    def hit_rate(self):
+        """Fraction of lookups served from the store (0.0 when unused)."""
+        with self._lock:
+            total = self.hits + self.misses
+            return 0.0 if total == 0 else self.hits / total
+
+    def stats(self):
+        """One consistent snapshot of every counter, taken atomically."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "lookups": self.lookups,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "hit_rate": 0.0 if total == 0 else self.hits / total,
+            }
+
     def __repr__(self):
-        return "CountingTableStore(%d/%d tables, %d hits, %d misses)" % (
-            len(self._entries), self.capacity, self.hits, self.misses
-        )
+        with self._lock:
+            return (
+                "CountingTableStore(%d/%d tables, %d hits, %d misses)"
+                % (len(self._entries), self.capacity, self.hits,
+                   self.misses)
+            )

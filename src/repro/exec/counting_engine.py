@@ -32,8 +32,10 @@ pointer implementation; the back-arc triples are exactly the extra
 information Algorithm 2 adds.
 """
 
+from array import array
+
 from ..engine import faults
-from ..engine.compile import BoundQuery
+from ..engine.compile import bound_query
 from ..engine.instrumentation import EvalStats
 from ..errors import EvaluationError, NotApplicableError
 from ..graph.dfs import classify_arcs
@@ -41,18 +43,80 @@ from ..graph.dfs import classify_arcs
 #: Sentinel triple marking the source row.
 SOURCE_TRIPLE = (None, (), None)
 
+#: Flat-array encoding of "no predecessor" (the source sentinel).
+_NO_PREV = -1
+
+
+class _TripleView:
+    """One row's in-triples, viewed over the table's flat arrays.
+
+    Keeps the historical ``row.triples`` list surface — ``append``,
+    iteration, ``len``, ``in``, indexing — while the storage lives in
+    the :class:`CountingTable`'s parallel arrays.  Iteration
+    materializes ``(label, shared values, predecessor id)`` tuples on
+    the fly; hot loops inside the engine skip the tuples and read the
+    arrays through the ordinals directly.
+    """
+
+    __slots__ = ("_table", "_row_id", "ordinals")
+
+    def __init__(self, table, row_id):
+        self._table = table
+        self._row_id = row_id
+        #: Positions of this row's triples in the flat arrays, in
+        #: append order.
+        self.ordinals = []
+
+    def append(self, triple):
+        label, shared, prev = triple
+        table = self._table
+        self.ordinals.append(len(table.t_label))
+        table.t_label.append(label)
+        table.t_shared.append(shared)
+        table.t_prev.append(_NO_PREV if prev is None else prev)
+        table.t_row.append(self._row_id)
+
+    def _triple(self, ordinal):
+        table = self._table
+        prev = table.t_prev[ordinal]
+        return (
+            table.t_label[ordinal],
+            table.t_shared[ordinal],
+            None if prev == _NO_PREV else prev,
+        )
+
+    def __len__(self):
+        return len(self.ordinals)
+
+    def __iter__(self):
+        for ordinal in self.ordinals:
+            yield self._triple(ordinal)
+
+    def __getitem__(self, index):
+        picked = self.ordinals[index]
+        if isinstance(index, slice):
+            return [self._triple(o) for o in picked]
+        return self._triple(picked)
+
+    def __contains__(self, triple):
+        return any(candidate == triple for candidate in self)
+
+    def __repr__(self):
+        return "_TripleView(o%d, %r)" % (self._row_id, list(self))
+
 
 class CountingRow:
     """One node of the counting set."""
 
     __slots__ = ("id", "pred", "values", "triples")
 
-    def __init__(self, row_id, pred, values):
+    def __init__(self, row_id, pred, values, table):
         self.id = row_id
         self.pred = pred
         self.values = values
-        #: list of (rule label, shared values, predecessor row id)
-        self.triples = []
+        #: View of (rule label, shared values, predecessor row id)
+        #: in-triples; storage lives in the table's flat arrays.
+        self.triples = _TripleView(table, row_id)
 
     def __repr__(self):
         return "CountingRow(o%d, %s%r, %d triples)" % (
@@ -61,10 +125,20 @@ class CountingRow:
 
 
 class CountingTable:
-    """The per-node counting set with predecessor triples."""
+    """The per-node counting set with predecessor triples.
+
+    Triples are stored as flat parallel arrays — ``t_label`` /
+    ``t_shared`` (lists) and ``t_prev`` / ``t_row`` (``array('q')``
+    machine words, ``-1`` encoding "no predecessor") — with each row
+    keeping the ordinals of its own triples.  One triple therefore
+    costs two list slots and two machine words instead of a dedicated
+    tuple object, and the answer phase unwinds by indexing the arrays
+    directly instead of destructuring tuples.
+    """
 
     __slots__ = ("rows", "index", "source_id", "back_arc_count",
-                 "ahead_arc_count")
+                 "ahead_arc_count", "t_label", "t_shared", "t_prev",
+                 "t_row")
 
     def __init__(self):
         self.rows = []
@@ -72,6 +146,12 @@ class CountingTable:
         self.source_id = 0
         self.back_arc_count = 0
         self.ahead_arc_count = 0
+        #: Flat parallel triple arrays; entry ``i`` is one in-triple of
+        #: row ``t_row[i]``.
+        self.t_label = []
+        self.t_shared = []
+        self.t_prev = array("q")
+        self.t_row = array("q")
 
     def row_for(self, pred, values):
         key = (pred, values)
@@ -79,7 +159,7 @@ class CountingTable:
         if row_id is None:
             row_id = len(self.rows)
             self.index[key] = row_id
-            self.rows.append(CountingRow(row_id, pred, values))
+            self.rows.append(CountingRow(row_id, pred, values, self))
         return self.rows[row_id]
 
     def __len__(self):
@@ -88,7 +168,7 @@ class CountingTable:
     @property
     def triple_count(self):
         """Total in-triples: the §3.4 per-arc counting-set size."""
-        return sum(len(row.triples) for row in self.rows)
+        return len(self.t_label)
 
     def is_acyclic(self):
         return self.back_arc_count == 0
@@ -165,6 +245,12 @@ class CountingEngine:
         #: passes a shared ``query_cache`` dict so the compilation
         #: survives across engine instances for the same clique.
         self._queries = query_cache if query_cache is not None else {}
+        #: Per-engine bound runners (``BoundQuery.bind``): these embed
+        #: this engine's resolver and its hoisted relation/view state,
+        #: so they must never travel through the shared ``query_cache``
+        #: — a later engine over a different database would otherwise
+        #: probe the first database's relations.
+        self._bound = {}
         #: Optional node-keyed counting-table store (``get(node)`` /
         #: ``put(node, table)``): when the source node was already
         #: explored by an earlier run, phase 1 (the left-graph DFS and
@@ -179,6 +265,13 @@ class CountingEngine:
         self._state_count = 0
         #: Largest pending-frontier size seen (memory high-water mark).
         self.max_frontier = 0
+        # Per-site caches resolving rule -> (rule, bound runner) without
+        # rebuilding the positional in-name tuples on every state (the
+        # answer phase visits |answers| x |rows| states; the queries
+        # themselves are shared through ``self._queries``).
+        self._unwind_entries = {}
+        self._left_linear_entries = {}
+        self._exit_entries = {}
 
     # -- phase 1: counting set ---------------------------------------
 
@@ -186,13 +279,26 @@ class CountingEngine:
         return self.get_relation(atom.key)
 
     def _query(self, site, rule, body, in_names, out_names):
-        """The cached :class:`BoundQuery` for one (call site, rule)."""
+        """The cached bound runner for one (call site, rule).
+
+        The shared :class:`BoundQuery` is bound to this engine's
+        resolver (``BoundQuery.bind``), so repeated runs reuse the
+        resolved relations and hoisted probe views across every state
+        expansion of the run.  Safe because ``get_relation`` is a
+        fixed mapping for one engine's lifetime: the support engine
+        (if any) finished before construction, and evaluation never
+        creates or replaces database relations.
+        """
         key = (site, id(rule))
-        query = self._queries.get(key)
-        if query is None:
-            query = BoundQuery(body, in_names, out_names)
-            self._queries[key] = query
-        return query
+        runner = self._bound.get(key)
+        if runner is None:
+            query = self._queries.get(key)
+            if query is None:
+                query = bound_query(body, in_names, out_names)
+                self._queries[key] = query
+            runner = query.bind(self._resolver)
+            self._bound[key] = runner
+        return runner
 
     def _successors(self, node):
         """Left-graph successors of ``node`` with (label, shared) labels."""
@@ -213,7 +319,7 @@ class CountingEngine:
             )
             split = len(rule.rec_bound_vars)
             self.stats.rule_firings += 1
-            for result in query.run(self._resolver, values, self.stats):
+            for result in query(values, self.stats):
                 results.append(
                     ((rule.rec_key, result[:split]),
                      (rule.label, result[split:]))
@@ -280,19 +386,26 @@ class CountingEngine:
 
     # -- phase 2: answers ---------------------------------------------
 
+    def _exit_queries(self, pred):
+        """Cached ``(rule, query)`` pairs of the exit rules for ``pred``."""
+        entries = self._exit_entries.get(pred)
+        if entries is None:
+            exit_rules, _ = self.canonical.rules_by_head(pred)
+            entries = tuple(
+                (exit_rule,
+                 self._query("exit", exit_rule, exit_rule.body,
+                             exit_rule.bound_vars, exit_rule.free_vars))
+                for exit_rule in exit_rules
+            )
+            self._exit_entries[pred] = entries
+        return entries
+
     def _exit_states(self):
         """Seed states from the exit rules at every counting node."""
         for row in self.table.rows:
-            exit_rules, _ = self.canonical.rules_by_head(row.pred)
-            for exit_rule in exit_rules:
-                query = self._query(
-                    "exit", exit_rule, exit_rule.body,
-                    exit_rule.bound_vars, exit_rule.free_vars,
-                )
+            for exit_rule, query in self._exit_queries(row.pred):
                 self.stats.rule_firings += 1
-                for values in query.run(
-                    self._resolver, row.values, self.stats
-                ):
+                for values in query(row.values, self.stats):
                     yield (row.pred, values, row.id), exit_rule.label
 
     def _apply_left_linear(self, state):
@@ -304,43 +417,66 @@ class CountingEngine:
         """
         pred, values, row_id = state
         row = self.table.rows[row_id]
-        for rule in self.canonical.recursive_rules:
-            if not rule.is_left_linear_shape():
-                continue
-            if rule.head_key != pred:
-                continue
-            query = self._query(
-                "right", rule, rule.right,
-                rule.rec_free_vars + rule.bound_vars, rule.free_vars,
+        entries = self._left_linear_entries.get(pred)
+        if entries is None:
+            entries = tuple(
+                (rule,
+                 self._query("right", rule, rule.right,
+                             rule.rec_free_vars + rule.bound_vars,
+                             rule.free_vars))
+                for rule in self.canonical.recursive_rules
+                if rule.is_left_linear_shape() and rule.head_key == pred
             )
+            self._left_linear_entries[pred] = entries
+        for rule, query in entries:
             self.stats.rule_firings += 1
-            for out in query.run(
-                self._resolver, values + row.values, self.stats
-            ):
+            for out in query(values + row.values, self.stats):
                 yield (rule.head_key, out, row_id), rule.label
 
+    def _unwind_entry(self, label):
+        """Cached ``(rule, query)`` for one modified-rule pop step."""
+        entry = self._unwind_entries.get(label)
+        if entry is None:
+            rule = self.rules_by_label[label]
+            entry = (
+                rule,
+                self._query(
+                    "unwind", rule, rule.right,
+                    rule.rec_free_vars + rule.shared_vars
+                    + rule.bound_vars + rule.rec_bound_vars,
+                    rule.free_vars,
+                ),
+            )
+            self._unwind_entries[label] = entry
+        return entry
+
     def _unwind(self, state):
-        """Apply one pop step: consume a triple of the state's row."""
+        """Apply one pop step: consume a triple of the state's row.
+
+        Reads the table's flat triple arrays through the row's
+        ordinals — no per-triple tuple is materialized on this path.
+        """
         pred, values, row_id = state
-        row = self.table.rows[row_id]
-        for label, shared, prev_id in row.triples:
+        table = self.table
+        rows = table.rows
+        row = rows[row_id]
+        labels = table.t_label
+        shareds = table.t_shared
+        prevs = table.t_prev
+        stats = self.stats
+        for ordinal in row.triples.ordinals:
+            label = labels[ordinal]
             if label is None:
                 continue
-            rule = self.rules_by_label[label]
+            rule, query = self._unwind_entry(label)
             if rule.rec_key != pred:
                 continue
-            prev_row = self.table.rows[prev_id]
-            query = self._query(
-                "unwind", rule, rule.right,
-                rule.rec_free_vars + rule.shared_vars + rule.bound_vars
-                + rule.rec_bound_vars,
-                rule.free_vars,
-            )
-            self.stats.rule_firings += 1
-            for out in query.run(
-                self._resolver,
-                values + shared + prev_row.values + row.values,
-                self.stats,
+            prev_id = prevs[ordinal]
+            stats.rule_firings += 1
+            for out in query(
+                values + shareds[ordinal] + rows[prev_id].values
+                + row.values,
+                stats,
             ):
                 yield (rule.head_key, out, prev_id), rule.label
 

@@ -315,7 +315,8 @@ class MagicCountingEngine:
             pattern = tuple(target_values) + (WILDCARD,) * (
                 relation.arity - width
             )
-            # Reuse the pointer engine's compiled unwind query — the
+            # Reuse the pointer engine's compiled unwind query (bound
+            # to its resolver, which is this engine's too) — the
             # binding order (rec_free, shared, bound, rec_bound) is
             # identical to the triple-consuming pop step.
             query = self._pointer._query(
@@ -324,12 +325,11 @@ class MagicCountingEngine:
                 + rule.rec_bound_vars,
                 rule.free_vars,
             )
-            for row in relation.match(pattern):
+            for row in relation.match(pattern, self.stats):
                 self.stats.tuples_scanned += 1
                 y1_values = row[width:]
                 self.stats.rule_firings += 1
-                for out in query.run(
-                    self._pointer._resolver,
+                for out in query(
                     y1_values + shared + source_values + target_values,
                     self.stats,
                 ):

@@ -40,7 +40,7 @@ import weakref
 from ..datalog.atoms import Atom, Comparison, Negation
 from ..datalog.rules import Program, Query, Rule
 from ..datalog.terms import Compound, Constant
-from ..engine.compile import CompiledRule
+from ..engine.compile import compiled_rule
 from ..engine.fixpoint import goal_filter, project_free
 from ..engine.instrumentation import EvalStats
 from ..engine.seminaive import SemiNaiveEngine
@@ -269,7 +269,7 @@ class PreparedQuery:
             self._naive_entry = None
             for rule in self.template.program.rules:
                 if not rule.is_fact():
-                    self._compiled[id(rule)] = CompiledRule(rule)
+                    self._compiled[id(rule)] = compiled_rule(rule)
             return
         if method in ENGINE_REWRITES:
             try:
@@ -293,7 +293,7 @@ class PreparedQuery:
             )
             for rule, parametric in self._rule_slots:
                 if not parametric and not rule.is_fact():
-                    self._compiled[id(rule)] = CompiledRule(rule)
+                    self._compiled[id(rule)] = compiled_rule(rule)
             self._check_canonical = None
             self._check_entry = None
             self._path_free = True

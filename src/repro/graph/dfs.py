@@ -111,6 +111,19 @@ def _sort_key(item):
     return (repr(target), repr(label))
 
 
+def _ordered(successor_pairs):
+    """Successor list in deterministic order.
+
+    Sorting is by ``repr``, which is expensive on deeply nested node
+    keys; lists of fewer than two entries (the whole graph, on
+    chain-shaped data) need no ordering at all.
+    """
+    pairs = list(successor_pairs)
+    if len(pairs) > 1:
+        pairs.sort(key=_sort_key)
+    return pairs
+
+
 def classify_arcs(source, successors):
     """Classify all arcs reachable from ``source``.
 
@@ -131,7 +144,7 @@ def classify_arcs(source, successors):
         on_stack.add(node)
 
     discover(source)
-    stack = [(source, iter(sorted(successors(source), key=_sort_key)))]
+    stack = [(source, iter(_ordered(successors(source))))]
     while stack:
         node, edges = stack[-1]
         advanced = False
@@ -141,7 +154,7 @@ def classify_arcs(source, successors):
                 tree.append(arc)
                 discover(target)
                 stack.append(
-                    (target, iter(sorted(successors(target), key=_sort_key)))
+                    (target, iter(_ordered(successors(target))))
                 )
                 advanced = True
                 break

@@ -612,11 +612,19 @@ class QueryService:
 
     def counters(self):
         """The ``service`` counter block: admission ledger, retries,
-        breaker trips/rejections and per-strategy breaker states."""
+        breaker trips/rejections, per-strategy breaker states, and —
+        when the prepared query carries them — atomic snapshots of the
+        answer-cache and counting-store counters."""
         counters = self.stats.as_dict()
         counters["breaker_trips"] = self.breakers.trips
         counters["breaker_rejections"] = self.breakers.rejections
         counters["breaker_states"] = self.breakers.states()
+        cache = getattr(self.prepared, "cache", None)
+        if cache is not None:
+            counters["answer_cache"] = cache.stats()
+        store = getattr(self.prepared, "counting_store", None)
+        if store is not None:
+            counters["counting_store"] = store.stats()
         return counters
 
     def __repr__(self):

@@ -29,3 +29,10 @@ def test_write_smoke_artifact(tmp_path):
     assert cache_block["cache_hits"] > 0
     assert 0.0 < cache_block["hit_rate"] <= 1.0
     assert cache_block["counting_table_reuse"] > 0
+    storage = payload["storage"]
+    assert storage["counters_match"] is True
+    assert {r["backend"] for r in storage["rows"]} == {"rows"}
+    assert {r["backend"] for r in storage["columnar"]} == {"columnar"}
+    for record in storage["columnar"]:
+        assert record["column_bytes"] > 0
+        assert record["elapsed"] >= 0.0

@@ -119,6 +119,47 @@ class TestResourceBudget:
         clock.now = 10.0
         assert budget.expired()
 
+    def test_remaining_clamped_at_zero_after_deadline(self):
+        # Callers feed remaining() into queue.get(timeout=...) and
+        # child() timeouts; a negative value raises or means "no limit".
+        clock = FakeClock(step=0.0)
+        budget = ResourceBudget(timeout=5.0, clock=clock)
+        budget.start()
+        clock.now = 12.0
+        assert budget.remaining() == 0.0
+        child = budget.child()
+        assert child.timeout == 0.0
+
+    def test_remaining_without_timeout_is_none(self):
+        assert ResourceBudget().remaining() is None
+
+    def test_expired_matches_check_comparison(self):
+        # expired() must agree with check(): strictly-greater, so at
+        # the exact deadline instant neither path fires.
+        clock = FakeClock(step=0.0)
+        budget = ResourceBudget(timeout=5.0, clock=clock)
+        budget.start()
+        clock.now = 5.0
+        assert not budget.expired()
+        budget.check()  # must not raise either
+        clock.now = 5.0001
+        assert budget.expired()
+        with pytest.raises(DeadlineExceeded):
+            budget.check()
+
+    def test_expired_starts_the_clock(self):
+        # Probing a never-started budget must start its clock, exactly
+        # as the first check() would — otherwise a budget with a
+        # timeout reports "not expired" forever until someone calls
+        # start() explicitly.
+        clock = FakeClock(step=0.0)
+        budget = ResourceBudget(timeout=5.0, clock=clock)
+        assert not budget.expired()
+        assert budget._started is not None
+        clock.now = 10.0
+        assert budget.expired()
+        assert not ResourceBudget(clock=clock).expired()
+
     def test_negative_limits_rejected(self):
         with pytest.raises(ValueError):
             ResourceBudget(timeout=-1)

@@ -199,6 +199,60 @@ class TestAnswerCache:
         with pytest.raises(ValueError):
             AnswerCache(capacity=0)
 
+    def test_stats_snapshot_is_consistent(self):
+        cache = AnswerCache(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("missing")
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a"
+        snap = cache.stats()
+        assert snap == {
+            "size": 2, "capacity": 2, "lookups": 2, "hits": 1,
+            "misses": 1, "evictions": 1, "invalidations": 0,
+            "hit_rate": 0.5,
+        }
+        assert cache.hit_rate == 0.5
+
+    def test_stats_never_torn_under_contention(self):
+        # hit_rate and stats() read multiple counters; each snapshot
+        # must satisfy hits + misses == lookups even while other
+        # threads are mid-lookup.
+        import threading
+
+        cache = AnswerCache(capacity=8)
+        stop = threading.Event()
+        torn = []
+
+        def mutate():
+            i = 0
+            while not stop.is_set():
+                cache.put(i % 16, i)
+                cache.get((i + 3) % 16)
+                i += 1
+
+        def observe():
+            for _ in range(2000):
+                snap = cache.stats()
+                if snap["hits"] + snap["misses"] != snap["lookups"]:
+                    torn.append(snap)
+                    break
+                if not 0.0 <= cache.hit_rate <= 1.0:  # pragma: no cover
+                    torn.append("hit_rate")
+                    break
+
+        workers = [threading.Thread(target=mutate) for _ in range(3)]
+        watcher = threading.Thread(target=observe)
+        for thread in workers:
+            thread.start()
+        watcher.start()
+        watcher.join(timeout=60.0)
+        stop.set()
+        for thread in workers:
+            thread.join(timeout=60.0)
+        assert not torn
+        cache.assert_consistent()
+
     def test_prepare_reuse_counter(self):
         workload = WORKLOADS["sg_chain"]
         db = make_chain()
@@ -259,6 +313,23 @@ class TestCountingTableStore:
         )
         result = second.run(db=db)
         assert result.extras["counting_table_reused"] is True
+
+    def test_store_stats_snapshot(self):
+        store = CountingTableStore(capacity=1)
+        epochs = (("up", 2, 1),)
+        store.put("n1", epochs, "table-one")
+        assert store.get("n1", epochs) == "table-one"
+        assert store.get("n1", (("up", 2, 9),)) is None  # stale
+        store.put("n2", epochs, "table-two")
+        snap = store.stats()
+        assert snap == {
+            "size": 1, "capacity": 1, "lookups": 2, "hits": 1,
+            "misses": 1, "evictions": 0, "invalidations": 1,
+            "hit_rate": 0.5,
+        }
+        assert store.hit_rate == 0.5
+        assert "1 hits" in repr(store)
+        store.assert_consistent()
 
 
 # -- batches and the forest workload -----------------------------------

@@ -368,6 +368,28 @@ class TestCacheContention:
         cache.assert_consistent()
         assert fault_injector.sections_stalled > 0
 
+    def test_counters_expose_atomic_cache_snapshots(self):
+        db, _source = sg_forest(trees=2, fanout=2, depth=3)
+        cache = AnswerCache(capacity=16)
+        store = CountingTableStore(capacity=8)
+        prepared = PreparedQuery(WORKLOADS["sg_forest"].query, db,
+                                 cache=cache, counting_store=store)
+        bindings = forest_bindings(trees=2, queries=4)
+        service = QueryService(prepared, db, workers=2,
+                               queue_capacity=8)
+        try:
+            for binding in bindings:
+                service.run(binding, wait=60.0)
+            counters = service.counters()
+        finally:
+            service.drain()
+        for block, source in (("answer_cache", cache),
+                              ("counting_store", store)):
+            snap = counters[block]
+            assert snap == source.stats()
+            assert snap["hits"] + snap["misses"] == snap["lookups"]
+        assert counters["answer_cache"]["lookups"] > 0
+
     def test_counting_store_counters_balance(self):
         store = CountingTableStore(capacity=8)
         epochs = (("up", 2, 0),)
