@@ -1,0 +1,261 @@
+"""S5 — durability: WAL overhead, checkpoint recovery, torn tails.
+
+Workload: the S1 cylinder ingested in ``add_facts`` batches, once into
+a plain in-memory :class:`~repro.engine.database.Database` and once
+into a :class:`~repro.durability.durable.DurableDatabase` with the
+``batch`` fsync policy — the paper-engine equivalent of a bulk load
+into a logged store.  The durable directory is then recovered three
+ways: full WAL replay, checkpoint plus WAL-suffix replay, and replay
+after the log's tail has been torn.
+
+Claims asserted:
+
+* the WAL's own cost (encode + write + policy fsyncs, measured inside
+  the log so run-to-run machine noise cancels) stays under 10 % of the
+  ingest it protects;
+* full-replay recovery reproduces the ingested database byte-for-byte
+  (``to_text``) with the epoch table at the WAL head;
+* recovery from a checkpoint applies only the WAL suffix past the
+  checkpoint's sequence number, and lands in the same state;
+* a torn tail is detected, truncated, and recovery returns exactly the
+  durable prefix — the torn record costs itself, never the log;
+* the recovered database keeps the dead process's lineage token, so
+  answer-cache entries keyed on (lineage, epochs) survive recovery.
+
+Set ``REPRO_BENCH_SMOKE=1`` to shrink the workload for CI smoke runs.
+"""
+
+import os
+import time
+
+import pytest
+
+from conftest import register_table
+from _common import assert_claims
+
+from repro.data.generators import cylinder
+from repro.durability import DurableDatabase, WalReader, recover
+from repro.engine.database import Database
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+WIDTH = 8
+HEIGHT = 256 if SMOKE else 1024
+BATCH = 256
+TRIALS = 3 if SMOKE else 5
+
+#: The asserted ceiling on WAL cost relative to the engine work.
+OVERHEAD_CEILING = 0.10
+
+
+def make_batches():
+    """The S1 cylinder's facts, chunked into ingest batches."""
+    facts = []
+    ups, _first, last = cylinder(WIDTH, HEIGHT, "up", "u")
+    for _pred, (x, y) in ups:
+        facts.append(("up", (x, y)))
+    downs, _d_first, d_last = cylinder(WIDTH, HEIGHT, "tmp", "d")
+    for _pred, (x, y) in downs:
+        facts.append(("down", (y, x)))
+    for u_node, d_node in zip(last, d_last):
+        facts.append(("flat", (u_node, d_node)))
+    return [facts[i:i + BATCH] for i in range(0, len(facts), BATCH)]
+
+
+def ingest_plain(batches):
+    db = Database()
+    started = time.perf_counter()
+    for batch in batches:
+        db.add_facts(batch)
+    return db, time.perf_counter() - started
+
+
+def ingest_durable(directory, batches):
+    db = DurableDatabase(directory, fsync="batch")
+    started = time.perf_counter()
+    for batch in batches:
+        db.add_facts(batch)
+    db.flush()
+    elapsed = time.perf_counter() - started
+    stats = db.wal_stats
+    db.close()
+    return elapsed, stats
+
+
+@pytest.fixture(scope="module")
+def measurements(tmp_path_factory):
+    batches = make_batches()
+    total_facts = sum(len(batch) for batch in batches)
+
+    # Interleave the trials so drift hits both sides equally; the
+    # asserted overhead is measured *inside* the WAL (append_seconds
+    # against the rest of the same run), which single-run noise cannot
+    # inflate the way a cross-run ratio can.
+    plain_db = None
+    plain_times, durable_times, overheads = [], [], []
+    stats = None
+    final_dir = None
+    for trial in range(TRIALS):
+        directory = str(tmp_path_factory.mktemp("s5-ingest"))
+        elapsed, stats = ingest_durable(directory, batches)
+        durable_times.append(elapsed)
+        overheads.append(
+            stats["append_seconds"]
+            / max(elapsed - stats["append_seconds"], 1e-9)
+        )
+        final_dir = directory
+        plain_db, plain_elapsed = ingest_plain(batches)
+        plain_times.append(plain_elapsed)
+
+    # Full-replay recovery of the final ingest directory.
+    started = time.perf_counter()
+    recovered, full_report = recover(final_dir, fsync="off")
+    full_recovery_time = time.perf_counter() - started
+    full_state_ok = (
+        recovered.to_text() == plain_db.to_text()
+        and {key: recovered.epoch_of(key) for key in recovered.keys()}
+        == {key: plain_db.epoch_of(key) for key in plain_db.keys()}
+    )
+    lineage = recovered.lineage
+
+    # Checkpoint, ingest a suffix, and recover again: replay must
+    # start past the checkpoint.
+    recovered.checkpoint()
+    suffix = [[("extra", ("e%d" % i, "f%d" % i)) for i in range(32)]]
+    for batch in suffix:
+        recovered.add_facts(batch)
+        plain_db.add_facts(batch)
+    recovered.close()
+    started = time.perf_counter()
+    reopened, ckpt_report = recover(final_dir, fsync="off")
+    ckpt_recovery_time = time.perf_counter() - started
+    ckpt_state_ok = (
+        reopened.to_text() == plain_db.to_text()
+        and reopened.lineage == lineage
+    )
+    reopened.close()
+
+    # Tear the tail: garbage past the last record must cost nothing
+    # but itself.
+    wal_path = os.path.join(final_dir, "wal.log")
+    with open(wal_path, "ab") as handle:
+        handle.write(b"\x99" * 41)
+    torn_db, torn_report = recover(final_dir, fsync="off")
+    torn_state_ok = torn_db.to_text() == plain_db.to_text()
+    torn_db.close()
+    surviving = len(WalReader(wal_path).records)
+
+    data = {
+        "batches": len(batches),
+        "total_facts": total_facts,
+        "plain_time": min(plain_times),
+        "durable_time": min(durable_times),
+        "overhead": min(overheads),
+        "wal_stats": stats,
+        "full_report": full_report,
+        "full_recovery_time": full_recovery_time,
+        "full_state_ok": full_state_ok,
+        "ckpt_report": ckpt_report,
+        "ckpt_recovery_time": ckpt_recovery_time,
+        "ckpt_state_ok": ckpt_state_ok,
+        "torn_report": torn_report,
+        "torn_state_ok": torn_state_ok,
+        "surviving": surviving,
+        "final_dir": final_dir,
+    }
+    register_table("s5_recovery", _render_table(data))
+    return data
+
+
+def _render_table(data):
+    stats = data["wal_stats"]
+    lines = [
+        "S5: durable ingest of %d facts in %d batches (fsync=batch)"
+        % (data["total_facts"], data["batches"]),
+        "plain ingest      : %.1f ms" % (data["plain_time"] * 1e3),
+        "durable ingest    : %.1f ms" % (data["durable_time"] * 1e3),
+        "wal cost          : %.1f ms in %d append(s), %d byte(s), "
+        "%d fsync(s)"
+        % (stats["append_seconds"] * 1e3, stats["appends"],
+           stats["bytes"], stats["fsyncs"]),
+        "wal overhead      : %.1f%% of engine work (ceiling %.0f%%)"
+        % (data["overhead"] * 100, OVERHEAD_CEILING * 100),
+        "recovery (replay) : %.1f ms, %d record(s) replayed"
+        % (data["full_recovery_time"] * 1e3,
+           data["full_report"].replayed),
+        "recovery (ckpt)   : %.1f ms, checkpoint@%d + %d record(s)"
+        % (data["ckpt_recovery_time"] * 1e3,
+           data["ckpt_report"].checkpoint_seq,
+           data["ckpt_report"].replayed),
+        "torn tail         : %r, %d record(s) survive"
+        % (data["torn_report"].truncated_tail, data["surviving"]),
+    ]
+    return "\n".join(lines)
+
+
+def test_s5_time_durable_ingest(benchmark, measurements, tmp_path_factory):
+    batches = make_batches()[:8]
+
+    def ingest():
+        directory = str(tmp_path_factory.mktemp("s5-timed"))
+        ingest_durable(directory, batches)
+
+    benchmark.pedantic(ingest, rounds=3, iterations=1)
+
+
+def test_s5_time_recover(benchmark, measurements):
+    directory = measurements["final_dir"]
+
+    def run():
+        db, _report = recover(directory, fsync="off")
+        db.close()
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_s5_wal_overhead_under_ceiling(measurements, benchmark):
+    def check():
+        assert measurements["overhead"] < OVERHEAD_CEILING, (
+            "WAL cost is %.1f%% of ingest (ceiling %.0f%%)"
+            % (measurements["overhead"] * 100, OVERHEAD_CEILING * 100)
+        )
+        # The cross-run macro ratio is noisy on shared machines, so it
+        # only backstops against something categorically wrong (e.g.
+        # an accidental fsync per append).
+        assert (measurements["durable_time"]
+                < measurements["plain_time"] * 2.0)
+
+    assert_claims(benchmark, check)
+
+
+def test_s5_full_replay_recovers_identical_state(measurements, benchmark):
+    def check():
+        report = measurements["full_report"]
+        assert measurements["full_state_ok"]
+        assert report.checkpoint_seq == 0
+        assert report.replayed == measurements["batches"]
+        assert report.wal_records == measurements["batches"]
+        assert not report.truncated_tail
+
+    assert_claims(benchmark, check)
+
+
+def test_s5_checkpoint_skips_replayed_prefix(measurements, benchmark):
+    def check():
+        report = measurements["ckpt_report"]
+        assert measurements["ckpt_state_ok"]
+        assert report.checkpoint_seq == measurements["batches"]
+        assert report.replayed == 1
+        assert report.wal_records == measurements["batches"] + 1
+
+    assert_claims(benchmark, check)
+
+
+def test_s5_torn_tail_costs_only_itself(measurements, benchmark):
+    def check():
+        report = measurements["torn_report"]
+        assert measurements["torn_state_ok"]
+        assert report.truncated_tail is not None
+        assert report.wal_records == measurements["batches"] + 1
+        assert measurements["surviving"] == measurements["batches"] + 1
+
+    assert_claims(benchmark, check)

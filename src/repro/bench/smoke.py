@@ -315,6 +315,77 @@ def run_service_probe():
     }
 
 
+def run_durability_probe():
+    """Exercise the durability layer: logged ingest, crash, recovery.
+
+    One small ingest through a :class:`~repro.durability.durable.
+    DurableDatabase` (``fsync="batch"``), a checkpoint, a suffix batch,
+    then recovery of the directory.  The artifact tracks the WAL's own
+    cost counters (appends, bytes, fsyncs, seconds — the price of
+    durability), the recovery shape (checkpoint sequence + records
+    replayed), and whether the recovered state is byte-identical to
+    the uncrashed ingest — so a silent regression in either the
+    overhead or the recovery contract shows up in the artifact diff.
+    """
+    import shutil
+    import tempfile
+    import time as time_module
+
+    from ..durability import recover
+    from ..durability.durable import DurableDatabase
+    from ..engine.database import Database
+
+    batches = [
+        [("edge", ("n%d" % i, "n%d" % (i + 1)))
+         for i in range(k * 64, (k + 1) * 64)]
+        for k in range(16)
+    ]
+    directory = tempfile.mkdtemp(prefix="repro-smoke-dur-")
+    try:
+        control = Database()
+        db = DurableDatabase(directory, fsync="batch")
+        started = time_module.perf_counter()
+        for batch in batches:
+            db.add_facts(batch)
+        db.flush()
+        ingest_elapsed = time_module.perf_counter() - started
+        for batch in batches:
+            control.add_facts(batch)
+        stats = db.wal_stats
+        db.checkpoint()
+        suffix = [("edge", ("s0", "s1")), ("edge", ("s1", "s2"))]
+        db.add_facts(suffix)
+        control.add_facts(suffix)
+        db.close()
+
+        started = time_module.perf_counter()
+        recovered, report = recover(directory, fsync="off")
+        recovery_elapsed = time_module.perf_counter() - started
+        state_ok = (
+            recovered.to_text() == control.to_text()
+            and recovered.lineage == report.lineage
+        )
+        recovered.close()
+        return {
+            "batches": len(batches),
+            "facts": control.total_facts(),
+            "ingest_elapsed": ingest_elapsed,
+            "wal_appends": stats["appends"],
+            "wal_bytes": stats["bytes"],
+            "wal_fsyncs": stats["fsyncs"],
+            "wal_append_seconds": stats["append_seconds"],
+            "wal_overhead": stats["append_seconds"]
+            / max(ingest_elapsed - stats["append_seconds"], 1e-9),
+            "recovery_elapsed": recovery_elapsed,
+            "checkpoint_seq": report.checkpoint_seq,
+            "replayed": report.replayed,
+            "wal_records": report.wal_records,
+            "state_identical": state_ok,
+        }
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
 def write_smoke(directory=".", tag=None):
     """Run the smoke pass and write ``BENCH_<tag>.json`` in ``directory``.
 
@@ -333,6 +404,7 @@ def write_smoke(directory=".", tag=None):
         "guard_overhead": run_guard_overhead(),
         "query_cache": run_query_cache_probe(),
         "service": run_service_probe(),
+        "durability": run_durability_probe(),
         "total_elapsed": sum(
             r["elapsed"] for r in records if r["elapsed"] is not None
         ),

@@ -1,21 +1,27 @@
 """Command-line interface.
 
-Four subcommands::
+Main subcommands::
 
     python -m repro run PROGRAM.dl [--db FACTS.dl] [--method auto]
                        [--timeout S] [--max-facts N] [--resilient]
                        [--cache [CAPACITY]] [--batch BINDINGS]
+                       [--wal DIR] [--fsync batch] [--checkpoint]
     python -m repro rewrite PROGRAM.dl --method magic
     python -m repro explain PROGRAM.dl [--db FACTS.dl]
     python -m repro bench WORKLOAD [--methods m1,m2] [--param k=v ...]
     python -m repro serve-bench [--queries N] [--workers N]
                        [--capacity N] [--timeout S] [--poison]
+                       [--audit PATH]
+    python -m repro recover DIR [--checkpoint] [--dump FACTS.dl]
 
 ``PROGRAM.dl`` is a program text containing exactly one ``?-`` goal;
 ``--db`` points at a fact file (facts may also live in the program
 file itself — they are treated as base-predicate overlays).  ``bench``
 runs a strategy matrix over one of the named workloads from
-:mod:`repro.data.workloads`.
+:mod:`repro.data.workloads`.  ``run --wal DIR`` serves from a durable
+database (``--db`` facts are ingested through its write-ahead log);
+``recover DIR`` replays a durability directory and prints the
+recovery report.
 """
 
 import argparse
@@ -136,8 +142,56 @@ def _cmd_run_prepared(args, query, db, out):
     return 0
 
 
+def _open_durable(args, out):
+    """A recovered :class:`DurableDatabase` for ``--wal DIR``.
+
+    ``--db`` facts are staged through a throwaway in-memory database
+    (reusing ``from_text``'s validation) and ingested as one logged
+    batch — duplicate facts are deduplicated by the engine exactly as
+    replay will deduplicate them, so re-running with the same fact
+    file is idempotent.
+    """
+    from .durability import DurableDatabase
+
+    db = DurableDatabase(args.wal, fsync=args.fsync)
+    report = db.recovery
+    if not report.fresh:
+        out.write(
+            "recover: %d WAL record(s), checkpoint@%d, replayed %d%s\n"
+            % (report.wal_records, report.checkpoint_seq,
+               report.replayed,
+               ", torn tail truncated" if report.truncated_tail else "")
+        )
+    if args.db:
+        staged = Database.from_text(_read(args.db))
+        db.add_facts(
+            (key[0], row)
+            for key, rel in sorted(staged._relations.items())
+            for row in rel._log
+        )
+        db.flush()
+    return db
+
+
 def _cmd_run(args, out):
-    query, db = _load_query_and_db(args)
+    query = parse_query(_read(args.program))
+    if args.wal:
+        db = _open_durable(args, out)
+        try:
+            code = _run_loaded(args, query, db, out)
+            if args.checkpoint:
+                out.write("ckpt   : %s\n" % db.checkpoint())
+            return code
+        finally:
+            db.close()
+    if args.checkpoint:
+        out.write("error: --checkpoint requires --wal DIR\n")
+        return 1
+    db = Database.from_text(_read(args.db)) if args.db else Database()
+    return _run_loaded(args, query, db, out)
+
+
+def _run_loaded(args, query, db, out):
     if args.cache is not None or args.batch:
         if args.resilient:
             out.write(
@@ -286,11 +340,17 @@ def _cmd_serve_bench(args, out):
         out.write("poison : up(%s, %s) closes a cycle in tree %d\n"
                   % (leaf, root, args.trees - 1))
     bindings = forest_bindings(trees=args.trees, queries=args.queries)
+    audit = None
+    if args.audit:
+        from .durability import AuditLog
+
+        audit = AuditLog(args.audit)
     service = QueryService(
         prepared, db, workers=args.workers,
         queue_capacity=args.capacity, default_timeout=args.timeout,
         retry=RetryPolicy(seed=args.seed),
         breakers=BreakerBoard(threshold=args.breaker_threshold),
+        audit=audit,
     )
     out.write(
         "method : %s (%d worker(s), queue capacity %d)\n"
@@ -334,7 +394,40 @@ def _cmd_serve_bench(args, out):
     out.write("service counters:\n")
     out.write(json_module.dumps(counters, indent=2, sort_keys=True))
     out.write("\n")
+    if audit is not None:
+        audit.close()
+        out.write("audit  : %d entr%s -> %s\n"
+                  % (audit.entries_written,
+                     "y" if audit.entries_written == 1 else "ies",
+                     args.audit))
     return 1 if mismatched else 0
+
+
+def _cmd_recover(args, out):
+    """Replay a durability directory and print the recovery report."""
+    import json as json_module
+
+    from .durability import recover
+
+    db, report = recover(args.directory, fsync=args.fsync)
+    try:
+        out.write(
+            json_module.dumps(report.to_dict(), indent=2,
+                              sort_keys=True) + "\n"
+        )
+        out.write(
+            "facts  : %d across %d relation(s)\n"
+            % (db.total_facts(), len(db.keys()))
+        )
+        if args.checkpoint:
+            out.write("ckpt   : %s\n" % db.checkpoint())
+        if args.dump:
+            with open(args.dump, "w") as handle:
+                handle.write(db.to_text() + "\n")
+            out.write("wrote facts to %s\n" % args.dump)
+    finally:
+        db.close()
+    return 0
 
 
 def _cmd_experiments(args, out):
@@ -420,6 +513,19 @@ def build_parser():
              "separated, constants within one binding separated by "
              "colons (e.g. 'ann,bob' or 'ann:1,bob:2')",
     )
+    run.add_argument(
+        "--wal", metavar="DIR",
+        help="serve from a durable database in DIR: recover prior "
+             "state, ingest --db facts through the write-ahead log",
+    )
+    run.add_argument(
+        "--fsync", default="batch", choices=["always", "batch", "off"],
+        help="WAL fsync policy for --wal (default batch)",
+    )
+    run.add_argument(
+        "--checkpoint", action="store_true",
+        help="cut a checkpoint in the --wal directory after the run",
+    )
     run.set_defaults(func=_cmd_run)
 
     rewrite = sub.add_parser("rewrite", help="print a rewritten program")
@@ -490,7 +596,31 @@ def build_parser():
         help="close an up-cycle in the last tree so the primary "
              "strategy fails and the breaker/fallback path is exercised",
     )
+    serve.add_argument(
+        "--audit", metavar="PATH",
+        help="write a per-request JSONL audit log to PATH",
+    )
     serve.set_defaults(func=_cmd_serve_bench)
+
+    recover = sub.add_parser(
+        "recover",
+        help="recover a durable database directory (checkpoint + WAL "
+             "replay) and print the recovery report",
+    )
+    recover.add_argument("directory", help="durability directory")
+    recover.add_argument(
+        "--fsync", default="batch", choices=["always", "batch", "off"],
+        help="WAL fsync policy for the recovered log (default batch)",
+    )
+    recover.add_argument(
+        "--checkpoint", action="store_true",
+        help="cut a fresh checkpoint after recovery",
+    )
+    recover.add_argument(
+        "--dump", metavar="FILE",
+        help="write the recovered facts as program text to FILE",
+    )
+    recover.set_defaults(func=_cmd_recover)
 
     experiments = sub.add_parser(
         "experiments",

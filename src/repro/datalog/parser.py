@@ -87,13 +87,33 @@ def _tokenize(text):
                 i += 1
             continue
         if ch == "'":
+            # Quoted string constant.  A doubled quote inside the
+            # literal is an escaped single quote (``'it''s'`` reads as
+            # ``it's``), matching :func:`repro.datalog.pretty.
+            # format_value` so quoted values round-trip through
+            # ``Database.to_text``/``from_text``.
+            parts = []
             j = i + 1
-            while j < n and text[j] != "'":
-                j += 1
-            if j >= n:
-                raise ParseError("unterminated string", line, col)
-            tokens.append(_Token("const", text[i + 1 : j], line, col))
-            i = j + 1
+            while True:
+                k = j
+                while k < n and text[k] != "'":
+                    k += 1
+                if k >= n:
+                    raise ParseError("unterminated string", line, col)
+                parts.append(text[j:k])
+                if k + 1 < n and text[k + 1] == "'":
+                    parts.append("'")
+                    j = k + 2
+                    continue
+                i = k + 1
+                break
+            value = "".join(parts)
+            tokens.append(_Token("const", value, line, col))
+            if "\n" in value:
+                # Keep later tokens' positions honest when a literal
+                # spans lines (columns restart after the closing quote).
+                line += value.count("\n")
+                line_start = text.rfind("\n", 0, i) + 1
             continue
         if ch.isdigit():
             j = i
@@ -112,7 +132,11 @@ def _tokenize(text):
             elif word in ("is", "in"):
                 tokens.append(_Token("op", word, line, col))
             elif word == "nil":
-                tokens.append(_Token("const", "nil", line, col))
+                # Bare nil is the None constant; the token carries the
+                # value itself so the *quoted string* 'nil' (a "const"
+                # token too, but with the str value) stays distinct and
+                # round-trips through the pretty-printer's quoting.
+                tokens.append(_Token("const", None, line, col))
             elif ch.isupper() or ch == "_":
                 tokens.append(_Token("var", word, line, col))
             else:
@@ -275,8 +299,6 @@ class _Parser:
             return Constant(token.value)
         if token.kind == "const":
             self.next()
-            if token.value == "nil":
-                return Constant(None)
             return Constant(token.value)
         if token.kind == "name":
             self.next()

@@ -12,9 +12,22 @@ from .atoms import Atom, Comparison, Negation
 from .rules import Program, Query, Rule
 from .terms import CONS, TUPLE, Compound, Constant, Variable
 
+#: Words the lexer treats as syntax, never as bare constants.  A string
+#: value spelling one of these must be quoted or it would parse back as
+#: the keyword (``nil`` → the ``None`` constant, ``not``/``is``/``in``
+#: → operators) and break the to_text/from_text round trip.
+RESERVED_WORDS = frozenset(("nil", "not", "is", "in"))
+
 
 def format_value(value):
-    """Render a ground Python value in program syntax."""
+    """Render a ground Python value in program syntax.
+
+    Inverse of the parser's constant syntax: ``parse`` of the rendered
+    text yields an equal value.  Strings that are not plain lowercase
+    identifiers (or that collide with a reserved word) are quoted, with
+    embedded quotes doubled (``it's`` → ``'it''s'``) per the lexer's
+    escape rule.
+    """
     if value is None:
         return "nil"
     if isinstance(value, tuple):
@@ -23,9 +36,19 @@ def format_value(value):
         inner = ", ".join(sorted(format_value(v) for v in value))
         return "{%s}" % inner
     if isinstance(value, str):
-        if value.isidentifier() and value[0].islower():
+        # The unquoted form must be exactly what the lexer reads back
+        # as a name constant: a lowercase-alpha start and word chars
+        # throughout.  Python's str.isidentifier() is the wrong test —
+        # it admits characters (e.g. U+00B7) the lexer rejects.
+        if (
+            value
+            and value[0].isalpha()
+            and value[0].islower()
+            and all(ch.isalnum() or ch == "_" for ch in value)
+            and value not in RESERVED_WORDS
+        ):
             return value
-        return "'%s'" % value
+        return "'%s'" % value.replace("'", "''")
     return str(value)
 
 

@@ -1,0 +1,52 @@
+"""Crash consistency for the extensional database.
+
+The engine's epoch machinery (atomic ``add_facts`` batches, monotone
+per-relation epochs, epoch-pinned snapshots) gives every database state
+a precise name: its epoch table.  This package makes that state survive
+a process death:
+
+* :mod:`~repro.durability.wal` — an append-only write-ahead log with
+  one CRC-checked record per ``add_facts`` batch, a configurable fsync
+  policy, and recovery that truncates a torn tail;
+* :mod:`~repro.durability.checkpoint` — atomic snapshot files over the
+  columnar ``to_bytes`` fast path, and :func:`recover`, which loads the
+  newest valid checkpoint and replays the WAL suffix, verifying the
+  final epoch table against the log;
+* :mod:`~repro.durability.durable` — :class:`DurableDatabase`, a
+  :class:`~repro.engine.database.Database` whose mutators append to the
+  WAL *before* publishing, under the same mutation lock, so WAL order
+  equals epoch order;
+* :mod:`~repro.durability.audit` — a buffered JSONL per-request audit
+  log with deterministic result fingerprints, replay-checkable after
+  recovery.
+
+The contract tying them together: a database recovered from
+``checkpoint + WAL`` has the epoch table the WAL head describes, the
+same lineage token as the process that died, and byte-identical
+``to_text()`` contents — so re-running any persisted query yields
+byte-identical rendered answers.
+"""
+
+from .audit import AuditLog, read_audit, verify_audit
+from .checkpoint import (
+    CheckpointStore,
+    read_checkpoint,
+    write_checkpoint,
+)
+from .durable import DurableDatabase, RecoveryReport, recover
+from .wal import WalReader, WalRecord, WriteAheadLog
+
+__all__ = [
+    "AuditLog",
+    "CheckpointStore",
+    "DurableDatabase",
+    "RecoveryReport",
+    "WalReader",
+    "WalRecord",
+    "WriteAheadLog",
+    "read_audit",
+    "read_checkpoint",
+    "recover",
+    "verify_audit",
+    "write_checkpoint",
+]

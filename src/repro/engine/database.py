@@ -18,11 +18,26 @@ per-relation epochs (taken under the mutation lock); row sets
 materialize from each relation's insertion log on first access.
 """
 
+import os
 import threading
 
 from ..datalog.parser import parse_program
 from .interning import InternPool
 from .relation import EmptyRelation, Relation
+
+
+def fresh_lineage():
+    """A new lineage token: a short random hex string.
+
+    Lineage identifies one logical mutation *history*.  Two databases
+    share a lineage only when one is provably a view or a faithful
+    replay of the other (snapshots, durable recovery) — then an equal
+    epoch table implies equal contents, which is what lets the answer
+    cache (:mod:`repro.exec.cache`) trust entries across instances.
+    Everything else (fresh databases, ``copy()`` clones whose futures
+    may diverge) gets its own token.
+    """
+    return os.urandom(12).hex()
 
 
 class Database:
@@ -40,6 +55,11 @@ class Database:
     def __init__(self):
         self._relations = {}
         self.intern_pool = InternPool()
+        #: Identity of this database's mutation history (see
+        #: :func:`fresh_lineage`).  Snapshots inherit it; durable
+        #: recovery restores it from disk, so a recovered database can
+        #: keep serving a warm answer cache.
+        self.lineage = fresh_lineage()
         #: Serializes mutations against snapshot pinning.  Reads do not
         #: take it — they either race benignly (single monotone facts)
         #: or go through an epoch-pinned :meth:`snapshot`.
@@ -328,6 +348,11 @@ class DatabaseSnapshot(Database):
     def __init__(self, source):
         self._relations = {}
         self.intern_pool = source.intern_pool
+        # A snapshot is a view of the source's history, so it shares the
+        # source's lineage: cache entries written against the snapshot
+        # stay valid for the live database (and vice versa) as long as
+        # the epochs agree.
+        self.lineage = source.lineage
         self._lock = threading.RLock()
         with source._lock:
             for key, rel in source._relations.items():

@@ -21,6 +21,16 @@ engines, deterministically and reproducibly:
   seconds.  Races that need a long hold-time window — a reader
   observing a half-updated LRU, a lost counter increment — become
   deterministic instead of depending on scheduler luck.
+* **WAL crash points** — the write-ahead log
+  (:mod:`repro.durability.wal`) publishes its append and fsync
+  boundaries through :func:`wal_event`; a plan can tear the N-th record
+  mid-write, corrupt its checksum, or kill the process before the
+  fsync lands (see :meth:`FaultInjector.torn_wal_write` /
+  :meth:`~FaultInjector.corrupt_wal_record` /
+  :meth:`~FaultInjector.crash_before_fsync`).  The "kill" is a
+  :class:`SimulatedCrash` raised *after* the configured damage is on
+  disk, so recovery tests exercise exactly the file a real ``kill -9``
+  would leave behind — deterministically, within one process.
 
 The injector is a context manager; ``install``/``uninstall`` patch the
 hot-path methods only while active, so the production paths carry a
@@ -36,7 +46,7 @@ import random
 import threading
 import time
 
-from ..errors import EvaluationError
+from ..errors import EvaluationError, ReproError
 from .relation import Relation
 
 #: The currently installed injector, or ``None`` (the common case).
@@ -49,6 +59,18 @@ class InjectedFault(EvaluationError):
     An :class:`EvaluationError` (hence a ``ReproError``): injected
     failures must travel the same typed channel real failures do, so
     the resilient runner and the CLI handle them identically.
+    """
+
+
+class SimulatedCrash(ReproError):
+    """An injected process "death" at a WAL crash point.
+
+    Deliberately *not* an :class:`EvaluationError`: a crash is not a
+    query failure the resilient runner should degrade past — tests
+    catch it at the top level, then run recovery against whatever the
+    plan left on disk.  The WAL marks itself failed when it raises
+    this, so later appends surface :class:`~repro.errors.WalError`
+    instead of silently writing past the simulated death.
     """
 
 
@@ -74,6 +96,23 @@ def stall(point):
     """
     if _ACTIVE is not None:
         _ACTIVE._stall(point)
+
+
+def wal_event(point, size=0):
+    """WAL checkpoint hook; returns a damage instruction or ``None``.
+
+    ``point`` names the boundary (``"append"`` just before a record's
+    bytes are written, ``"fsync"`` just before the log fsyncs);
+    ``size`` is the encoded record length for ``"append"`` events.
+    The WAL applies the returned instruction itself — ``("torn",
+    keep_bytes)`` / ``("corrupt", offset)`` / ``("crash",)`` — and then
+    raises :class:`SimulatedCrash`, so the damaged bytes are on disk
+    exactly as a real crash would leave them.  A no-op (``None``)
+    unless an injector with a WAL plan is installed.
+    """
+    if _ACTIVE is not None:
+        return _ACTIVE._wal_observe(point, size)
+    return None
 
 
 def active_injector():
@@ -106,6 +145,10 @@ class FaultInjector:
         self._section_seconds = 0.0
         self._section_points = frozenset(("cache",))
         self._section_calls = 0
+        self._torn_after = None
+        self._torn_keep = None
+        self._corrupt_wal_after = None
+        self._crash_fsync_after = None
         # Engines on several threads may hit checkpoints concurrently
         # (the serving layer runs a worker pool), so counter updates
         # and one-shot plan consumption are serialized.
@@ -116,6 +159,11 @@ class FaultInjector:
         self.copies_corrupted = 0
         self.sections_stalled = 0
         self.faults_raised = 0
+        self.wal_appends = 0
+        self.wal_fsyncs = 0
+        self.wal_torn = 0
+        self.wal_corrupted = 0
+        self.wal_fsyncs_skipped = 0
         # Patching state.
         self._installed = False
         self._orig_lookup = None
@@ -164,6 +212,47 @@ class FaultInjector:
         self._section_seconds = seconds
         if points is not None:
             self._section_points = frozenset(points)
+        return self
+
+    def torn_wal_write(self, after=1, keep=None):
+        """Tear the ``after``-th WAL record mid-write, then "crash".
+
+        Only the first ``keep`` bytes of the encoded record reach the
+        file (``keep=0`` models a record lost entirely; ``None`` picks
+        a seeded prefix strictly shorter than the record).  Recovery
+        must truncate the torn tail and report every earlier record
+        intact.
+        """
+        if after < 1:
+            raise ValueError("after must be >= 1")
+        if keep is not None and keep < 0:
+            raise ValueError("keep must be >= 0")
+        self._torn_after = after
+        self._torn_keep = keep
+        return self
+
+    def corrupt_wal_record(self, after=1):
+        """Flip one seeded byte in the ``after``-th WAL record, then
+        "crash".  The record's length field stays intact, so recovery
+        sees a structurally complete record whose checksum fails —
+        the bit-rot case, as opposed to the torn-write case.
+        """
+        if after < 1:
+            raise ValueError("after must be >= 1")
+        self._corrupt_wal_after = after
+        return self
+
+    def crash_before_fsync(self, after=1):
+        """"Crash" at the ``after``-th fsync boundary, skipping the
+        fsync.  The record bytes *are* in the file (the lucky case —
+        the page cache may or may not have reached the platter; the
+        torn-write plan with ``keep=0`` models the unlucky one), so
+        recovery replays it, but the durability guarantee was not yet
+        given to the caller.
+        """
+        if after < 1:
+            raise ValueError("after must be >= 1")
+        self._crash_fsync_after = after
         return self
 
     # -- installation ------------------------------------------------
@@ -222,6 +311,45 @@ class FaultInjector:
             "%s (at %s checkpoint %d)"
             % (self._raise_message, point, seen)
         )
+
+    def _wal_observe(self, point, size):
+        """Decide what happens at a WAL boundary; see :func:`wal_event`.
+
+        Counters advance for every event; a matching plan is consumed
+        (one-shot) and its damage instruction returned for the WAL to
+        apply.  Byte offsets and torn prefixes come from the seeded
+        RNG, so the same seed damages the same byte every run.
+        """
+        with self._counter_lock:
+            if point == "append":
+                self.wal_appends += 1
+                if (
+                    self._torn_after is not None
+                    and self.wal_appends >= self._torn_after
+                ):
+                    self._torn_after = None  # one-shot
+                    self.wal_torn += 1
+                    keep = self._torn_keep
+                    if keep is None:
+                        keep = self.random.randrange(max(size, 1))
+                    return ("torn", min(keep, max(size - 1, 0)))
+                if (
+                    self._corrupt_wal_after is not None
+                    and self.wal_appends >= self._corrupt_wal_after
+                ):
+                    self._corrupt_wal_after = None  # one-shot
+                    self.wal_corrupted += 1
+                    return ("corrupt", self.random.randrange(max(size, 1)))
+            elif point == "fsync":
+                self.wal_fsyncs += 1
+                if (
+                    self._crash_fsync_after is not None
+                    and self.wal_fsyncs >= self._crash_fsync_after
+                ):
+                    self._crash_fsync_after = None  # one-shot
+                    self.wal_fsyncs_skipped += 1
+                    return ("crash",)
+        return None
 
     def _stall(self, point):
         if self._section_every is None or point not in self._section_points:
@@ -310,6 +438,12 @@ class FaultInjector:
                 "stall(%gs/%d)"
                 % (self._section_seconds, self._section_every)
             )
+        if self._torn_after is not None:
+            plans.append("torn-wal@%d" % self._torn_after)
+        if self._corrupt_wal_after is not None:
+            plans.append("corrupt-wal@%d" % self._corrupt_wal_after)
+        if self._crash_fsync_after is not None:
+            plans.append("crash-fsync@%d" % self._crash_fsync_after)
         return "FaultInjector(%s%s)" % (
             "installed, " if self._installed else "",
             ", ".join(plans) if plans else "no-op",

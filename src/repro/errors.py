@@ -139,6 +139,35 @@ class CircuitOpenError(ServiceError):
     """
 
 
+class DurabilityError(ReproError):
+    """Base class for crash-consistency failures (:mod:`repro.durability`)."""
+
+
+class WalError(DurabilityError):
+    """The write-ahead log is unusable (failed handle, bad header,
+    unloggable batch)."""
+
+
+class CheckpointError(DurabilityError):
+    """A checkpoint file is corrupt or structurally invalid.
+
+    Recovery treats this as a *soft* failure: the corrupt checkpoint is
+    skipped and the previous one (plus a longer WAL replay) is used
+    instead.  Only when no usable state remains does recovery surface a
+    :class:`RecoveryError`.
+    """
+
+
+class RecoveryError(DurabilityError):
+    """Recovered state contradicts the write-ahead log.
+
+    Raised when replaying a WAL record finds the database at an epoch
+    other than the one the record was stamped with — the on-disk files
+    describe two different histories, and continuing would silently
+    serve wrong answers.
+    """
+
+
 class ResilienceExhaustedError(ReproError):
     """Every strategy in a resilient fallback chain failed.
 

@@ -390,8 +390,13 @@ class PreparedQuery:
         key = None
         if self.cache is not None:
             key = (self._form_key, constants, db.epochs(self.read_keys))
+            # Entries are validated by lineage, not object identity:
+            # snapshots of the same database — and a durably *recovered*
+            # database, which restores its lineage from disk — share the
+            # token, so a warm cache survives recovery; an unrelated
+            # database that merely has equal epochs does not match.
             cached = self.cache.get(
-                key, valid=lambda entry: entry[0]() is db
+                key, valid=lambda entry: entry[0] == db.lineage
             )
             if cached is not None:
                 stats.cache_hits = 1
@@ -412,7 +417,7 @@ class PreparedQuery:
                 for name, value in result.extras.items()
                 if name != "cache_hit"
             }
-            self.cache.put(key, (weakref.ref(db), result.answers, extras))
+            self.cache.put(key, (db.lineage, result.answers, extras))
         return result
 
     def run_batch(self, bindings, db=None, budget=None):

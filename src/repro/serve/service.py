@@ -252,6 +252,13 @@ class QueryService:
         Pin an epoch snapshot per admission generation (True) or serve
         the live database directly (False — only safe without
         concurrent writers).
+    audit : :class:`~repro.durability.audit.AuditLog` or None
+        Per-request JSONL audit trail.  Workers record every request's
+        outcome — request id, epoch-table hash, strategy, attempts,
+        execution time, and a deterministic result fingerprint — and
+        :meth:`drain` flushes the buffer, so the log is
+        replay-checkable after recovery (see
+        :func:`~repro.durability.audit.verify_audit`).
     clock, sleep : callables
         Injectable time sources for deadlines/breakers and backoff
         sleeps; tests drive fake time through these.
@@ -259,7 +266,8 @@ class QueryService:
 
     def __init__(self, prepared, db, workers=2, queue_capacity=16,
                  default_timeout=None, retry=None, breakers=None,
-                 fallback=True, snapshots=True, clock=None, sleep=None):
+                 fallback=True, snapshots=True, audit=None, clock=None,
+                 sleep=None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if queue_capacity < 1:
@@ -275,6 +283,7 @@ class QueryService:
             BreakerBoard()
         self.fallback = fallback
         self.snapshots = snapshots
+        self.audit = audit
         self.stats = ServiceStats()
         self._clock = clock if clock is not None else time.monotonic
         self._sleep = sleep if sleep is not None else time.sleep
@@ -413,24 +422,44 @@ class QueryService:
 
     def _serve(self, request):
         now = self._clock()
+        if request.token.cancelled:
+            # Cancelled while still queued (future.cancel() before any
+            # worker dequeued it): resolve without evaluation.  Without
+            # this check the request would be fully evaluated and its
+            # cancellation only honoured if a budget checkpoint
+            # happened to fire mid-run.
+            self.stats.bump("cancelled")
+            error = EvaluationCancelled(
+                "request %d cancelled while queued" % request.id
+            )
+            request.future._resolve(error=error)
+            self._audit_record(request, "cancelled", error=error,
+                               started=now)
+            return
         if request.deadline is not None and now >= request.deadline:
             # Shed without evaluation: the deadline passed while the
             # request sat in the queue.
             self.stats.bump("shed_expired")
-            request.future._resolve(error=Overloaded(
+            error = Overloaded(
                 "deadline expired after %.4fs in queue; request shed "
                 "unevaluated" % (now - request.submitted_at),
                 reason="expired",
-            ))
+            )
+            request.future._resolve(error=error)
+            self._audit_record(request, "expired", error=error,
+                               started=now)
             return
         try:
             result = self._attempts(request)
         except EvaluationCancelled as exc:
             self.stats.bump("cancelled")
             request.future._resolve(error=exc)
+            self._audit_record(request, "cancelled", error=exc,
+                               started=now)
         except ReproError as exc:
             self.stats.bump("failed")
             request.future._resolve(error=exc)
+            self._audit_record(request, "failed", error=exc, started=now)
         except BaseException as exc:
             # An untyped bug escaping an attempt must not kill the
             # worker thread: that would shrink the pool permanently,
@@ -439,9 +468,60 @@ class QueryService:
             # the future with the raw error instead.
             self.stats.bump("failed")
             request.future._resolve(error=exc)
+            self._audit_record(request, "failed", error=exc, started=now)
         else:
             self.stats.bump("completed")
             request.future._resolve(result=result)
+            self._audit_record(request, "completed", result=result,
+                               started=now)
+
+    def _audit_record(self, request, outcome, result=None, error=None,
+                      started=None):
+        """Append one request's outcome to the audit trail (if any).
+
+        Auditing is observability, never control flow: any failure to
+        render or write the entry is swallowed so it cannot fail the
+        request it describes or kill the worker thread.
+        """
+        if self.audit is None:
+            return
+        try:
+            from ..durability.audit import (
+                epoch_hash,
+                jsonable_constants,
+                result_fingerprint,
+            )
+
+            constants = (
+                request.constants
+                if request.constants is not None
+                else getattr(self.prepared, "default_constants", ())
+            )
+            rendered, replayable = jsonable_constants(constants)
+            entry = {
+                "request_id": request.id,
+                "constants": rendered,
+                "replayable": replayable,
+                "epoch_hash": epoch_hash(request.db),
+                "lineage": getattr(request.db, "lineage", None),
+                "outcome": outcome,
+                "execution_time_ms": round(
+                    (self._clock() - started) * 1000.0, 4
+                ) if started is not None else None,
+            }
+            if error is not None:
+                entry["error"] = "%s: %s" % (type(error).__name__, error)
+            if result is not None:
+                entry["strategy"] = result.method
+                entry["result_fingerprint"] = result_fingerprint(
+                    result.answers
+                )
+                service_extras = result.extras.get("service", {})
+                entry["attempts"] = service_extras.get("attempts")
+                entry["fallback"] = service_extras.get("fallback")
+            self.audit.record(entry)
+        except Exception:  # pragma: no cover - defensive
+            pass
 
     def _budget_for(self, request):
         """A fresh per-attempt budget carrying the request's remaining
@@ -589,6 +669,9 @@ class QueryService:
             self._cancel_outstanding()
             for worker in self._workers:
                 worker.join()
+        if self.audit is not None:
+            # Workers are parked; every recorded entry reaches disk.
+            self.audit.flush()
         return graceful
 
     def close(self, grace=None):
@@ -625,6 +708,11 @@ class QueryService:
         store = getattr(self.prepared, "counting_store", None)
         if store is not None:
             counters["counting_store"] = store.stats()
+        if self.audit is not None:
+            counters["audit"] = {
+                "path": self.audit.path,
+                "entries": self.audit.entries_written,
+            }
         return counters
 
     def __repr__(self):

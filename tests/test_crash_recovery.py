@@ -1,0 +1,53 @@
+"""End-to-end ``kill -9`` drill, in-process entry to the CI check.
+
+The drill proper lives in :mod:`repro.durability.crashdrill`: a child
+process ingests tree batches and serves query bursts through a
+:class:`~repro.serve.service.QueryService` over a
+:class:`~repro.durability.DurableDatabase` (fsync ``always``, audit
+write-through, periodic checkpoints), the parent SIGKILLs it mid-burst,
+recovers the directory, and compares epochs / facts / rendered answers
+against an uncrashed control built by replaying the surviving WAL.
+These tests run the same parent with small parameters so a durability
+regression fails the unit suite, not just the CI drill step.
+"""
+
+import io
+import os
+
+import pytest
+
+from repro.durability.crashdrill import parent_main
+
+posix_only = pytest.mark.skipif(
+    os.name != "posix", reason="SIGKILL drill needs POSIX signals"
+)
+
+
+@posix_only
+def test_kill9_drill_recovers_byte_identical_state(tmp_path):
+    out = io.StringIO()
+    # kill_after=3 means the checkpoint at batch 2 (every 3rd) has been
+    # cut, so recovery exercises checkpoint-plus-WAL-suffix, not just a
+    # full replay; batches is set high enough that the child can only
+    # exit by being killed.
+    rc = parent_main(
+        str(tmp_path / "drill"), kill_after=3, batches=64, out=out
+    )
+    text = out.getvalue()
+    assert rc == 0, text
+    assert "PASS" in text
+    assert "byte-identical to uncrashed control" in text
+    assert "checkpoint@" in text
+
+
+@posix_only
+def test_drill_detects_child_finishing_unkilled(tmp_path):
+    # The drill is only meaningful if the death is real: a child that
+    # completes its batches before the kill threshold is a test-harness
+    # failure, and the parent must say so rather than "pass".
+    out = io.StringIO()
+    rc = parent_main(
+        str(tmp_path / "drill"), kill_after=5, batches=2, out=out
+    )
+    assert rc == 1
+    assert "child exited" in out.getvalue()

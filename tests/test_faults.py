@@ -3,9 +3,20 @@
 import pytest
 
 from repro import Database, ResourceBudget, run_strategy
-from repro.engine.faults import FaultInjector, InjectedFault, active_injector
+from repro.durability import DurableDatabase, WalReader, recover
+from repro.engine.faults import (
+    FaultInjector,
+    InjectedFault,
+    SimulatedCrash,
+    active_injector,
+)
 from repro.engine.relation import Relation
-from repro.errors import DeadlineExceeded, EvaluationError, ReproError
+from repro.errors import (
+    DeadlineExceeded,
+    EvaluationError,
+    ReproError,
+    WalError,
+)
 
 
 class TestInjectorLifecycle:
@@ -148,6 +159,136 @@ class TestCopyCorruption:
         assert sg_db.to_text() == before
         assert clone.to_text() != before
         assert fault_injector.copies_corrupted > 0
+
+
+def _crash_two_batches(directory, injector, fsync="always"):
+    """Open a durable db, append two batches, crash on the armed plan.
+
+    Returns the (now failed) database.  The first batch brings ``p/2``
+    to epoch 2; the second (``q/1``) is where every plan in these
+    tests is armed to strike.
+    """
+    db = DurableDatabase(directory, fsync=fsync)
+    with injector:
+        with pytest.raises(SimulatedCrash):
+            db.add_facts([("p", ("a", "b")), ("p", ("b", "c"))])
+            db.add_facts([("q", ("x",))])
+    return db
+
+
+class TestWalCrashPlans:
+    def test_torn_write_loses_only_torn_record(self, tmp_path,
+                                               fault_injector):
+        fault_injector.torn_wal_write(after=2)
+        db = _crash_two_batches(str(tmp_path / "wal"), fault_injector)
+        # The batch that crashed mid-log never reached memory either:
+        # the write-ahead order makes the batch all-or-nothing.
+        assert ("q", 1) not in db.keys()
+        recovered, report = recover(str(tmp_path / "wal"), fsync="off")
+        assert report.wal_records == 1
+        assert "torn" in (report.truncated_tail or "")
+        assert recovered.epoch_of(("p", 2)) == 2
+        assert ("q", 1) not in recovered.keys()
+        recovered.close()
+        assert fault_injector.wal_torn == 1
+
+    def test_torn_write_keep_zero_leaves_clean_tail(self, tmp_path,
+                                                    fault_injector):
+        fault_injector.torn_wal_write(after=2, keep=0)
+        _crash_two_batches(str(tmp_path / "wal"), fault_injector)
+        # Zero bytes of the record made it out: the log is simply one
+        # record shorter, with nothing to truncate.
+        recovered, report = recover(str(tmp_path / "wal"), fsync="off")
+        assert report.wal_records == 1
+        assert report.truncated_tail is None
+        recovered.close()
+
+    def test_corrupt_record_detected_by_checksum(self, tmp_path,
+                                                 fault_injector):
+        fault_injector.corrupt_wal_record(after=2)
+        _crash_two_batches(str(tmp_path / "wal"), fault_injector)
+        recovered, report = recover(str(tmp_path / "wal"), fsync="off")
+        assert report.wal_records == 1
+        assert "checksum mismatch" in (report.truncated_tail or "")
+        assert recovered.epoch_of(("p", 2)) == 2
+        recovered.close()
+        assert fault_injector.wal_corrupted == 1
+
+    def test_crash_before_fsync_may_keep_the_bytes(self, tmp_path,
+                                                   fault_injector):
+        # The record's bytes reached the file; only the fsync was
+        # skipped.  Whether they survive a *real* crash is up to the
+        # kernel — recovery of an intact file legitimately sees them.
+        # What the plan guarantees is the crash itself and the skipped
+        # fsync, not the loss.
+        fault_injector.crash_before_fsync(after=2)
+        _crash_two_batches(str(tmp_path / "wal"), fault_injector)
+        assert fault_injector.wal_fsyncs_skipped == 1
+        recovered, report = recover(str(tmp_path / "wal"), fsync="off")
+        assert report.wal_records == 2
+        assert report.truncated_tail is None
+        recovered.close()
+
+    def test_failed_wal_refuses_further_appends(self, tmp_path,
+                                                fault_injector):
+        fault_injector.torn_wal_write(after=1)
+        db = DurableDatabase(str(tmp_path / "wal"), fsync="always")
+        with fault_injector:
+            with pytest.raises(SimulatedCrash):
+                db.add_facts([("p", ("a", "b"))])
+            # The "dead" process's log stays dead until reopened.
+            with pytest.raises(WalError):
+                db.add_facts([("p", ("b", "c"))])
+
+    def test_simulated_crash_is_not_an_evaluation_error(self):
+        # Nothing upstream may classify a crashed process as a failed
+        # *evaluation* and retry through it.
+        assert issubclass(SimulatedCrash, ReproError)
+        assert not issubclass(SimulatedCrash, EvaluationError)
+
+    def test_same_seed_same_damage(self, tmp_path):
+        def crashed_file(seed, name):
+            directory = str(tmp_path / name)
+            injector = FaultInjector(seed=seed).torn_wal_write(after=2)
+            db = DurableDatabase(directory, fsync="always")
+            with injector:
+                with pytest.raises(SimulatedCrash):
+                    db.add_facts([("p", ("a", "b")), ("p", ("b", "c"))])
+                    db.add_facts([("q", ("x%d" % i,)) for i in range(8)])
+            path = str(tmp_path / name / "wal.log")
+            with open(path, "rb") as handle:
+                data = handle.read()
+            reader = WalReader(path)
+            # The lineage token in the header is random per log; the
+            # *records and damage* past it must be byte-identical.
+            header_len = len(b"REPROWL1") + 24 + 1
+            return data[header_len:], len(reader.records), reader.tail_error
+
+        first = crashed_file(7, "a")
+        second = crashed_file(7, "b")
+        assert first == second  # byte-identical damage, same verdict
+
+    def test_counters_only_advance_while_installed(self, tmp_path,
+                                                   fault_injector):
+        db = DurableDatabase(str(tmp_path / "wal"), fsync="always")
+        db.add_facts([("p", ("a", "b"))])
+        assert fault_injector.wal_appends == 0
+        assert fault_injector.wal_fsyncs == 0
+        with fault_injector:
+            db.add_facts([("p", ("b", "c"))])
+        assert fault_injector.wal_appends == 1
+        assert fault_injector.wal_fsyncs == 1
+        db.close()
+
+    def test_plan_validation(self, fault_injector):
+        with pytest.raises(ValueError):
+            fault_injector.torn_wal_write(after=0)
+        with pytest.raises(ValueError):
+            fault_injector.torn_wal_write(keep=-1)
+        with pytest.raises(ValueError):
+            fault_injector.corrupt_wal_record(after=0)
+        with pytest.raises(ValueError):
+            fault_injector.crash_before_fsync(after=0)
 
 
 class TestCheckpointsQuietByDefault:

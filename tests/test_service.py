@@ -827,6 +827,38 @@ class TestDrain:
         finally:
             service.drain()
 
+    def test_cancel_while_queued_skips_evaluation(self):
+        # Regression: a request cancelled while still queued used to be
+        # fully evaluated anyway.  The worker must notice the flipped
+        # token before running, resolve with EvaluationCancelled, and
+        # count the request as cancelled — not completed.
+        gate = threading.Event()
+        fake = FakePrepared(gate=gate)
+        service = QueryService(fake, tiny_db(), workers=1,
+                               queue_capacity=4, snapshots=False)
+        try:
+            blocker = service.submit()
+            assert fake.started.wait(5.0)  # worker holds request 1
+            calls_before = fake.calls
+            doomed = service.submit()
+            doomed.cancel()
+            gate.set()
+            assert blocker.result(10.0) is not None
+            with pytest.raises(EvaluationCancelled):
+                doomed.result(10.0)
+            # Shed without evaluation: run never saw the request.
+            assert fake.calls == calls_before
+        finally:
+            gate.set()
+            service.drain()
+        counters = service.counters()
+        assert counters["cancelled"] == 1
+        assert counters["completed"] == 1
+        assert counters["admitted"] == (
+            counters["completed"] + counters["failed"]
+            + counters["cancelled"] + counters["shed_expired"]
+        )
+
     def test_context_manager_drains(self):
         fake = FakePrepared()
         with QueryService(fake, tiny_db(), workers=1,

@@ -1,0 +1,124 @@
+"""``to_text``/``from_text`` round-trip over adversarial constants.
+
+:func:`repro.datalog.pretty.format_value` promises to be the inverse
+of the parser's constant syntax; these tests hold it to that over the
+values an EDB can actually store — strings (quoting, doubled-quote
+escapes, reserved words, embedded newlines), integers, ``nil``, and
+nested tuples.  (Frozensets are internal to the Algorithm 2 evaluator
+and never appear as EDB constants, so they are out of scope here.)
+
+The property: for any database built from such values,
+
+    ``Database.from_text(db.to_text())`` equals ``db`` relation by
+    relation, and renders byte-identical text.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database
+from repro.datalog.pretty import RESERVED_WORDS
+
+# Every historical offender in one list: reserved words that must stay
+# *strings* when quoted, the quote/escape family, lexer specials
+# (comment lead, punctuation, whitespace, newlines), shapes that look
+# like other token kinds (numbers, variables), and non-ASCII.
+ADVERSARIAL_STRINGS = [
+    "nil", "not", "is", "in",
+    "", "it's", "it''s", "'quoted'", "'", "''",
+    "a,b", "a(b)", "a)b", "[brackets]", "|pipe",
+    "%comment", ". dot", ":- rule", "?- query",
+    "with space", "line\nbreak", "tab\there",
+    "123", "123abc", "-7", "UPPER", "Xvar", "_under",
+    "ünïcode", "nil ",
+]
+
+scalars = st.one_of(
+    st.integers(min_value=-(10 ** 9), max_value=10 ** 9),
+    st.none(),
+    st.sampled_from(ADVERSARIAL_STRINGS),
+    st.text(
+        alphabet=st.characters(
+            min_codepoint=32, max_codepoint=0x2FF
+        ),
+        max_size=20,
+    ),
+)
+
+values = st.recursive(
+    scalars,
+    lambda inner: st.tuples(inner) | st.tuples(inner, inner),
+    max_leaves=4,
+)
+
+facts = st.lists(
+    st.tuples(
+        st.sampled_from(["p", "q", "edge"]),
+        st.lists(values, min_size=1, max_size=3).map(tuple),
+    ),
+    max_size=12,
+)
+
+
+def assert_round_trips(db):
+    text = db.to_text()
+    parsed = Database.from_text(text)
+    assert parsed.to_text() == text
+    assert parsed.keys() == db.keys()
+    for key in db.keys():
+        assert (
+            parsed.relation(*key).tuples == db.relation(*key).tuples
+        ), "relation %s/%d diverged through text" % key
+
+
+class TestAdversarialConstants:
+    def test_every_known_offender_survives(self):
+        db = Database()
+        for index, value in enumerate(ADVERSARIAL_STRINGS):
+            db.add_fact("p", value, index)
+        assert_round_trips(db)
+
+    def test_reserved_words_stay_strings(self):
+        # The printer quotes them; the parser must NOT collapse the
+        # quoted form back into the keyword (nil → None especially).
+        db = Database()
+        for word in sorted(RESERVED_WORDS):
+            db.add_fact("w", word)
+        parsed = Database.from_text(db.to_text())
+        assert parsed.relation("w", 1).tuples == {
+            (word,) for word in RESERVED_WORDS
+        }
+
+    def test_bare_nil_is_still_none(self):
+        parsed = Database.from_text("p(nil). q('nil').")
+        assert parsed.relation("p", 1).tuples == {(None,)}
+        assert parsed.relation("q", 1).tuples == {("nil",)}
+
+    def test_negative_integers_and_zero(self):
+        db = Database()
+        for n in (-1, 0, 7, -(10 ** 12)):
+            db.add_fact("n", n)
+        assert_round_trips(db)
+
+    def test_nested_tuples(self):
+        db = Database()
+        db.add_fact("t", ("r1", ("w", 3), None, "nil"))
+        db.add_fact("t", ((("deep",),),))
+        assert_round_trips(db)
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=150, deadline=None)
+    @given(facts)
+    def test_any_database_round_trips(self, fact_list):
+        db = Database()
+        for name, row in fact_list:
+            db.add_fact(name, *row)
+        assert_round_trips(db)
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.lists(scalars, min_size=1, max_size=4))
+    def test_single_fact_round_trips(self, row):
+        db = Database()
+        db.add_fact("p", *row)
+        assert_round_trips(db)
