@@ -54,6 +54,12 @@ from .serve import (
     QueryService,
     RetryPolicy,
 )
+from .tenancy import (
+    FairScheduler,
+    FormRegistry,
+    TenantQuota,
+    TokenBucket,
+)
 from .rewriting import (
     OptimizationPlan,
     adorn_query,
@@ -85,7 +91,9 @@ __all__ = [
     "EvalStats",
     "ExecutionReport",
     "ExecutionResult",
+    "FairScheduler",
     "FallbackPolicy",
+    "FormRegistry",
     "Negation",
     "PreparedQuery",
     "QueryService",
@@ -98,6 +106,8 @@ __all__ = [
     "QueryResult",
     "Rule",
     "STRATEGIES",
+    "TenantQuota",
+    "TokenBucket",
     "Variable",
     "adorn_query",
     "classical_counting_rewrite",

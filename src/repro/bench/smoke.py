@@ -315,6 +315,88 @@ def run_service_probe():
     }
 
 
+def run_tenancy_probe():
+    """Exercise the multi-tenant serving layer on a tiny two-tenant mix.
+
+    A ``well`` tenant submits a bounded batch of registered-form
+    requests; a ``hog`` tenant submits a burst far past its
+    token-bucket quota, so most of it is shed typed
+    (``QuotaExceeded``/``Overloaded``, each carrying a
+    machine-readable ``retry_after``) while everything admitted still
+    answers.  The artifact tracks the per-tenant admission ledgers,
+    whether every shed was typed with a hint, and whether every served
+    answer matches single-threaded evaluation — so a drift in quota
+    enforcement, fair scheduling, or tenant isolation shows up in the
+    artifact diff.
+    """
+    from ..data.workloads import WORKLOADS, forest_bindings, sg_forest
+    from ..errors import Overloaded, QuotaExceeded
+    from ..exec.strategies import run_strategy
+    from ..serve import QueryService
+    from ..tenancy import FormRegistry, TenantQuota
+
+    trees, queries = 2, 8
+    db, _source = sg_forest(trees=trees, fanout=2, depth=3)
+    registry = FormRegistry(db=db)
+    registry.register("sg", WORKLOADS["sg_forest"].query, db=db)
+    bindings = forest_bindings(trees=trees, queries=queries)
+    tenants = {
+        "well": TenantQuota(weight=2.0, queue_capacity=queries),
+        "hog": TenantQuota(rate=50.0, burst=2.0, queue_capacity=4),
+    }
+    service = QueryService(
+        None, db, workers=2, queue_capacity=queries,
+        registry=registry, tenants=tenants,
+    )
+    well = [service.submit(binding, tenant="well", form="sg")
+            for binding in bindings]
+    hog, sheds = [], []
+    for binding in bindings * 6:
+        try:
+            hog.append(
+                (binding, service.submit(binding, tenant="hog",
+                                         form="sg"))
+            )
+        except (QuotaExceeded, Overloaded) as exc:
+            sheds.append(exc)
+    results = [future.result(timeout=60.0) for future in well]
+    service.drain()
+    form = registry.get("sg").prepared
+    answers_match = all(
+        result.answers == run_strategy(
+            form.method, form.bind(binding), db
+        ).answers
+        for binding, result in (
+            list(zip(bindings, results))
+            + [(binding, future.result(0)) for binding, future in hog
+               if future.exception(timeout=0) is None]
+        )
+    )
+    counters = service.counters()
+    keep = ("submitted", "admitted", "completed", "failed",
+            "shed_overload", "shed_quota", "inflight")
+    return {
+        "label": "sg_forest",
+        "method": form.method,
+        "queries": queries,
+        "answers_match": answers_match,
+        # Every rate shed carries a retry_after hint; a queue_full
+        # shed may predate the first completion, before the service
+        # has a drain-time estimate to offer.
+        "sheds_typed_with_hints": all(
+            exc.tenant == "hog"
+            and (not isinstance(exc, QuotaExceeded)
+                 or exc.retry_after is not None)
+            for exc in sheds
+        ),
+        "forms": counters["forms"],
+        "tenants": {
+            name: {key: block[key] for key in keep}
+            for name, block in counters["tenants"].items()
+        },
+    }
+
+
 def run_durability_probe():
     """Exercise the durability layer: logged ingest, crash, recovery.
 
@@ -404,6 +486,7 @@ def write_smoke(directory=".", tag=None):
         "guard_overhead": run_guard_overhead(),
         "query_cache": run_query_cache_probe(),
         "service": run_service_probe(),
+        "tenancy": run_tenancy_probe(),
         "durability": run_durability_probe(),
         "total_elapsed": sum(
             r["elapsed"] for r in records if r["elapsed"] is not None

@@ -11,7 +11,7 @@ Main subcommands::
     python -m repro bench WORKLOAD [--methods m1,m2] [--param k=v ...]
     python -m repro serve-bench [--queries N] [--workers N]
                        [--capacity N] [--timeout S] [--poison]
-                       [--audit PATH]
+                       [--audit PATH] [--tenants N] [--quota RATE[:BURST]]
     python -m repro recover DIR [--checkpoint] [--dump FACTS.dl]
 
 ``PROGRAM.dl`` is a program text containing exactly one ``?-`` goal;
@@ -327,7 +327,7 @@ def _cmd_serve_bench(args, out):
     from .data.workloads import (
         WORKLOADS, forest_bindings, poison_forest, sg_forest,
     )
-    from .errors import Overloaded
+    from .errors import Overloaded, QuotaExceeded
     from .exec import PreparedQuery
     from .exec.strategies import run_strategy
     from .serve import BreakerBoard, QueryService, RetryPolicy
@@ -345,24 +345,53 @@ def _cmd_serve_bench(args, out):
         from .durability import AuditLog
 
         audit = AuditLog(args.audit)
+    tenants = None
+    names = [None]
+    if args.tenants:
+        from .tenancy import TenantQuota
+
+        rate = burst = None
+        if args.quota:
+            parts = args.quota.split(":", 1)
+            rate = float(parts[0])
+            burst = float(parts[1]) if len(parts) > 1 else None
+        names = ["tenant%d" % i for i in range(args.tenants)]
+        tenants = {
+            name: TenantQuota(rate=rate, burst=burst,
+                              queue_capacity=args.capacity)
+            for name in names
+        }
     service = QueryService(
         prepared, db, workers=args.workers,
         queue_capacity=args.capacity, default_timeout=args.timeout,
         retry=RetryPolicy(seed=args.seed),
         breakers=BreakerBoard(threshold=args.breaker_threshold),
-        audit=audit,
+        audit=audit, tenants=tenants,
     )
     out.write(
         "method : %s (%d worker(s), queue capacity %d)\n"
         % (prepared.method, args.workers, args.capacity)
     )
+    if tenants is not None:
+        out.write(
+            "tenants: %d lane(s), request rate %s\n"
+            % (len(names),
+               "unlimited" if rate is None
+               else "%g/s (burst %g)" % (rate, burst or rate))
+        )
     started = time_module.perf_counter()
-    admitted = []
-    for binding in bindings:
+    admitted, hints = [], []
+    for index, binding in enumerate(bindings):
+        tenant = names[index % len(names)]
         try:
-            admitted.append((binding, service.submit(binding)))
-        except Overloaded:
-            pass  # counted by the service as shed_overload
+            admitted.append(
+                (binding, service.submit(binding, tenant=tenant))
+            )
+        except (Overloaded, QuotaExceeded) as exc:
+            # Counted by the service as shed_overload / shed_quota;
+            # keep the machine-readable back-pressure hint.
+            if exc.retry_after is not None:
+                hints.append(exc.retry_after)
     served, failed = [], []
     for binding, future in admitted:
         error = future.exception(timeout=600.0)
@@ -382,9 +411,16 @@ def _cmd_serve_bench(args, out):
     out.write(
         "load   : %d offered -> %d served, %d shed, %d failed\n"
         % (len(bindings), len(served),
-           counters["shed_overload"] + counters["shed_expired"],
+           counters["shed_overload"] + counters["shed_expired"]
+           + counters["shed_quota"],
            len(failed))
     )
+    if hints:
+        out.write(
+            "hints  : %d shed(s) carried retry_after "
+            "(%.4fs min, %.4fs max)\n"
+            % (len(hints), min(hints), max(hints))
+        )
     out.write(
         "verify : %s\n"
         % ("answers match single-threaded evaluation" if not mismatched
@@ -599,6 +635,16 @@ def build_parser():
     serve.add_argument(
         "--audit", metavar="PATH",
         help="write a per-request JSONL audit log to PATH",
+    )
+    serve.add_argument(
+        "--tenants", type=int, default=0, metavar="N",
+        help="serve through N tenant lanes (round-robin submission) "
+             "instead of the single default lane",
+    )
+    serve.add_argument(
+        "--quota", metavar="RATE[:BURST]",
+        help="per-tenant request-rate quota in requests/second, with "
+             "an optional token-bucket burst (requires --tenants)",
     )
     serve.set_defaults(func=_cmd_serve_bench)
 

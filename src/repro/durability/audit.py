@@ -175,7 +175,8 @@ def read_audit(path):
     return entries, torn
 
 
-def verify_audit(path, prepared, db, budget=None):
+def verify_audit(path, prepared, db, budget=None, tenant=None,
+                 registry=None):
     """Re-run an audit log's completed entries against ``db``.
 
     Only entries that (a) completed, (b) carry replayable constants,
@@ -184,15 +185,35 @@ def verify_audit(path, prepared, db, budget=None):
     the last batches a crash destroyed *should* not reproduce, and is
     counted as skipped, not failed.
 
-    Returns a report dict: ``checked`` / ``matched`` / ``skipped`` and
-    a ``mismatched`` list of ``(request_id, expected, got)`` — which
-    must be empty after a faithful recovery.
+    Multi-tenant logs stamp each entry with its ``tenant``; passing
+    ``tenant=`` restricts verification to that tenant's slice of the
+    log, so each tenant's served answers are replay-checkable in
+    isolation.  Entries naming a registered ``form`` are re-run
+    through ``registry`` when one is given (falling back to
+    ``prepared`` otherwise, which may be ``None`` if every checked
+    entry names a form).
+
+    Returns a report dict: ``checked`` / ``matched`` / ``skipped``, a
+    ``mismatched`` list of ``(request_id, expected, got)`` — which
+    must be empty after a faithful recovery — and a ``by_tenant``
+    block with per-tenant entry/checked/matched/mismatched tallies
+    over the verified slice.
     """
     entries, torn = read_audit(path)
     current = epoch_hash(db)
     checked = matched = skipped = 0
     mismatched = []
+    by_tenant = {}
     for entry in entries:
+        name = entry.get("tenant")
+        if tenant is not None and name != tenant:
+            continue
+        tally = by_tenant.setdefault(
+            name if name is not None else "",
+            {"entries": 0, "checked": 0, "matched": 0,
+             "mismatched": 0},
+        )
+        tally["entries"] += 1
         if (
             entry.get("outcome") != "completed"
             or not entry.get("replayable", False)
@@ -200,14 +221,24 @@ def verify_audit(path, prepared, db, budget=None):
         ):
             skipped += 1
             continue
+        runner = prepared
+        form = entry.get("form")
+        if form is not None and registry is not None:
+            runner = registry.get(form).prepared
+        if runner is None:
+            skipped += 1
+            continue
         checked += 1
-        result = prepared.run(
+        tally["checked"] += 1
+        result = runner.run(
             tuple(entry["constants"]), db=db, budget=budget
         )
         fingerprint = result_fingerprint(result.answers)
         if fingerprint == entry["result_fingerprint"]:
             matched += 1
+            tally["matched"] += 1
         else:
+            tally["mismatched"] += 1
             mismatched.append(
                 (entry.get("request_id"),
                  entry["result_fingerprint"], fingerprint)
@@ -218,5 +249,6 @@ def verify_audit(path, prepared, db, budget=None):
         "matched": matched,
         "skipped": skipped,
         "mismatched": mismatched,
+        "by_tenant": by_tenant,
         "torn_tail": torn,
     }

@@ -162,6 +162,22 @@ class ResourceBudget:
         self.start()
         return self._clock() > self._deadline
 
+    def usage(self, stats=None):
+        """What this budget's run actually consumed, for quota charging.
+
+        Returns ``{"seconds", "rounds", "facts"}`` — wall-clock seconds
+        since :meth:`start`, budget checkpoints passed, and (when the
+        engine's ``stats`` are supplied) distinct facts derived.  The
+        tenancy layer (:mod:`repro.tenancy`) charges these against a
+        tenant's cumulative resource pools after each attempt, whether
+        it completed or aborted.
+        """
+        return {
+            "seconds": self.elapsed(),
+            "rounds": self.rounds,
+            "facts": 0 if stats is None else stats.facts_derived,
+        }
+
     def child(self, timeout=None, max_facts=None, max_rounds=None,
               token=None):
         """Derive a fresh budget bounded by this budget's remaining time.

@@ -119,11 +119,53 @@ class Overloaded(ServiceError):
     without evaluation (``reason='expired'``).  Either way the service
     spent no join work on the request — callers are expected to back
     off and retry, not to treat this as a query failure.
+
+    ``tenant`` names the admission lane that was full (``None`` on an
+    untenanted service) and ``retry_after`` is a machine-readable
+    backoff hint in seconds, derived from the lane's queue depth and
+    the service's recent per-request service time — clients that honour
+    it come back when a slot is plausibly free instead of hammering.
     """
 
-    def __init__(self, message, reason="queue_full"):
+    def __init__(self, message, reason="queue_full", tenant=None,
+                 retry_after=None):
         super().__init__(message)
         self.reason = reason
+        self.tenant = tenant
+        self.retry_after = retry_after
+
+
+class QuotaExceeded(ServiceError):
+    """A tenant's quota rejected a request at admission.
+
+    Unlike :class:`Overloaded` (the *service* is out of room), this is
+    the *tenant* being out of allowance — its token-bucket request
+    rate (``resource='rate'``), concurrent-slot cap
+    (``resource='concurrency'``), or one of its cumulative resource
+    pools (``resource='facts'`` / ``'rounds'`` / ``'seconds'``) is
+    exhausted.  Other tenants are unaffected by construction.
+
+    ``retry_after`` is the seconds until the violated quota plausibly
+    admits again (token-bucket refill time, or the pool's refill to a
+    positive balance); the request was never queued, so backing off
+    for that long and resubmitting is the intended client behaviour.
+    """
+
+    def __init__(self, message, tenant=None, resource="rate",
+                 retry_after=None):
+        super().__init__(message)
+        self.tenant = tenant
+        self.resource = resource
+        self.retry_after = retry_after
+
+
+class UnknownFormError(ServiceError):
+    """A request named a query form the registry does not hold.
+
+    Raised at submit time (the request never counts as submitted) and
+    by :meth:`~repro.tenancy.forms.FormRegistry.get` for unregistered
+    names or versions.
+    """
 
 
 class ServiceClosed(ServiceError):

@@ -372,6 +372,23 @@ class PreparedQuery:
             self.template.program,
         )
 
+    def size_bound(self, db):
+        """Static work estimate for this form against ``db``.
+
+        The adornment bounds the answer space — every *free* goal
+        position multiplies the tuples a run may have to touch — and
+        the EDB sizes of ``read_keys`` bound the facts any evaluation
+        can read, so the product ``sum(|R| for R in read_keys) * free
+        positions`` is a crude but monotone size bound in the spirit of
+        the size-bound-adorned pricing literature.  The tenancy layer's
+        :class:`~repro.tenancy.forms.FormRegistry` buckets it into cost
+        classes; it is an *ordering* signal (light vs heavy forms on the
+        same database), never a cardinality estimate.
+        """
+        edb = sum(len(db.get(key)) for key in self.read_keys)
+        frees = len(self.template.goal.args) - len(self.bound_positions)
+        return max(1, edb) * max(1, frees)
+
     # -- evaluation ----------------------------------------------------
 
     def run(self, constants=None, db=None, budget=None):

@@ -1,10 +1,11 @@
 """Concurrent query serving: admission control, deadlines, breakers.
 
 The production-facing front end over the prepared-query layer: a
-:class:`QueryService` runs one query form on a worker pool with a
-bounded admission queue, per-request deadline propagation, seeded
-retry backoff, per-strategy circuit breakers and graceful drain.  See
-:mod:`repro.serve.service` for the full contract.
+:class:`QueryService` runs query forms on a worker pool with
+per-tenant bounded admission lanes drained by deficit round-robin,
+tenant quotas (:mod:`repro.tenancy`), per-request deadline
+propagation, seeded retry backoff, per-strategy circuit breakers and
+graceful drain.  See :mod:`repro.serve.service` for the full contract.
 """
 
 from .breaker import BreakerBoard, CircuitBreaker

@@ -38,7 +38,8 @@ class CircuitBreaker:
                  "_failures", "_opened_at", "_probed_at", "trips",
                  "rejections", "successes", "failures")
 
-    def __init__(self, threshold=5, cooldown=30.0, clock=None):
+    def __init__(self, threshold=5, cooldown=30.0, clock=None,
+                 lock=None):
         if threshold < 1:
             raise ValueError("threshold must be >= 1")
         if cooldown < 0:
@@ -46,7 +47,10 @@ class CircuitBreaker:
         self.threshold = threshold
         self.cooldown = cooldown
         self._clock = clock if clock is not None else time.monotonic
-        self._lock = threading.Lock()
+        # Re-entrant so a caller holding a shared metrics lock (the
+        # service snapshots boards and queue stats atomically) can read
+        # state without deadlocking against itself.
+        self._lock = lock if lock is not None else threading.RLock()
         self._state = CLOSED
         self._failures = 0
         self._opened_at = None
@@ -131,13 +135,19 @@ class BreakerBoard:
     tracked.
     """
 
-    __slots__ = ("threshold", "cooldown", "_clock", "_lock", "_breakers")
+    __slots__ = ("threshold", "cooldown", "_clock", "_lock",
+                 "_breaker_lock", "_breakers")
 
-    def __init__(self, threshold=5, cooldown=30.0, clock=None):
+    def __init__(self, threshold=5, cooldown=30.0, clock=None,
+                 lock=None):
         self.threshold = threshold
         self.cooldown = cooldown
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = lock if lock is not None else threading.RLock()
+        #: Lock shared by every breaker this board creates; when the
+        #: service passes its metrics lock here, a ``states()`` sweep
+        #: is atomic with the queue/stats counters it is reported with.
+        self._breaker_lock = lock
         self._breakers = {}
 
     def get(self, method):
@@ -150,6 +160,7 @@ class BreakerBoard:
                         threshold=self.threshold,
                         cooldown=self.cooldown,
                         clock=self._clock,
+                        lock=self._breaker_lock,
                     )
                     self._breakers[method] = breaker
         return breaker

@@ -53,18 +53,29 @@ class RetryPolicy:
         self.jitter = jitter
         self.seed = seed
 
-    def backoff(self, request_id):
+    def backoff(self, request_id, stream=0):
         """Yield the retry delays for one request, in order.
 
         Yields ``max_attempts - 1`` values.  The generator owns a
         private :class:`random.Random`, so concurrent requests drawing
         jitter never perturb each other's sequences — same seed, same
         request id, same delays, on any schedule.
+
+        ``stream`` splits the seed space once more: the multi-tenant
+        service derives a stream per tenant, so one tenant's retry
+        jitter is independent of its neighbours' and a single tenant's
+        schedule replays identically whatever the others do.  Stream 0
+        (the default, and any untenanted request) reproduces the exact
+        delays this policy yielded before streams existed.
         """
-        # Mix seed and request id into one int (random.Random only
-        # accepts scalar seeds); the odd multiplier keeps nearby
-        # request ids on unrelated streams.
-        rng = random.Random(self.seed * 0x9E3779B1 + request_id)
+        # Mix seed, request id and stream into one int (random.Random
+        # only accepts scalar seeds); the odd multipliers keep nearby
+        # ids and streams on unrelated sequences, and XOR with stream 0
+        # is the identity, preserving historical delays.
+        rng = random.Random(
+            (self.seed * 0x9E3779B1 + request_id)
+            ^ (stream * 0x85EBCA6B)
+        )
         delay = self.base_delay
         for _attempt in range(self.max_attempts - 1):
             yield delay * (1.0 + self.jitter * rng.random())

@@ -1,14 +1,33 @@
-"""A concurrent, overload-safe front end over prepared queries.
+"""A concurrent, overload-safe, multi-tenant front end over prepared
+queries.
 
-:class:`QueryService` serves one prepared query form from a pool of
-worker threads, with the failure modes of a production query tier
-designed in rather than bolted on:
+:class:`QueryService` serves prepared query forms from a pool of worker
+threads, with the failure modes of a production query tier designed in
+rather than bolted on:
 
-* **Admission control / load shedding** — the request queue is bounded.
-  A submit that finds it full fails *fast* with a typed
-  :class:`~repro.errors.Overloaded` error instead of piling latency
-  onto every queued request behind it.  Queue depth can therefore never
-  exceed the configured capacity, no matter the offered load.
+* **Admission control / load shedding** — every tenant owns a bounded
+  admission lane.  A submit that finds its lane full fails *fast* with
+  a typed :class:`~repro.errors.Overloaded` error (carrying the tenant
+  and a ``retry_after`` hint) instead of piling latency onto every
+  queued request behind it.  Queue depth can therefore never exceed the
+  configured capacity, no matter the offered load.
+* **Weighted-fair scheduling** — workers drain the lanes by deficit
+  round-robin (:class:`~repro.tenancy.scheduler.FairScheduler`), so
+  under saturation each tenant's long-run service is proportional to
+  its quota weight and a hog's backlog cannot starve a well-behaved
+  neighbour.  An untenanted service has a single default lane, which
+  degenerates to exactly the old FIFO queue.
+* **Tenant quotas** — token-bucket request rates, concurrent-slot caps
+  and cumulative resource pools (facts / rounds / wall-clock seconds,
+  charged post-paid from each attempt's budget usage) shed with typed
+  :class:`~repro.errors.QuotaExceeded` carrying the refill time as
+  ``retry_after``.  One tenant exhausting its allowance never affects
+  another's admissions.
+* **Form registry** — with a
+  :class:`~repro.tenancy.forms.FormRegistry` attached, tenants submit
+  ``(form_name, constants)``; the form's static cost class prices its
+  deficit-round-robin cost, so heavy forms drain a tenant's scheduling
+  weight faster than cheap lookups.
 * **Deadline propagation** — each request carries a deadline.  It is
   threaded into every evaluation attempt as a derived
   :class:`~repro.engine.guard.ResourceBudget`
@@ -19,33 +38,41 @@ designed in rather than bolted on:
 * **Retries with seeded backoff** — attempts that die on a
   timing-dependent budget abort are retried under a
   :class:`~repro.serve.retry.RetryPolicy`; delays are deterministic per
-  ``(seed, request id)``.  Deterministic aborts
+  ``(seed, request id, tenant stream)``, so one tenant's schedule
+  replays identically whatever its neighbours do.  Deterministic aborts
   (:class:`~repro.errors.FactBudgetExceeded` /
   :class:`~repro.errors.RoundBudgetExceeded`) fail fast — against the
   request's pinned snapshot a retry would fail identically.
-* **Per-strategy circuit breakers** — strategy failures feed a shared
-  :class:`~repro.serve.breaker.BreakerBoard`.  A strategy whose breaker
-  is open is skipped (in the primary path and inside the resilient
-  fallback chain alike) until its cooldown passes.
+* **Per-strategy circuit breakers, per tenant** — strategy failures
+  feed a :class:`~repro.serve.breaker.BreakerBoard` scoped to the
+  tenant, so one tenant poisoning a strategy (feeding it data that
+  turned cyclic, say) trips only its own board.
 * **Snapshot isolation** — requests evaluate against an epoch-pinned
   :meth:`~repro.engine.database.Database.snapshot` generation, so a
   concurrent writer can never show a worker a half-applied mutation;
   the generation is refreshed (cheaply, only when epochs actually
   moved) at admission time.
+* **Atomic observability** — admission counters, breaker boards the
+  service created, and the ``inflight`` gauge all share one metrics
+  lock, so a :meth:`counters` snapshot is a single consistent cut: at
+  every snapshot ``admitted == completed + failed + cancelled +
+  shed_expired + inflight`` exactly.
 * **Graceful drain** — :meth:`QueryService.drain` stops admissions,
   lets workers finish queued and in-flight work, and after an optional
   grace period flips the straggling requests'
   :class:`~repro.engine.guard.CancellationToken`\\ s so evaluation
-  stops at the next round boundary.
+  stops at the next round boundary.  Every admitted request resolves
+  exactly once — answered, shed, or cancelled.
 
 Answers served concurrently are byte-identical to single-threaded
-evaluation of the same requests — the overload benchmark
-(``benchmarks/bench_s4_service_overload.py``) enforces exactly that.
+evaluation of the same requests — the overload and multi-tenant
+benchmarks (``benchmarks/bench_s4_service_overload.py``,
+``benchmarks/bench_s6_multitenant.py``) enforce exactly that.
 """
 
-import queue
 import threading
 import time
+import zlib
 
 from ..engine.guard import CancellationToken, ResourceBudget
 from ..errors import (
@@ -57,15 +84,15 @@ from ..errors import (
     FactBudgetExceeded,
     NotApplicableError,
     Overloaded,
+    QuotaExceeded,
     ReproError,
     RoundBudgetExceeded,
     ServiceClosed,
 )
 from ..exec.resilient import DEFAULT_CHAIN, FallbackPolicy, run_resilient
+from ..tenancy.scheduler import FairScheduler
 from .breaker import BreakerBoard
 from .retry import RetryPolicy
-
-_SENTINEL = object()
 
 #: Strategy-health failures: these trip breakers and degrade to the
 #: fallback chain.  Budget aborts are deliberately absent — they
@@ -76,27 +103,49 @@ _STRATEGY_ERRORS = (
     EvaluationError,
 )
 
+#: Resource-pool names, in the order admission checks them.
+_POOL_ORDER = ("facts", "rounds", "seconds")
+
+
+def _tenant_stream(name):
+    """Deterministic per-tenant RNG stream for retry backoff.
+
+    CRC32 of the name, *not* ``hash()`` — the builtin string hash is
+    salted per process, and retry schedules must replay across runs.
+    The default (untenanted) stream is 0, which
+    :meth:`~repro.serve.retry.RetryPolicy.backoff` maps to the exact
+    pre-tenancy delays.
+    """
+    if name is None:
+        return 0
+    return zlib.crc32(str(name).encode("utf-8"))
+
 
 class ServiceStats:
     """Thread-safe counters describing one service's lifetime.
 
     The admission ledger always balances: ``submitted == admitted +
-    shed_overload + rejected_closed``, and every admitted request ends
-    in exactly one of ``completed`` / ``failed`` / ``cancelled`` /
-    ``shed_expired``.
+    shed_overload + shed_quota + rejected_closed``, and — because
+    admission and every terminal transition move the ``inflight`` gauge
+    under the same lock — at *every* snapshot ``admitted == completed +
+    failed + cancelled + shed_expired + inflight`` exactly, not just at
+    quiescence.  Passing a shared ``lock`` lets the service make this
+    snapshot atomic with its breaker boards too.
     """
 
     __slots__ = ("_lock", "submitted", "admitted", "shed_overload",
-                 "shed_expired", "rejected_closed", "completed",
-                 "failed", "cancelled", "retried", "fallbacks",
-                 "refreshes", "max_queue_depth")
+                 "shed_expired", "shed_quota", "rejected_closed",
+                 "completed", "failed", "cancelled", "retried",
+                 "fallbacks", "refreshes", "max_queue_depth",
+                 "inflight")
 
-    def __init__(self):
-        self._lock = threading.Lock()
+    def __init__(self, lock=None):
+        self._lock = lock if lock is not None else threading.Lock()
         self.submitted = 0
         self.admitted = 0
         self.shed_overload = 0
         self.shed_expired = 0
+        self.shed_quota = 0
         self.rejected_closed = 0
         self.completed = 0
         self.failed = 0
@@ -105,10 +154,33 @@ class ServiceStats:
         self.fallbacks = 0
         self.refreshes = 0
         self.max_queue_depth = 0
+        #: Admitted requests not yet terminal (queued or being served).
+        self.inflight = 0
 
     def bump(self, name, amount=1):
         with self._lock:
             setattr(self, name, getattr(self, name) + amount)
+
+    def note_admitted(self):
+        """Count an admission and raise the inflight gauge atomically."""
+        with self._lock:
+            self.admitted += 1
+            self.inflight += 1
+
+    def note_terminal(self, name):
+        """Count a terminal outcome (``completed`` / ``failed`` /
+        ``cancelled`` / ``shed_expired``) and drop the inflight gauge
+        in the same critical section — the two must never be observable
+        apart, or the ledger tears under concurrent snapshots."""
+        with self._lock:
+            setattr(self, name, getattr(self, name) + 1)
+            self.inflight -= 1
+
+    def retract_admitted(self):
+        """Undo a provisional admission (the lane refused the offer)."""
+        with self._lock:
+            self.admitted -= 1
+            self.inflight -= 1
 
     def note_depth(self, depth):
         with self._lock:
@@ -122,6 +194,7 @@ class ServiceStats:
                 "admitted": self.admitted,
                 "shed_overload": self.shed_overload,
                 "shed_expired": self.shed_expired,
+                "shed_quota": self.shed_quota,
                 "rejected_closed": self.rejected_closed,
                 "completed": self.completed,
                 "failed": self.failed,
@@ -130,6 +203,7 @@ class ServiceStats:
                 "fallbacks": self.fallbacks,
                 "refreshes": self.refreshes,
                 "max_queue_depth": self.max_queue_depth,
+                "inflight": self.inflight,
             }
 
     def __repr__(self):
@@ -199,13 +273,38 @@ class QueryFuture:
         return "QueryFuture(#%d, %s)" % (self.request_id, state)
 
 
-class _Request:
-    __slots__ = ("id", "constants", "deadline", "budget", "token",
-                 "future", "db", "submitted_at")
+class _TenantState:
+    """Mutable runtime state for one tenant on one service."""
 
-    def __init__(self, request_id, constants, deadline, budget, token,
-                 future, db, submitted_at):
+    __slots__ = ("name", "quota", "bucket", "pools", "stream", "board",
+                 "stats", "in_system")
+
+    def __init__(self, name, quota, bucket, pools, board, stats):
+        self.name = name
+        self.quota = quota
+        self.bucket = bucket
+        self.pools = pools
+        self.stream = _tenant_stream(name)
+        self.board = board
+        #: Per-tenant ServiceStats (None for the default lane, whose
+        #: traffic is only the service-wide ledger).
+        self.stats = stats
+        #: Requests in the system (queued + in flight), guarded by the
+        #: service admission lock; enforces ``max_concurrent``.
+        self.in_system = 0
+
+
+class _Request:
+    __slots__ = ("id", "prepared", "constants", "deadline", "budget",
+                 "token", "future", "db", "submitted_at", "tenant",
+                 "tstate", "form", "cost")
+
+    def __init__(self, request_id, prepared, constants, deadline,
+                 budget, token, future, db, submitted_at, tenant,
+                 tstate, form, cost):
         self.id = request_id
+        #: The resolved prepared form this request evaluates.
+        self.prepared = prepared
         self.constants = constants
         #: Absolute deadline on the service clock, or ``None``.
         self.deadline = deadline
@@ -217,34 +316,43 @@ class _Request:
         #: The snapshot generation pinned at admission.
         self.db = db
         self.submitted_at = submitted_at
+        self.tenant = tenant
+        self.tstate = tstate
+        #: Registered form name (None when serving the default form).
+        self.form = form
+        self.cost = cost
 
 
 class QueryService:
-    """Serve a :class:`~repro.exec.prepared.PreparedQuery` concurrently.
+    """Serve prepared query forms concurrently to multiple tenants.
 
     Parameters
     ----------
-    prepared : :class:`~repro.exec.prepared.PreparedQuery`
-        The query form to serve.  Anything duck-typing its
-        ``method`` / ``run(constants, db=..., budget=...)`` / ``bind``
-        surface works (tests exploit this).
+    prepared : :class:`~repro.exec.prepared.PreparedQuery` or None
+        The default query form, served to submits that name no
+        ``form``.  Anything duck-typing its ``method`` /
+        ``run(constants, db=..., budget=...)`` / ``bind`` surface works
+        (tests exploit this).  May be ``None`` when a ``registry`` is
+        attached — then every submit must name a form.
     db : :class:`~repro.engine.database.Database`
         The live database.  Requests are evaluated against epoch-pinned
         snapshot generations of it (unless ``snapshots=False``).
     workers : int
         Worker-thread pool size.
     queue_capacity : int
-        Bounded-queue capacity; admission past it sheds with
-        :class:`~repro.errors.Overloaded`.
+        Per-lane admission-queue capacity (a tenant quota's
+        ``queue_capacity`` overrides it for that tenant's lane);
+        admission past it sheds with :class:`~repro.errors.Overloaded`.
     default_timeout : float or None
         Per-request deadline (seconds from admission) used when a
         submit names none.
     retry : :class:`~repro.serve.retry.RetryPolicy` or None
         Backoff schedule for budget-aborted attempts (None = one
-        attempt).
+        attempt).  Delays draw from a per-tenant seed stream.
     breakers : :class:`~repro.serve.breaker.BreakerBoard` or None
-        Shared per-strategy breakers; a default board is created when
-        omitted.
+        The *default* tenant's per-strategy breakers; a board on the
+        service's shared metrics lock is created when omitted.  Named
+        tenants always get their own board with the same settings.
     fallback : bool
         Degrade through the resilient strategy chain when the prepared
         method fails or its breaker is open (True by default).
@@ -254,40 +362,74 @@ class QueryService:
         concurrent writers).
     audit : :class:`~repro.durability.audit.AuditLog` or None
         Per-request JSONL audit trail.  Workers record every request's
-        outcome — request id, epoch-table hash, strategy, attempts,
-        execution time, and a deterministic result fingerprint — and
-        :meth:`drain` flushes the buffer, so the log is
-        replay-checkable after recovery (see
+        outcome — request id, tenant, form, epoch-table hash, strategy,
+        attempts, execution time, and a deterministic result
+        fingerprint — and :meth:`drain` flushes the buffer, so the log
+        is replay-checkable after recovery, per tenant (see
         :func:`~repro.durability.audit.verify_audit`).
     clock, sleep : callables
-        Injectable time sources for deadlines/breakers and backoff
-        sleeps; tests drive fake time through these.
+        Injectable time sources for deadlines/quotas/breakers and
+        backoff sleeps; tests drive fake time through these.
+    registry : :class:`~repro.tenancy.forms.FormRegistry` or None
+        Named, versioned forms; submits may pass ``form=`` (and
+        ``version=``) to select one, and its cost class prices the
+        request's scheduling cost.
+    tenants : ``{name: TenantQuota}`` or None
+        Named tenants with their quotas and weights.  ``None`` (or an
+        empty mapping) configures a single anonymous default lane —
+        exactly the untenanted service of old.  A default lane exists
+        either way, so ``submit(tenant=None)`` always works.
+    quantum : float
+        Deficit-round-robin quantum (deficit earned per rotation per
+        unit weight).
     """
 
     def __init__(self, prepared, db, workers=2, queue_capacity=16,
                  default_timeout=None, retry=None, breakers=None,
                  fallback=True, snapshots=True, audit=None, clock=None,
-                 sleep=None):
+                 sleep=None, registry=None, tenants=None, quantum=1.0):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if queue_capacity < 1:
             raise ValueError("queue_capacity must be >= 1")
+        if prepared is None and registry is None:
+            raise ValueError(
+                "need a prepared query, a form registry, or both"
+            )
         self.prepared = prepared
         self.db = db
+        self.registry = registry
         self.queue_capacity = queue_capacity
         self.default_timeout = default_timeout
         self.retry = retry if retry is not None else RetryPolicy(
             max_attempts=1
         )
-        self.breakers = breakers if breakers is not None else \
-            BreakerBoard()
         self.fallback = fallback
         self.snapshots = snapshots
         self.audit = audit
-        self.stats = ServiceStats()
         self._clock = clock if clock is not None else time.monotonic
         self._sleep = sleep if sleep is not None else time.sleep
-        self._queue = queue.Queue(maxsize=queue_capacity)
+        #: One lock under which admission counters, the inflight gauge
+        #: and every service-created breaker transition move — a
+        #: ``counters()`` snapshot taken under it is a single
+        #: consistent cut of the whole service block.  Re-entrant,
+        #: because snapshotting a board re-acquires it per breaker.
+        self._metrics_lock = threading.RLock()
+        self.stats = ServiceStats(lock=self._metrics_lock)
+        self.breakers = breakers if breakers is not None else \
+            BreakerBoard(lock=self._metrics_lock)
+        #: EMA of per-request service time, for retry_after hints.
+        self._ema_service = None
+        self._scheduler = FairScheduler(quantum=quantum)
+        self._tenants = {}
+        self._multi = bool(tenants)
+        self._add_tenant_state(None, None)
+        for name, quota in (tenants or {}).items():
+            if name is None:
+                raise ValueError(
+                    "None is the default lane, not a tenant name"
+                )
+            self._add_tenant_state(name, quota)
         self._admit_lock = threading.Lock()
         self._closed = False
         self._next_id = 0
@@ -305,58 +447,147 @@ class QueryService:
         for worker in self._workers:
             worker.start()
 
+    def _add_tenant_state(self, name, quota):
+        if quota is None:
+            from ..tenancy.quota import TenantQuota
+
+            quota = TenantQuota()
+        capacity = quota.queue_capacity
+        if capacity is None:
+            capacity = self.queue_capacity
+        self._scheduler.add_lane(name, weight=quota.weight,
+                                 capacity=capacity)
+        if name is None:
+            board, stats = self.breakers, None
+        else:
+            board = BreakerBoard(
+                threshold=self.breakers.threshold,
+                cooldown=self.breakers.cooldown,
+                clock=self._clock,
+                lock=self._metrics_lock,
+            )
+            stats = ServiceStats(lock=self._metrics_lock)
+        self._tenants[name] = _TenantState(
+            name, quota,
+            quota.bucket(clock=self._clock),
+            quota.pools(clock=self._clock),
+            board, stats,
+        )
+
     # -- admission -----------------------------------------------------
 
-    def submit(self, constants=None, timeout=None, budget=None):
+    def submit(self, constants=None, timeout=None, budget=None,
+               tenant=None, form=None, version=None):
         """Admit one request; returns a :class:`QueryFuture`.
 
-        Raises ``ValueError`` (before the request counts as submitted)
-        when ``constants`` does not match the prepared form's arity,
-        :class:`~repro.errors.ServiceClosed` after :meth:`drain`, and
+        Raises — all before the request counts as submitted —
+        ``ValueError`` when ``constants`` does not match the form's
+        arity or ``tenant`` is unknown, and
+        :class:`~repro.errors.UnknownFormError` for an unregistered
+        ``form``.  After that, raises
+        :class:`~repro.errors.ServiceClosed` once :meth:`drain` ran,
+        :class:`~repro.errors.QuotaExceeded` when the tenant's own
+        allowance (rate, concurrency, or a resource pool) refuses, and
         :class:`~repro.errors.Overloaded` (fast, without queuing) when
-        the bounded queue is at capacity.
+        the tenant's lane is at capacity.  Both shed errors carry a
+        machine-readable ``retry_after`` hint in seconds.
         """
-        constants = self._validated(constants)
-        self.stats.bump("submitted")
+        prepared, form_name, cost = self._resolve_form(form, version)
+        constants = self._validated(prepared, constants)
+        tstate = self._tenants.get(tenant)
+        if tstate is None:
+            raise ValueError(
+                "unknown tenant %r (configured: %s)"
+                % (tenant,
+                   ", ".join(sorted(n for n in self._tenants
+                                    if n is not None)) or "none")
+            )
         now = self._clock()
         if timeout is None:
             timeout = self.default_timeout
         deadline = None if timeout is None else now + timeout
         token = CancellationToken()
         with self._admit_lock:
-            if self._closed:
-                self.stats.bump("rejected_closed")
-                raise ServiceClosed(
-                    "service is draining; admissions are closed"
+            # The whole admission decision — submitted bump through
+            # admitted/shed outcome — sits in one metrics-lock critical
+            # section, so both ledger identities (``submitted ==
+            # admitted + sheds + rejected`` and ``admitted ==
+            # terminals + inflight``) hold at *every* counters()
+            # snapshot, never just at quiescence.  Without this a
+            # worker could serve a freshly offered request and count
+            # its terminal before the submitter counted the admission.
+            with self._metrics_lock:
+                self.stats.bump("submitted")
+                if tstate.stats is not None:
+                    tstate.stats.bump("submitted")
+                if self._closed:
+                    self._shed(tstate, "rejected_closed")
+                    raise ServiceClosed(
+                        "service is draining; admissions are closed"
+                    )
+                self._check_quota(tstate)
+                request_id = self._next_id
+                self._next_id += 1
+                future = QueryFuture(request_id, token)
+                request = _Request(
+                    request_id, prepared, constants, deadline, budget,
+                    token, future, self._refreshed_generation(), now,
+                    tenant, tstate, form_name, cost,
                 )
-            request_id = self._next_id
-            self._next_id += 1
-            future = QueryFuture(request_id, token)
-            request = _Request(
-                request_id, constants, deadline, budget, token, future,
-                self._refreshed_generation(), now,
-            )
-            try:
-                self._queue.put_nowait(request)
-            except queue.Full:
-                self.stats.bump("shed_overload")
-                raise Overloaded(
-                    "queue at capacity (%d queued); request shed"
-                    % self.queue_capacity,
-                    reason="queue_full",
-                ) from None
-            self._outstanding[request_id] = request
-        self.stats.bump("admitted")
-        self.stats.note_depth(self._queue.qsize())
+                self.stats.note_admitted()
+                if tstate.stats is not None:
+                    tstate.stats.note_admitted()
+                if not self._scheduler.offer(tenant, request,
+                                             cost=cost):
+                    self.stats.retract_admitted()
+                    if tstate.stats is not None:
+                        tstate.stats.retract_admitted()
+                    self._shed(tstate, "shed_overload")
+                    raise Overloaded(
+                        "admission lane%s at capacity (%d queued); "
+                        "request shed" % (
+                            "" if tenant is None else " of tenant %r"
+                            % tenant,
+                            self._scheduler.lane_depth(tenant),
+                        ),
+                        reason="queue_full",
+                        tenant=tenant,
+                        retry_after=self._drain_hint(
+                            self._scheduler.lane_depth(tenant)
+                        ),
+                    )
+                self._outstanding[request_id] = request
+                tstate.in_system += 1
+        self.stats.note_depth(self._scheduler.depth())
+        if tstate.stats is not None:
+            tstate.stats.note_depth(self._scheduler.lane_depth(tenant))
         return future
 
     def run(self, constants=None, timeout=None, budget=None,
-            wait=None):
+            tenant=None, form=None, version=None, wait=None):
         """Submit and block for the result (closed-loop convenience)."""
-        return self.submit(constants, timeout=timeout,
-                           budget=budget).result(wait)
+        return self.submit(
+            constants, timeout=timeout, budget=budget, tenant=tenant,
+            form=form, version=version,
+        ).result(wait)
 
-    def _validated(self, constants):
+    def _resolve_form(self, form, version):
+        """(prepared, form name, DRR cost) for one submit."""
+        if form is not None:
+            if self.registry is None:
+                raise ValueError(
+                    "submit named form %r but the service has no "
+                    "registry" % (form,)
+                )
+            registered = self.registry.get(form, version)
+            return registered.prepared, registered.name, registered.cost
+        if self.prepared is None:
+            raise ValueError(
+                "this service serves named forms only; pass form="
+            )
+        return self.prepared, None, 1.0
+
+    def _validated(self, prepared, constants):
         """Reject malformed constants in the submitter's thread.
 
         A wrong-arity binding must surface here as a ``ValueError``
@@ -366,13 +597,64 @@ class QueryService:
         if constants is None:
             return None
         constants = tuple(constants)
-        bound = getattr(self.prepared, "bound_positions", None)
+        bound = getattr(prepared, "bound_positions", None)
         if bound is not None and len(constants) != len(bound):
             raise ValueError(
                 "query form binds %d position(s), got %d constant(s)"
                 % (len(bound), len(constants))
             )
         return constants
+
+    def _shed(self, tstate, counter):
+        self.stats.bump(counter)
+        if tstate.stats is not None:
+            tstate.stats.bump(counter)
+
+    def _check_quota(self, tstate):
+        """Every quota gate for one admission, cheapest-regret first.
+
+        Ordering matters: the resource pools and the concurrency cap
+        are checked *before* the token bucket, so a request shed by
+        them has not burned a rate token it never used.  Called under
+        the admission lock, which is what makes the concurrency count
+        race-free.
+        """
+        for name in _POOL_ORDER:
+            pool = tstate.pools.get(name)
+            if pool is not None and not pool.admits():
+                self._shed(tstate, "shed_quota")
+                raise QuotaExceeded(
+                    "tenant %r exhausted its %s pool (balance %.4g)"
+                    % (tstate.name, name, pool.balance()),
+                    tenant=tstate.name, resource=name,
+                    retry_after=pool.retry_after(),
+                )
+        limit = tstate.quota.max_concurrent
+        if limit is not None and tstate.in_system >= limit:
+            self._shed(tstate, "shed_quota")
+            raise QuotaExceeded(
+                "tenant %r at its concurrency cap (%d in system)"
+                % (tstate.name, tstate.in_system),
+                tenant=tstate.name, resource="concurrency",
+                retry_after=self._drain_hint(1),
+            )
+        if tstate.bucket is not None and not tstate.bucket.try_take():
+            self._shed(tstate, "shed_quota")
+            raise QuotaExceeded(
+                "tenant %r over its request rate (%.4g/s)"
+                % (tstate.name, tstate.bucket.rate),
+                tenant=tstate.name, resource="rate",
+                retry_after=tstate.bucket.refill_after(),
+            )
+
+    def _drain_hint(self, depth):
+        """Seconds until ``depth`` requests plausibly drained, from the
+        EMA of recent service times; None before anything completed."""
+        with self._metrics_lock:
+            ema = self._ema_service
+        if ema is None:
+            return None
+        return max(0.0, depth + 1) * ema / len(self._workers)
 
     def _refreshed_generation(self):
         """The current snapshot generation, re-pinned iff epochs moved.
@@ -411,14 +693,21 @@ class QueryService:
 
     def _worker_loop(self):
         while True:
-            request = self._queue.get()
-            if request is _SENTINEL:
+            request = self._scheduler.take()
+            if request is None:
+                # Closed and fully drained: the pool winds down.
                 return
             try:
                 self._serve(request)
             finally:
                 with self._admit_lock:
                     self._outstanding.pop(request.id, None)
+                    request.tstate.in_system -= 1
+
+    def _terminal(self, request, name):
+        self.stats.note_terminal(name)
+        if request.tstate.stats is not None:
+            request.tstate.stats.note_terminal(name)
 
     def _serve(self, request):
         now = self._clock()
@@ -428,7 +717,7 @@ class QueryService:
             # this check the request would be fully evaluated and its
             # cancellation only honoured if a budget checkpoint
             # happened to fire mid-run.
-            self.stats.bump("cancelled")
+            self._terminal(request, "cancelled")
             error = EvaluationCancelled(
                 "request %d cancelled while queued" % request.id
             )
@@ -439,11 +728,12 @@ class QueryService:
         if request.deadline is not None and now >= request.deadline:
             # Shed without evaluation: the deadline passed while the
             # request sat in the queue.
-            self.stats.bump("shed_expired")
+            self._terminal(request, "shed_expired")
             error = Overloaded(
                 "deadline expired after %.4fs in queue; request shed "
                 "unevaluated" % (now - request.submitted_at),
                 reason="expired",
+                tenant=request.tenant,
             )
             request.future._resolve(error=error)
             self._audit_record(request, "expired", error=error,
@@ -452,12 +742,12 @@ class QueryService:
         try:
             result = self._attempts(request)
         except EvaluationCancelled as exc:
-            self.stats.bump("cancelled")
+            self._terminal(request, "cancelled")
             request.future._resolve(error=exc)
             self._audit_record(request, "cancelled", error=exc,
                                started=now)
         except ReproError as exc:
-            self.stats.bump("failed")
+            self._terminal(request, "failed")
             request.future._resolve(error=exc)
             self._audit_record(request, "failed", error=exc, started=now)
         except BaseException as exc:
@@ -466,14 +756,26 @@ class QueryService:
             # leave the future unresolved (hanging result() callers
             # forever), and unbalance the admission ledger.  Resolve
             # the future with the raw error instead.
-            self.stats.bump("failed")
+            self._terminal(request, "failed")
             request.future._resolve(error=exc)
             self._audit_record(request, "failed", error=exc, started=now)
         else:
-            self.stats.bump("completed")
+            self._terminal(request, "completed")
             request.future._resolve(result=result)
             self._audit_record(request, "completed", result=result,
                                started=now)
+        self._note_service_time(self._clock() - now)
+
+    def _note_service_time(self, elapsed):
+        if elapsed < 0:
+            return
+        with self._metrics_lock:
+            if self._ema_service is None:
+                self._ema_service = elapsed
+            else:
+                self._ema_service = (
+                    0.8 * self._ema_service + 0.2 * elapsed
+                )
 
     def _audit_record(self, request, outcome, result=None, error=None,
                       started=None):
@@ -495,11 +797,13 @@ class QueryService:
             constants = (
                 request.constants
                 if request.constants is not None
-                else getattr(self.prepared, "default_constants", ())
+                else getattr(request.prepared, "default_constants", ())
             )
             rendered, replayable = jsonable_constants(constants)
             entry = {
                 "request_id": request.id,
+                "tenant": request.tenant,
+                "form": request.form,
                 "constants": rendered,
                 "replayable": replayable,
                 "epoch_hash": epoch_hash(request.db),
@@ -537,11 +841,34 @@ class QueryService:
             timeout=remaining, token=request.token, clock=self._clock
         )
 
+    def _charge(self, request, budget, stats, elapsed):
+        """Post-paid quota charge for one attempt, success or not.
+
+        Facts and rounds come from the attempt's budget usage (the
+        engine's checkpoint count and derived-fact tally); wall-clock
+        is the service-measured attempt time, which also covers
+        evaluators that never reached a budget checkpoint.  Charging
+        after the fact is what lets one expensive query drive a pool
+        into debt — the debt then blocks the *next* admission, which is
+        the isolation contract.
+        """
+        pools = request.tstate.pools
+        if not pools:
+            return
+        usage = budget.usage(stats)
+        usage["seconds"] = elapsed
+        for name, pool in pools.items():
+            amount = usage.get(name)
+            if amount:
+                pool.charge(amount)
+
     def _attempts(self, request):
         """Primary strategy with retry/breaker, then the fallback chain."""
-        method = self.prepared.method
-        breaker = self.breakers.get(method)
-        backoff = self.retry.backoff(request.id)
+        method = request.prepared.method
+        board = request.tstate.board
+        breaker = board.get(method)
+        backoff = self.retry.backoff(request.id,
+                                     stream=request.tstate.stream)
         attempt = 0
         while True:
             if not breaker.allow():
@@ -553,11 +880,15 @@ class QueryService:
                 return self._fallback(request, skip=method)
             attempt += 1
             budget = self._budget_for(request)
+            attempt_started = self._clock()
             try:
-                result = self.prepared.run(
+                result = request.prepared.run(
                     request.constants, db=request.db, budget=budget
                 )
             except BudgetExceededError as exc:
+                self._charge(request, budget,
+                             getattr(exc, "stats", None),
+                             self._clock() - attempt_started)
                 # The caller's limits, not the strategy's health: never
                 # recorded on the breaker.  Retry timing-dependent
                 # aborts while the schedule and the request deadline
@@ -579,13 +910,20 @@ class QueryService:
                 ):
                     raise
                 self.stats.bump("retried")
+                if request.tstate.stats is not None:
+                    request.tstate.stats.bump("retried")
                 self._sleep(delay)
                 continue
             except _STRATEGY_ERRORS:
+                self._charge(request, budget, None,
+                             self._clock() - attempt_started)
                 breaker.record_failure()
                 if not self.fallback:
                     raise
                 return self._fallback(request, skip=method)
+            self._charge(request, budget,
+                         getattr(result, "stats", None),
+                         self._clock() - attempt_started)
             breaker.record_success()
             result.extras["service"] = {
                 "attempts": attempt,
@@ -596,13 +934,16 @@ class QueryService:
 
     def _fallback(self, request, skip):
         """Degrade through the resilient chain (minus ``skip``), with
-        the shared breaker board and request-derived budgets."""
+        the tenant's breaker board and request-derived budgets."""
         self.stats.bump("fallbacks")
+        if request.tstate.stats is not None:
+            request.tstate.stats.bump("fallbacks")
         chain = tuple(m for m in DEFAULT_CHAIN if m != skip)
         policy = FallbackPolicy(chain=chain)
         report = run_resilient(
-            self.prepared.bind(request.constants), request.db, policy,
-            breakers=self.breakers,
+            request.prepared.bind(request.constants), request.db,
+            policy,
+            breakers=request.tstate.board,
             budget_factory=lambda: self._budget_for(request),
         )
         result = report.result
@@ -621,40 +962,21 @@ class QueryService:
 
         Admissions close immediately (subsequent submits raise
         :class:`~repro.errors.ServiceClosed`); queued and in-flight
-        requests run to completion.  With ``grace`` set, workers still
-        alive after that many (real) seconds get their requests'
-        cancellation tokens flipped, which aborts evaluation at the
-        next budget checkpoint with
-        :class:`~repro.errors.EvaluationCancelled`.  Returns True when
+        requests run to completion — the scheduler keeps dispatching
+        its remaining lane contents after close and only then releases
+        the workers.  With ``grace`` set, workers still alive after
+        that many (real) seconds get their requests' cancellation
+        tokens flipped, which aborts in-flight evaluation at the next
+        budget checkpoint and resolves still-queued requests as
+        cancelled when a worker picks them up — every admitted request
+        resolves exactly once either way.  Returns True when
         everything finished gracefully, False when stragglers had to be
         cancelled.  Idempotent.
         """
         with self._admit_lock:
-            already = self._closed
             self._closed = True
-        # One absolute deadline covers sentinel puts and joins alike,
-        # so the graceful phase is bounded by ``grace`` overall rather
-        # than per step.
+        self._scheduler.close()
         deadline = None if grace is None else time.monotonic() + grace
-        if not already:
-            for _ in self._workers:
-                # Sentinels queue behind every admitted request (FIFO),
-                # so each worker drains real work before exiting.  If
-                # the queue is full of stuck work the put itself can't
-                # land — cancel the stragglers to make room.  Past the
-                # deadline, a small floor keeps the retry loop from
-                # spinning hot while cancelled work unwinds.
-                while True:
-                    try:
-                        self._queue.put(
-                            _SENTINEL,
-                            timeout=None if deadline is None else max(
-                                0.01, deadline - time.monotonic()
-                            ),
-                        )
-                        break
-                    except queue.Full:
-                        self._cancel_outstanding()
         graceful = True
         for worker in self._workers:
             worker.join(
@@ -665,7 +987,8 @@ class QueryService:
                 graceful = False
         if not graceful:
             # Grace expired: flip every outstanding token and wait for
-            # the workers to notice at their next round boundary.
+            # the workers to notice at their next round boundary (or,
+            # for still-queued requests, at dequeue).
             self._cancel_outstanding()
             for worker in self._workers:
                 worker.join()
@@ -696,18 +1019,38 @@ class QueryService:
     def counters(self):
         """The ``service`` counter block: admission ledger, retries,
         breaker trips/rejections, per-strategy breaker states, and —
-        when the prepared query carries them — atomic snapshots of the
-        answer-cache and counting-store counters."""
-        counters = self.stats.as_dict()
-        counters["breaker_trips"] = self.breakers.trips
-        counters["breaker_rejections"] = self.breakers.rejections
-        counters["breaker_states"] = self.breakers.states()
+        when the prepared query carries them — snapshots of the
+        answer-cache and counting-store counters.
+
+        The ledger, the inflight gauge and every breaker board the
+        service created share one lock, so the whole block is a single
+        atomic cut: ``admitted == completed + failed + cancelled +
+        shed_expired + inflight`` holds in *every* snapshot, even taken
+        mid-burst.  On a multi-tenant service a ``tenants`` block adds,
+        per tenant, the same ledger plus lane, breaker and quota state.
+        """
+        with self._metrics_lock:
+            counters = self.stats.as_dict()
+            counters["breaker_trips"] = self.breakers.trips
+            counters["breaker_rejections"] = self.breakers.rejections
+            counters["breaker_states"] = self.breakers.states()
+            if self._multi:
+                lanes = self._scheduler.lane_stats()
+                counters["tenants"] = {
+                    name: self._tenant_block(tstate, lanes.get(name))
+                    for name, tstate in sorted(
+                        (n, t) for n, t in self._tenants.items()
+                        if n is not None
+                    )
+                }
         cache = getattr(self.prepared, "cache", None)
         if cache is not None:
             counters["answer_cache"] = cache.stats()
         store = getattr(self.prepared, "counting_store", None)
         if store is not None:
             counters["counting_store"] = store.stats()
+        if self.registry is not None:
+            counters["forms"] = self.registry.describe()
         if self.audit is not None:
             counters["audit"] = {
                 "path": self.audit.path,
@@ -715,8 +1058,35 @@ class QueryService:
             }
         return counters
 
+    def _tenant_block(self, tstate, lane):
+        block = tstate.stats.as_dict()
+        block["queue"] = lane
+        block["breaker_trips"] = tstate.board.trips
+        block["breaker_rejections"] = tstate.board.rejections
+        block["breaker_states"] = tstate.board.states()
+        quota = {"weight": tstate.quota.weight}
+        if tstate.bucket is not None:
+            quota["rate"] = tstate.bucket.rate
+            quota["rate_tokens"] = tstate.bucket.level()
+            quota["rate_denied"] = tstate.bucket.denied
+        if tstate.quota.max_concurrent is not None:
+            quota["max_concurrent"] = tstate.quota.max_concurrent
+        if tstate.pools:
+            quota["pools"] = {
+                name: {
+                    "balance": pool.balance(),
+                    "capacity": pool.capacity,
+                    "charged": pool.charged,
+                    "denied": pool.denied,
+                }
+                for name, pool in sorted(tstate.pools.items())
+            }
+        block["quota"] = quota
+        return block
+
     def __repr__(self):
-        return "QueryService(%s, %d worker(s), %s)" % (
-            getattr(self.prepared, "method", "?"), len(self._workers),
+        return "QueryService(%s, %d worker(s), %d tenant lane(s), %s)" % (
+            getattr(self.prepared, "method", "forms"),
+            len(self._workers), len(self._tenants),
             "closed" if self._closed else "open",
         )

@@ -1,0 +1,34 @@
+"""Multi-tenant serving primitives: forms, quotas, fair scheduling.
+
+Three pieces the serve layer (:mod:`repro.serve`) composes into a
+multi-tenant :class:`~repro.serve.service.QueryService`:
+
+* :class:`FormRegistry` — named, versioned
+  :class:`~repro.exec.prepared.PreparedQuery` forms with static cost
+  classes, so tenants submit ``(form_name, constants)`` instead of raw
+  programs and admission can price a request before it runs;
+* :class:`TenantQuota` — per-tenant token-bucket request rates,
+  concurrent-slot caps, and cumulative resource pools (facts, rounds,
+  wall-clock) refilled on an injectable clock;
+* :class:`FairScheduler` — per-tenant bounded admission lanes drained
+  by deficit round-robin, so one tenant's backlog cannot starve
+  another's.
+"""
+
+from .forms import COST_OF, HEAVY, LIGHT, MEDIUM, FormRegistry, \
+    RegisteredForm
+from .quota import ResourcePool, TenantQuota, TokenBucket
+from .scheduler import FairScheduler
+
+__all__ = [
+    "COST_OF",
+    "FairScheduler",
+    "FormRegistry",
+    "HEAVY",
+    "LIGHT",
+    "MEDIUM",
+    "RegisteredForm",
+    "ResourcePool",
+    "TenantQuota",
+    "TokenBucket",
+]

@@ -1,0 +1,166 @@
+"""A registry of named, versioned prepared query forms.
+
+In a multi-tenant service, callers do not submit raw programs: they
+submit ``(form_name, constants)`` against a :class:`FormRegistry` the
+operator populated.  Registration does the expensive work once —
+:class:`~repro.exec.prepared.PreparedQuery` compiles the rewriting —
+and *prices* the form with a static cost class so admission can charge
+a tenant's quota before the fixpoint has burned anything.
+
+The price follows the size-bound-adornment idea (see PAPERS.md): the
+goal's adornment says how selective the binding is (every free position
+multiplies the reachable answer space), and the EDB sizes of the
+relations the rewritten program reads bound the facts any evaluation
+can touch.  :meth:`~repro.exec.prepared.PreparedQuery.size_bound`
+computes the estimate; the registry buckets it into ``light`` /
+``medium`` / ``heavy`` classes whose integer costs feed the
+deficit-round-robin scheduler — a tenant spending its weight on heavy
+forms gets proportionally fewer of them per rotation.
+
+Re-registering a name bumps its version and makes the new form the
+default; old versions stay resolvable so in-flight clients pinned to a
+version keep working across a rollout.
+"""
+
+from ..errors import UnknownFormError
+from ..exec.prepared import PreparedQuery
+
+#: Cost classes in ascending order with their scheduler costs.
+LIGHT, MEDIUM, HEAVY = "light", "medium", "heavy"
+COST_OF = {LIGHT: 1.0, MEDIUM: 2.0, HEAVY: 4.0}
+
+
+class RegisteredForm:
+    """One immutable (name, version) entry of a :class:`FormRegistry`."""
+
+    __slots__ = ("name", "version", "prepared", "size_bound",
+                 "cost_class", "cost")
+
+    def __init__(self, name, version, prepared, size_bound, cost_class):
+        self.name = name
+        self.version = version
+        self.prepared = prepared
+        self.size_bound = size_bound
+        self.cost_class = cost_class
+        self.cost = COST_OF[cost_class]
+
+    def describe(self):
+        return {
+            "version": self.version,
+            "method": self.prepared.method,
+            "adornment": self.prepared.template.adornment(),
+            "size_bound": self.size_bound,
+            "cost_class": self.cost_class,
+            "cost": self.cost,
+        }
+
+    def __repr__(self):
+        return "RegisteredForm(%s@v%d, %s, %s)" % (
+            self.name, self.version, self.prepared.method,
+            self.cost_class,
+        )
+
+
+class FormRegistry:
+    """Named, versioned prepared forms with static cost classes.
+
+    Parameters
+    ----------
+    db : :class:`~repro.engine.database.Database` or None
+        Default database for method auto-selection and size-bound
+        estimation at registration time.
+    light_bound, medium_bound : int
+        Size-bound thresholds separating the cost classes: an estimate
+        up to ``light_bound`` is ``light``, up to ``medium_bound`` is
+        ``medium``, above it ``heavy``.
+    """
+
+    def __init__(self, db=None, light_bound=512, medium_bound=8192):
+        if not 0 < light_bound < medium_bound:
+            raise ValueError(
+                "need 0 < light_bound < medium_bound"
+            )
+        self.db = db
+        self.light_bound = light_bound
+        self.medium_bound = medium_bound
+        self._forms = {}
+
+    def classify(self, size_bound):
+        if size_bound <= self.light_bound:
+            return LIGHT
+        if size_bound <= self.medium_bound:
+            return MEDIUM
+        return HEAVY
+
+    def register(self, name, query, db=None, method="auto", cache=None,
+                 counting_store=None, cost_class=None):
+        """Prepare and price ``query`` under ``name``; returns the form.
+
+        A repeated name registers a new *version* (monotonically
+        numbered from 1) and makes it the default resolution target.
+        ``cost_class`` overrides the static estimate when the operator
+        knows better (e.g. a form whose data is known to be skewed).
+        """
+        db = db if db is not None else self.db
+        prepared = PreparedQuery(
+            query, db, method=method, cache=cache,
+            counting_store=counting_store,
+        )
+        size_bound = prepared.size_bound(db) if db is not None else None
+        if cost_class is None:
+            cost_class = (
+                MEDIUM if size_bound is None
+                else self.classify(size_bound)
+            )
+        elif cost_class not in COST_OF:
+            raise ValueError(
+                "cost_class must be one of %s" % sorted(COST_OF)
+            )
+        versions = self._forms.setdefault(name, [])
+        form = RegisteredForm(
+            name, len(versions) + 1, prepared,
+            size_bound if size_bound is not None else 0, cost_class,
+        )
+        versions.append(form)
+        return form
+
+    def get(self, name, version=None):
+        """Resolve a form; latest version unless one is pinned."""
+        versions = self._forms.get(name)
+        if not versions:
+            raise UnknownFormError(
+                "no query form registered under %r (have: %s)"
+                % (name, ", ".join(sorted(self._forms)) or "none")
+            )
+        if version is None:
+            return versions[-1]
+        if not 1 <= version <= len(versions):
+            raise UnknownFormError(
+                "form %r has versions 1..%d, not %d"
+                % (name, len(versions), version)
+            )
+        return versions[version - 1]
+
+    def names(self):
+        return sorted(self._forms)
+
+    def __contains__(self, name):
+        return name in self._forms
+
+    def __len__(self):
+        return len(self._forms)
+
+    def describe(self):
+        """``{name: latest-version descriptor}`` for counters/CLI."""
+        return {
+            name: versions[-1].describe()
+            for name, versions in sorted(self._forms.items())
+        }
+
+    def __repr__(self):
+        return "FormRegistry(%s)" % (
+            ", ".join(
+                "%s@v%d" % (name, len(versions))
+                for name, versions in sorted(self._forms.items())
+            ) or "empty"
+        )

@@ -1,0 +1,190 @@
+"""Weighted-fair admission queues: deficit round-robin over tenants.
+
+One bounded FIFO *lane* per tenant replaces the service's single global
+queue.  Workers pull from :meth:`FairScheduler.take`, which implements
+deficit round-robin (Shreedhar & Varghese): each lane owns a *deficit*
+counter; on its turn a lane earns ``quantum * weight`` deficit and may
+dispatch queued items while its deficit covers their cost.  Costs come
+from the registry's per-form cost classes, so a tenant burning heavy
+query forms drains its deficit faster than one issuing cheap lookups —
+long-run service under saturation is proportional to *weighted work*,
+not request count.
+
+Two properties matter for isolation:
+
+* a full lane sheds only its own tenant's submissions (the service
+  raises :class:`~repro.errors.Overloaded` with the tenant name) —
+  other lanes are untouched;
+* a lane with queued work can be starved for at most one full rotation
+  of the other active lanes, because every rotation grows its deficit
+  by ``quantum * weight`` while costs are bounded.
+
+The scheduler is a condition-synchronised queue: ``take`` blocks while
+every lane is empty, and :meth:`close` wakes all waiters — after close,
+``take`` drains the remaining queued items (so accepted work still
+runs) and only then returns ``None`` to release each worker.
+"""
+
+import threading
+from collections import deque
+
+
+class _Lane:
+    __slots__ = ("tenant", "weight", "capacity", "items", "deficit",
+                 "served", "served_cost", "offered", "refused")
+
+    def __init__(self, tenant, weight, capacity):
+        self.tenant = tenant
+        self.weight = float(weight)
+        self.capacity = capacity
+        self.items = deque()
+        self.deficit = 0.0
+        #: Items dispatched / their summed cost (for fairness probes).
+        self.served = 0
+        self.served_cost = 0.0
+        self.offered = 0
+        self.refused = 0
+
+
+class FairScheduler:
+    """Deficit-round-robin dispatch over per-tenant bounded lanes."""
+
+    def __init__(self, quantum=1.0):
+        if quantum <= 0:
+            raise ValueError("quantum must be positive")
+        self.quantum = float(quantum)
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._lanes = {}
+        #: Active rotation: lanes with queued items, in DRR order.
+        self._active = deque()
+        self._closed = False
+        self._depth = 0
+        self.max_depth = 0
+
+    def add_lane(self, tenant, weight=1.0, capacity=16):
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        with self._lock:
+            if tenant in self._lanes:
+                raise ValueError("lane %r already exists" % (tenant,))
+            self._lanes[tenant] = _Lane(tenant, weight, capacity)
+
+    def offer(self, tenant, item, cost=1.0):
+        """Queue ``item`` on the tenant's lane; False when full/closed.
+
+        ``cost`` is the deficit the item will consume when dispatched
+        (a registered form's cost class); it must be positive so every
+        rotation makes progress.
+        """
+        if cost <= 0:
+            raise ValueError("cost must be positive")
+        with self._lock:
+            lane = self._lanes[tenant]
+            lane.offered += 1
+            if self._closed or len(lane.items) >= lane.capacity:
+                lane.refused += 1
+                return False
+            lane.items.append((item, cost))
+            if len(lane.items) == 1:
+                self._active.append(lane)
+            self._depth += 1
+            if self._depth > self.max_depth:
+                self.max_depth = self._depth
+            self._ready.notify()
+            return True
+
+    def take(self, block=True, timeout=None):
+        """Next item by deficit round-robin.
+
+        Blocks while every lane is empty (unless ``block=False``).
+        Returns ``None`` when the scheduler is closed and drained —
+        each worker thread takes that as its exit signal — or, with
+        ``block=False`` / ``timeout``, when nothing is available in
+        time.
+        """
+        with self._ready:
+            while True:
+                item = self._next_locked()
+                if item is not None:
+                    return item
+                if self._closed:
+                    return None
+                if not block:
+                    return None
+                if not self._ready.wait(timeout):
+                    return None
+
+    def _next_locked(self):
+        while self._active:
+            lane = self._active[0]
+            if not lane.items:  # pragma: no cover - defensive
+                self._active.popleft()
+                lane.deficit = 0.0
+                continue
+            head_cost = lane.items[0][1]
+            if lane.deficit < head_cost:
+                # Earn this turn's quantum and rotate; deficits grow
+                # every rotation, so some lane's head is reached in at
+                # most ceil(max_cost / (quantum * min_weight)) turns.
+                lane.deficit += self.quantum * lane.weight
+                self._active.rotate(-1)
+                continue
+            lane.deficit -= head_cost
+            item, cost = lane.items.popleft()
+            lane.served += 1
+            lane.served_cost += cost
+            self._depth -= 1
+            if not lane.items:
+                # An emptied lane leaves the rotation and forfeits its
+                # saved deficit — an idle tenant must not bank service
+                # credit to burst past its weight later (classic DRR).
+                self._active.popleft()
+                lane.deficit = 0.0
+            return item
+        return None
+
+    def close(self):
+        """Stop accepting offers and wake every blocked ``take``."""
+        with self._ready:
+            self._closed = True
+            self._ready.notify_all()
+
+    @property
+    def closed(self):
+        with self._lock:
+            return self._closed
+
+    def depth(self):
+        """Total queued items across all lanes."""
+        with self._lock:
+            return self._depth
+
+    def lane_depth(self, tenant):
+        with self._lock:
+            return len(self._lanes[tenant].items)
+
+    def lane_stats(self):
+        """``{tenant: {...}}`` queue/served counters per lane."""
+        with self._lock:
+            return {
+                lane.tenant: {
+                    "depth": len(lane.items),
+                    "capacity": lane.capacity,
+                    "weight": lane.weight,
+                    "served": lane.served,
+                    "served_cost": lane.served_cost,
+                    "offered": lane.offered,
+                    "refused": lane.refused,
+                }
+                for lane in self._lanes.values()
+            }
+
+    def __repr__(self):
+        with self._lock:
+            return "FairScheduler(%d lane(s), depth %d%s)" % (
+                len(self._lanes), self._depth,
+                ", closed" if self._closed else "",
+            )
