@@ -30,13 +30,57 @@ def extras_of(rows, label, method):
     raise AssertionError("no row for %s/%s" % (label, method))
 
 
-def make_timer(query, db, method):
-    """A zero-argument callable for pytest-benchmark."""
+def make_timer(query, db, method, **options):
+    """A zero-argument callable for pytest-benchmark.
+
+    Extra ``options`` are forwarded to the strategy runner — the
+    ``parallel`` strategy's ``workers=N`` travels this way.
+    """
 
     def run():
-        return run_strategy(method, query, db)
+        return run_strategy(method, query, db, **options)
 
     return run
+
+
+def phase_split(result):
+    """(plan_seconds, execute_seconds) for one execution result.
+
+    Strategies with an explicit plan/execute split (the ``parallel``
+    sharded fixpoint) record a ``phase_seconds`` block in their extras;
+    for everything else the whole elapsed time is execution and the
+    plan phase is zero — the two components always sum to (about) the
+    strategy's wall time, so phase tables stay comparable across
+    methods.
+    """
+    phases = result.extras.get("phase_seconds") or {}
+    plan = phases.get("plan", 0.0)
+    execute = phases.get("execute")
+    if execute is None:
+        execute = max(0.0, result.elapsed - plan)
+    return plan, execute
+
+
+def timed_phases(query, db, method, repeats=1, **options):
+    """Best-of-``repeats`` wall times, split by phase.
+
+    Returns ``{"total": s, "plan": s, "execute": s, "result": r}``
+    where the phase components belong to the fastest repeat — phases
+    from different repeats never mix, so ``plan + execute`` stays
+    consistent with ``total``.
+    """
+    best = None
+    for _ in range(max(1, repeats)):
+        result = run_strategy(method, query, db, **options)
+        if best is None or result.elapsed < best.elapsed:
+            best = result
+    plan, execute = phase_split(best)
+    return {
+        "total": best.elapsed,
+        "plan": plan,
+        "execute": execute,
+        "result": best,
+    }
 
 
 def assert_claims(benchmark, check):

@@ -397,6 +397,41 @@ def run_tenancy_probe():
     }
 
 
+def run_parallel_probe():
+    """Exercise the sharded-fixpoint executor on one fixed cell.
+
+    Runs the S1 cylinder once through the serial oracle (the same
+    engine inline, zero processes) and once on a two-worker pool, and
+    records the artifact's ``parallel`` block: the wall-clock speedup,
+    the exchange volume, the barrier count, and whether the pool run
+    reproduced the oracle's answers and merged work counters exactly —
+    the executor's core contract, so a divergence shows up in the
+    artifact diff before any differential suite runs.
+    """
+    from ..exec.strategies import run_strategy
+
+    workload = WORKLOADS["sg_cylinder"]
+    db, _source = workload.make_db(width=6, height=16)
+    serial = run_strategy(
+        "parallel", workload.query, db, workers=1, inline=True
+    )
+    pooled = run_strategy("parallel", workload.query, db, workers=2)
+    return {
+        "label": "sg_cylinder",
+        "workers": 2,
+        "serial_elapsed": serial.elapsed,
+        "parallel_elapsed": pooled.elapsed,
+        "speedup": serial.elapsed / max(pooled.elapsed, 1e-9),
+        "exchange_bytes": pooled.extras["exchange_bytes"],
+        "barriers": pooled.extras["barriers"],
+        "answers": len(pooled.answers),
+        "answers_match": pooled.answers == serial.answers,
+        "counters_match": (pooled.stats.as_dict()
+                           == serial.stats.as_dict()),
+        "plan": pooled.extras["plan"],
+    }
+
+
 def run_durability_probe():
     """Exercise the durability layer: logged ingest, crash, recovery.
 
@@ -487,6 +522,7 @@ def write_smoke(directory=".", tag=None):
         "query_cache": run_query_cache_probe(),
         "service": run_service_probe(),
         "tenancy": run_tenancy_probe(),
+        "parallel": run_parallel_probe(),
         "durability": run_durability_probe(),
         "total_elapsed": sum(
             r["elapsed"] for r in records if r["elapsed"] is not None

@@ -87,7 +87,7 @@ odd(X, Y) :- up(X, X1), even(X1, Y1), down(Y1, Y).
 _ALL_ACYCLIC = (
     "naive", "magic", "extended_counting", "reduced_counting",
     "pointer_counting", "cyclic_counting", "magic_counting",
-    "sup_magic", "qsq",
+    "sup_magic", "qsq", "parallel",
 )
 
 
@@ -354,7 +354,7 @@ WORKLOADS = {
         "sg_cyclic", SG_TEXT, sg_cyclic,
         "Example 5 shape: cyclic up relation",
         ("naive", "magic", "sup_magic", "qsq", "cyclic_counting",
-         "magic_counting"),
+         "magic_counting", "parallel"),
     ),
     "multi_rule": Workload(
         "multi_rule", MULTI_RULE_TEXT, multi_rule_chain,
@@ -400,7 +400,7 @@ WORKLOADS = {
         "Two mutually recursive predicates (even/odd generation)",
         ("naive", "magic", "sup_magic", "qsq", "extended_counting",
          "reduced_counting", "pointer_counting", "cyclic_counting",
-         "magic_counting"),
+         "magic_counting", "parallel"),
     ),
 }
 

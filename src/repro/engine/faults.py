@@ -42,7 +42,9 @@ Only one injector can be installed at a time (they patch shared
 classes); installing a second raises ``RuntimeError``.
 """
 
+import os
 import random
+import signal
 import threading
 import time
 
@@ -130,6 +132,9 @@ class FaultInjector:
     """
 
     def __init__(self, seed=0, sleep=None, clock=None):
+        #: Construction seed, kept so per-worker injectors can derive
+        #: independent streams from it (:meth:`derive`).
+        self.seed = seed
         self.random = random.Random(seed)
         #: Injectable sleeper/clock so tests can fake time.
         self._sleep = sleep if sleep is not None else time.sleep
@@ -149,6 +154,11 @@ class FaultInjector:
         self._torn_keep = None
         self._corrupt_wal_after = None
         self._crash_fsync_after = None
+        self._kill_worker_target = None
+        self._kill_worker_after = None
+        #: Which parallel worker this injector runs inside (``None`` on
+        #: the coordinator); set by :meth:`derive`.
+        self.worker_index = None
         # Engines on several threads may hit checkpoints concurrently
         # (the serving layer runs a worker pool), so counter updates
         # and one-shot plan consumption are serialized.
@@ -255,6 +265,72 @@ class FaultInjector:
         self._crash_fsync_after = after
         return self
 
+    def kill_worker(self, worker, after=1):
+        """SIGKILL parallel worker ``worker`` at its ``after``-th round.
+
+        The plan is inert on the coordinator and on every other worker;
+        only the injector *derived* for ``worker`` (see :meth:`derive`)
+        acts on it, killing its own process with an unmaskable signal at
+        the round checkpoint — the multiprocess executor must detect the
+        death, surface a typed error, and let the resilient chain fall
+        back to a serial strategy without hanging.
+        """
+        if after < 1:
+            raise ValueError("after must be >= 1")
+        if worker < 0:
+            raise ValueError("worker must be >= 0")
+        self._kill_worker_target = worker
+        self._kill_worker_after = after
+        return self
+
+    # -- per-worker derivation ---------------------------------------
+
+    #: Plan fields shipped to workers; everything else (locks, patching
+    #: state, observability counters) is process-local.
+    _PLAN_FIELDS = (
+        "_raise_after", "_raise_points", "_raise_message",
+        "_delay_every", "_delay_seconds", "_corrupt_every",
+        "_section_every", "_section_seconds", "_section_points",
+        "_torn_after", "_torn_keep", "_corrupt_wal_after",
+        "_crash_fsync_after", "_kill_worker_target", "_kill_worker_after",
+    )
+
+    def spec(self):
+        """A picklable snapshot of the seed and the configured plans.
+
+        The injector itself holds a lock and patched-method references,
+        so it cannot cross a process boundary; the spec can, and
+        :meth:`from_spec` rebuilds an equivalent injector on the far
+        side.
+        """
+        plans = {name: getattr(self, name) for name in self._PLAN_FIELDS}
+        return {"seed": self.seed, "plans": plans}
+
+    @classmethod
+    def from_spec(cls, spec):
+        """Rebuild an injector from :meth:`spec` output."""
+        injector = cls(seed=spec["seed"])
+        for name, value in spec["plans"].items():
+            setattr(injector, name, value)
+        return injector
+
+    def derive(self, worker):
+        """An independent injector for parallel worker ``worker``.
+
+        The derived stream is seeded by scalar-mixing the worker index
+        into the base seed (the same idiom the retry layer uses for
+        per-attempt jitter streams), so each worker's damage sequence
+        depends only on ``(seed, worker)`` — byte-identical for the
+        same seed regardless of how many workers the pool holds, and
+        independent across workers.
+        """
+        derived = self.from_spec(self.spec())
+        derived.seed = ((self.seed * 0x9E3779B1 + worker + 1)
+                        ^ (worker * 0x85EBCA6B)) & 0xFFFFFFFF
+        derived.random = random.Random(derived.seed)
+        derived.worker_index = worker
+        return derived
+
     # -- installation ------------------------------------------------
 
     def install(self):
@@ -298,6 +374,15 @@ class FaultInjector:
     def _observe(self, point, stats):
         with self._counter_lock:
             self.checkpoints_seen += 1
+            if (
+                self._kill_worker_target is not None
+                and self.worker_index == self._kill_worker_target
+                and point == "round"
+                and self.checkpoints_seen >= self._kill_worker_after
+            ):
+                # A real kill -9: no cleanup, no exception, no flushing
+                # of the pipe — the coordinator must cope with silence.
+                os.kill(os.getpid(), signal.SIGKILL)
             if (
                 self._raise_after is None
                 or point not in self._raise_points
@@ -444,6 +529,11 @@ class FaultInjector:
             plans.append("corrupt-wal@%d" % self._corrupt_wal_after)
         if self._crash_fsync_after is not None:
             plans.append("crash-fsync@%d" % self._crash_fsync_after)
+        if self._kill_worker_target is not None:
+            plans.append(
+                "kill-worker(%d)@%d"
+                % (self._kill_worker_target, self._kill_worker_after)
+            )
         return "FaultInjector(%s%s)" % (
             "installed, " if self._installed else "",
             ", ".join(plans) if plans else "no-op",

@@ -122,6 +122,18 @@ class EvalStats:
             self.rule_profile[label]["calls"] += entry["calls"] - 1
         return self
 
+    def __getstate__(self):
+        # ``__slots__`` means there is no instance dict for the default
+        # pickle protocol to snapshot; spell the state out so partial
+        # stats survive the multiprocessing channel (workers ship their
+        # counters inside typed errors and round results).
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __setstate__(self, state):
+        self.__init__()
+        for name, value in state.items():
+            setattr(self, name, value)
+
     def as_dict(self):
         """Deterministic counters only.
 

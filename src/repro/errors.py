@@ -11,6 +11,23 @@ class ReproError(Exception):
     """Base class of all errors raised by this library."""
 
 
+def _rebuild_error(cls, args, attrs):
+    """Reconstruct a typed error without calling ``__init__``.
+
+    Several errors in this hierarchy attach payloads (``stats``,
+    ``elapsed``, ``report``) after construction or take keyword-only
+    extras; the default exception reduction replays ``__init__`` with
+    ``args`` alone and silently drops them.  Rebuilding from the
+    instance dict preserves every payload across a pickle boundary —
+    which the multiprocess executor relies on to ship worker failures
+    back to the coordinator.
+    """
+    error = cls.__new__(cls)
+    Exception.__init__(error, *args)
+    error.__dict__.update(attrs)
+    return error
+
+
 class ParseError(ReproError):
     """Raised when a program or query text cannot be parsed.
 
@@ -67,7 +84,21 @@ class CountingDivergenceError(RewritingError):
 
 
 class EvaluationError(ReproError):
-    """Raised for runtime evaluation failures (e.g. unbound arithmetic)."""
+    """Raised for runtime evaluation failures (e.g. unbound arithmetic).
+
+    ``stats`` optionally carries the partial
+    :class:`~repro.engine.instrumentation.EvalStats` accumulated before
+    the failure; parallel workers attach it so the coordinator can fold
+    partial work into the merged counters.  Instances round-trip through
+    ``multiprocessing``'s pickle channel with the payload intact.
+    """
+
+    def __init__(self, message="", stats=None):
+        super().__init__(message)
+        self.stats = stats
+
+    def __reduce__(self):
+        return (_rebuild_error, (type(self), self.args, self.__dict__))
 
 
 class BudgetExceededError(ReproError):
@@ -88,6 +119,9 @@ class BudgetExceededError(ReproError):
         super().__init__(message)
         self.stats = stats
         self.elapsed = elapsed
+
+    def __reduce__(self):
+        return (_rebuild_error, (type(self), self.args, self.__dict__))
 
 
 class DeadlineExceeded(BudgetExceededError):

@@ -259,6 +259,11 @@ class CountingEngine:
         self.table_store = table_store
         #: True when phase 1 was served from ``table_store``.
         self.table_reused = False
+        #: Optional replacement for :meth:`_successors` during phase 1 —
+        #: :func:`repro.parallel.counting.parallel_successor_map` installs
+        #: a cache-backed resolver here so the counting-set DFS replays
+        #: worker-computed expansions instead of probing the database.
+        self.successor_resolver = None
         self.table = None
         self._answers = None
         self._parents = {}
@@ -351,7 +356,9 @@ class CountingEngine:
                 self.table = table
                 self.table_reused = True
                 return table
-        classification = classify_arcs(source, self._successors)
+        classification = classify_arcs(
+            source, self.successor_resolver or self._successors
+        )
         if self.require_acyclic and not classification.is_acyclic():
             raise NotApplicableError(
                 "left-part graph contains %d back arcs; the acyclic "

@@ -391,13 +391,22 @@ class PreparedQuery:
 
     # -- evaluation ----------------------------------------------------
 
-    def run(self, constants=None, db=None, budget=None):
+    def run(self, constants=None, db=None, budget=None, workers=None):
         """Evaluate the form for one binding; returns an
         :class:`~repro.exec.strategies.ExecutionResult`.
 
         ``stats.cache_hits`` / ``stats.cache_misses`` record the answer
         cache's verdict; ``stats.prepare_reuse`` is 1 when this run
         reused the prepared rewriting instead of building it.
+
+        ``workers`` (>= 2) asks for data-parallel evaluation: the
+        pointer/cyclic counting family parallelizes phase 1 of the
+        counting-set build, every other family first attempts the
+        sharded-fixpoint ``parallel`` strategy.  Either path degrades
+        to the prepared serial evaluation on any worker or planning
+        failure — ``extras["parallel_fallback"]`` then names the error
+        class.  Answers are byte-identical either way, so the answer
+        cache is keyed without ``workers``.
         """
         if db is None:
             raise TypeError("PreparedQuery.run() requires a database")
@@ -427,7 +436,8 @@ class PreparedQuery:
         if self._runs:
             stats.prepare_reuse = 1
         self._runs += 1
-        result = self._execute(constants, db, stats, budget, started)
+        result = self._execute(constants, db, stats, budget, started,
+                               workers=workers)
         if self.cache is not None:
             extras = {
                 name: value
@@ -437,14 +447,37 @@ class PreparedQuery:
             self.cache.put(key, (db.lineage, result.answers, extras))
         return result
 
-    def run_batch(self, bindings, db=None, budget=None):
+    def run_batch(self, bindings, db=None, budget=None, workers=None):
         """Evaluate many bindings; results in the order of ``bindings``."""
         return [
-            self.run(binding, db=db, budget=budget) for binding in bindings
+            self.run(binding, db=db, budget=budget, workers=workers)
+            for binding in bindings
         ]
 
-    def _execute(self, constants, db, stats, budget, started):
+    def _execute(self, constants, db, stats, budget, started,
+                 workers=None):
         family = self._family
+        parallel_fallback = None
+        phase1_parallel = (
+            family == "counting" and self.method != "magic_counting"
+        )
+        if workers is not None and workers >= 2 and not phase1_parallel:
+            # Sharded-fixpoint attempt; serial families below are the
+            # fallback.  Budget errors propagate — they describe the
+            # caller's limits, and a serial retry cannot beat them.
+            try:
+                result = run_strategy(
+                    "parallel", self.bind(constants), db,
+                    budget=budget, workers=workers,
+                )
+            except (NotApplicableError, EvaluationError) as exc:
+                parallel_fallback = type(exc).__name__
+            else:
+                result.stats.cache_misses += stats.cache_misses
+                result.stats.prepare_reuse += stats.prepare_reuse
+                result.extras["prepared"] = False
+                result.extras["cache_hit"] = False
+                return result
         if family == "fallback":
             result = run_strategy(
                 self.method, self.bind(constants), db, budget=budget
@@ -453,6 +486,8 @@ class PreparedQuery:
             result.stats.prepare_reuse += stats.prepare_reuse
             result.extras["prepared"] = False
             result.extras["cache_hit"] = False
+            if parallel_fallback is not None:
+                result.extras["parallel_fallback"] = parallel_fallback
             return result
         if family == "naive":
             answers, extras = self._run_naive(constants, db, stats, budget)
@@ -460,8 +495,10 @@ class PreparedQuery:
             answers, extras = self._run_engine(constants, db, stats, budget)
         else:
             answers, extras = self._run_counting(
-                constants, db, stats, budget
+                constants, db, stats, budget, workers=workers
             )
+        if parallel_fallback is not None:
+            extras["parallel_fallback"] = parallel_fallback
         extras["prepared"] = True
         extras["cache_hit"] = False
         return ExecutionResult(
@@ -562,7 +599,7 @@ class PreparedQuery:
             resolver, label,
         )
 
-    def _run_counting(self, constants, db, stats, budget):
+    def _run_counting(self, constants, db, stats, budget, workers=None):
         epochs = db.epochs(self.read_keys)
         entry = self._support_entry
         if (
@@ -607,6 +644,24 @@ class PreparedQuery:
             query_cache=self._bound_query_cache,
             table_store=store,
         )
+        parallel_fallback = None
+        parallel_used = False
+        if (
+            workers is not None
+            and workers >= 2
+            and not self._support_rules  # support resolvers don't ship
+            and (store is None
+                 or store.get((self._goal_key, constants)) is None)
+        ):
+            from ..parallel.counting import parallel_successor_map
+
+            try:
+                engine.successor_resolver = parallel_successor_map(
+                    engine, db, workers
+                )
+                parallel_used = True
+            except EvaluationError as exc:
+                parallel_fallback = type(exc).__name__
         answers = engine.run()
         extras = {
             "counting_rows": len(engine.table),
@@ -615,6 +670,10 @@ class PreparedQuery:
             "max_frontier": engine.max_frontier,
             "counting_table_reused": engine.table_reused,
         }
+        if parallel_used:
+            extras["parallel_phase1_workers"] = workers
+        if parallel_fallback is not None:
+            extras["parallel_fallback"] = parallel_fallback
         if method == "cyclic_counting":
             extras["back_arcs"] = engine.table.back_arc_count
         return answers, extras

@@ -49,6 +49,12 @@ DEFAULT_CHAIN = (
     "naive",
 )
 
+#: Multiprocess-first chain: the sharded fixpoint leads, and any worker
+#: failure (a crash mid-round, an unshippable program, a budget firing)
+#: degrades to the serial chain above — the caller always gets complete
+#: answers or a typed exhaustion, never a partial parallel result.
+PARALLEL_CHAIN = ("parallel",) + DEFAULT_CHAIN
+
 #: Failure classes a stage may degrade past.  Anything else (TypeError,
 #: unknown strategy, a genuine bug) propagates immediately.
 DEGRADABLE_ERRORS = (
@@ -66,14 +72,17 @@ class FallbackPolicy:
     :class:`ResourceBudget` per attempt (budgets are single-use; a
     shared budget would charge stage N for stage N-1's spending).
     ``isolate`` runs each attempt on a database snapshot.  ``catch`` is
-    the tuple of error classes that trigger degradation.
+    the tuple of error classes that trigger degradation.  ``workers``
+    sizes the pool of any ``parallel`` stage in the chain (ignored by
+    serial strategies).
     """
 
     __slots__ = ("chain", "timeout", "max_facts", "max_rounds",
-                 "isolate", "catch")
+                 "isolate", "catch", "workers")
 
     def __init__(self, chain=DEFAULT_CHAIN, timeout=None, max_facts=None,
-                 max_rounds=None, isolate=True, catch=DEGRADABLE_ERRORS):
+                 max_rounds=None, isolate=True, catch=DEGRADABLE_ERRORS,
+                 workers=2):
         chain = tuple(chain)
         if not chain:
             raise ValueError("fallback chain must name at least one strategy")
@@ -89,6 +98,7 @@ class FallbackPolicy:
         self.max_rounds = max_rounds
         self.isolate = isolate
         self.catch = tuple(catch)
+        self.workers = workers
 
     def make_budget(self):
         """A fresh per-attempt budget, or ``None`` when unlimited."""
@@ -284,10 +294,12 @@ def run_resilient(query, db, policy=None, breakers=None,
         budget = budget_factory() if budget_factory is not None \
             else policy.make_budget()
         attempt_db = db.copy() if policy.isolate else db
+        options = {"workers": policy.workers} if method == "parallel" \
+            else {}
         started = perf_counter()
         try:
             result = run_strategy(method, query, attempt_db,
-                                  budget=budget)
+                                  budget=budget, **options)
         except policy.catch as exc:
             if breaker is not None and not isinstance(
                 exc, BudgetExceededError

@@ -33,6 +33,9 @@ Strategies
                        cyclic and acyclic data alike.
 ``magic_counting``     the [16] hybrid: counting on the non-recurring
                        part, magic on the recurring part.
+``parallel``           data-parallel sharded semi-naive fixpoint over a
+                       multiprocess worker pool (:mod:`repro.parallel`);
+                       linear positive programs only.
 """
 
 import time
@@ -449,6 +452,33 @@ def run_magic_counting(query, db, budget=None):
                            elapsed=elapsed)
 
 
+def run_parallel(query, db, budget=None, workers=2, inline=False,
+                 plan=None):
+    """Data-parallel sharded fixpoint over a multiprocess worker pool.
+
+    Plans with :func:`~repro.parallel.plan.plan_partitions`, executes
+    with :class:`~repro.parallel.executor.ParallelEngine`; see
+    :mod:`repro.parallel`.  ``workers=0`` (or ``inline=True``) runs the
+    same engine serially in-process — the baseline whose answers *and*
+    merged counters every multiprocess run must reproduce.  Worker
+    failures surface as typed
+    :class:`~repro.parallel.executor.WorkerCrashError`s, so a fallback
+    chain degrades to a serial strategy instead of hanging.
+    """
+    from ..parallel import ParallelEngine
+
+    stats = EvalStats()
+    started = time.perf_counter()
+    engine = ParallelEngine(
+        query, db, workers=workers, stats=stats, budget=budget,
+        plan=plan, inline=inline,
+    )
+    engine.run()
+    elapsed = time.perf_counter() - started
+    return ExecutionResult("parallel", engine.answers, stats,
+                           engine.extras(), elapsed=elapsed)
+
+
 def run_qsq(query, db, budget=None):
     """Top-down query-subquery evaluation (the memoing family's
     direct formulation; work profile tracks magic sets)."""
@@ -480,16 +510,19 @@ STRATEGIES = {
     "sup_magic": run_sup_magic,
     "encoded_counting": run_encoded_counting,
     "qsq": run_qsq,
+    "parallel": run_parallel,
 }
 
 
-def run_strategy(name, query, db, budget=None):
+def run_strategy(name, query, db, budget=None, **options):
     """Run one registered strategy by name.
 
     ``budget`` is an optional
     :class:`~repro.engine.guard.ResourceBudget` threaded through to the
     underlying engines; a budget firing surfaces as a typed
     :class:`~repro.errors.BudgetExceededError` carrying partial stats.
+    Extra keyword ``options`` are forwarded to the strategy runner —
+    the ``parallel`` strategy takes ``workers=N`` this way.
     """
     try:
         runner = STRATEGIES[name]
@@ -503,5 +536,5 @@ def run_strategy(name, query, db, budget=None):
     if not isinstance(db, Database):
         raise TypeError("expected a Database")
     if budget is None:
-        return runner(query, db)
-    return runner(query, db, budget=budget)
+        return runner(query, db, **options)
+    return runner(query, db, budget=budget, **options)

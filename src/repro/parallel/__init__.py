@@ -1,0 +1,31 @@
+"""Data-parallel sharded fixpoint evaluation (plan/execute split).
+
+:mod:`repro.parallel.plan` computes an explicit
+:class:`~repro.parallel.plan.PartitionedPlan` for a query — partition
+columns, shard-vs-broadcast decisions, delta-exchange schedule — and
+:mod:`repro.parallel.executor` runs it over a persistent
+``multiprocessing`` worker pool.  :mod:`repro.parallel.counting`
+parallelizes phase 1 of the counting method (the left-graph DFS) with
+a byte-identical serial replay.  See ``docs/api.md`` ("Parallel
+evaluation") for the worker lifecycle and fallback semantics.
+"""
+
+from .executor import ParallelEngine, PlanViolationError, WorkerCrashError
+from .plan import (
+    DEFAULT_BROADCAST_ROWS,
+    PartitionedPlan,
+    plan_partitions,
+    shard_of,
+    shard_rows,
+)
+
+__all__ = [
+    "DEFAULT_BROADCAST_ROWS",
+    "ParallelEngine",
+    "PartitionedPlan",
+    "PlanViolationError",
+    "WorkerCrashError",
+    "plan_partitions",
+    "shard_of",
+    "shard_rows",
+]

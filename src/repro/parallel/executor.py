@@ -1,0 +1,759 @@
+"""Multiprocess executor for a :class:`~repro.parallel.plan.PartitionedPlan`.
+
+The executor implements delta-partitioned semi-naive evaluation for
+linear programs:
+
+* The **coordinator** (this process) owns the authoritative derived
+  relations.  It evaluates each clique's exit rules itself against the
+  full database, then drives the recursive fixpoint: every global
+  round it routes the current delta facts to their owner workers,
+  waits at the barrier, and integrates the derivations the workers
+  send back (counting ``facts_derived`` / ``facts_duplicate`` exactly
+  once per derivation occurrence).
+
+* Each **worker** holds the shards and broadcast replicas its plan
+  entry assigned, plus replicas of lower-clique IDB relations.  Per
+  round it fires every recursive rule once per routed delta fact —
+  binding the recursive atom to the fact and joining the rest of the
+  body locally — and ships the derived rows (with per-row
+  multiplicities, so duplicate derivations still reach the
+  coordinator's counters) back over the columnar
+  ``ColumnStore.to_bytes`` fast path.
+
+Because every delta fact is processed by exactly one worker and every
+derivation occurrence is integrated exactly once, the merged
+:class:`~repro.engine.instrumentation.EvalStats` of a ``W``-worker run
+equals the same engine's single-process run for any ``W`` — the
+property the differential suites and the scaling benchmark assert.
+Intern pools are synchronized once at pool start (workers replay the
+coordinator's dense value table in order, so ids are stable
+thereafter); all shard and delta traffic is raw int64 columns.
+
+Any worker failure — a typed error shipped back, a SIGKILLed process,
+a broken pipe — surfaces as an :class:`~repro.errors.EvaluationError`
+subtype, so a resilient fallback chain degrades to a serial strategy
+with a typed attempt record instead of hanging or returning partial
+answers.
+"""
+
+import multiprocessing
+import pickle
+import time
+from array import array
+
+from ..datalog.analysis import ProgramAnalysis
+from ..datalog.terms import Constant
+from ..datalog.unify import match_value, resolve
+from ..engine import faults
+from ..engine.columnar import ColumnStore
+from ..engine.database import Database
+from ..engine.faults import FaultInjector
+from ..engine.fixpoint import goal_filter, project_free
+from ..engine.guard import ResourceBudget
+from ..engine.instrumentation import EvalStats
+from ..engine.interning import InternPool
+from ..engine.join import evaluate_body, evaluate_rule, ground_head
+from ..engine.relation import Relation
+from ..errors import DeadlineExceeded, EvaluationError, ReproError
+from .plan import plan_partitions, shard_of, shard_rows
+
+#: Seconds between liveness checks while waiting at a round barrier.
+_POLL_INTERVAL = 0.05
+
+#: Default barrier patience when no budget bounds the wait.  Generous —
+#: it only matters when a worker dies *silently*, and process death is
+#: detected by ``is_alive`` within one poll interval anyway.
+_BARRIER_TIMEOUT = 600.0
+
+
+class WorkerCrashError(EvaluationError):
+    """A pool worker died or its channel broke mid-evaluation.
+
+    An :class:`EvaluationError`, so the resilient runner treats the
+    crash like any other strategy failure and degrades to the next
+    (serial) strategy in the chain.
+    """
+
+
+class PlanViolationError(EvaluationError):
+    """A worker observed state the partition plan promised impossible.
+
+    The canonical case is a derived value missing from the worker's
+    intern pool: the planner guarantees all derivable values are known
+    at pool start, so a miss means the plan mis-classified the program
+    and the only safe move is to abandon the parallel attempt.
+    """
+
+
+# ----------------------------------------------------------------- #
+# encoding helpers                                                   #
+# ----------------------------------------------------------------- #
+
+
+def _encode_rows(pool, rows, arity, intern=False):
+    """Value rows -> columnar int64 bytes via the shared intern pool.
+
+    ``intern=True`` is the coordinator's pre-synchronization mode: it
+    may still allocate fresh ids (the legacy row backend never interns
+    on insert, so the pool can be cold).  After the pool ships, every
+    encode must find its values already known — a miss there is a plan
+    violation, not a cue to allocate an id the workers don't have.
+
+    Encoding runs column-at-a-time: each column is one C-level
+    ``map`` into an ``array('q')``, which is what keeps the exchange
+    overhead of a sharded round a small fraction of its join work.
+    """
+    if not isinstance(rows, (list, tuple)):
+        rows = list(rows)
+    lookup = pool.ident if intern else pool.peek
+    try:
+        columns = tuple(
+            array("q", map(lookup, (row[position] for row in rows)))
+            for position in range(arity)
+        )
+    except TypeError:
+        # peek returned None for a value the plan promised was known.
+        raise PlanViolationError(
+            "value not in the synchronized intern pool"
+        )
+    return ColumnStore(arity, columns).to_bytes()
+
+
+def _decode_rows(pool, data):
+    """Columnar bytes -> list of value rows.
+
+    The inverse fast path of :func:`_encode_rows`: every column is one
+    C-level ``map`` through the pool's dense value table, zipped back
+    into row tuples.
+    """
+    store = ColumnStore.from_bytes(data)
+    columns = store._columns
+    if not columns:
+        return []
+    values = pool._values
+    return list(zip(*[map(values.__getitem__, col) for col in columns]))
+
+
+def _relation_rows(relation):
+    """All rows of a relation in insertion order (both backends).
+
+    Epoch-pinned snapshot views (the serving layer's generations) carry
+    no ``_log`` of their own; materializing the frozen relation first
+    yields the same insertion-ordered log truncated at the pin.
+    """
+    log = getattr(relation, "_log", None)
+    if log is None:
+        log = relation._rel()._log
+    return list(log)
+
+
+def _bind_fact(atom, row):
+    """Substitution binding ``atom`` to the ground ``row``, or None."""
+    subst = {}
+    for arg, value in zip(atom.args, row):
+        resolved = resolve(arg, subst)
+        if isinstance(resolved, Constant):
+            if resolved.value != value:
+                return None
+        else:
+            subst = match_value(resolved, value, subst)
+            if subst is None:
+                return None
+    return subst
+
+
+def _rule_tables(program):
+    """Per delta-predicate dispatch tables for the recursive rules.
+
+    Maps each predicate key to the list of ``(rule, recursive atom,
+    rest-of-body)`` entries whose recursive atom has that predicate;
+    ``rest`` preserves the original literal order minus the recursive
+    atom, so join scan order (and therefore ``tuples_scanned``)
+    matches a single-process evaluation of the same rule.
+    """
+    analysis = ProgramAnalysis(program)
+    tables = {}
+    for clique in analysis.components:
+        for rule in clique.recursive_rules:
+            left, rec, right = clique.split_body(rule)
+            tables.setdefault(rec.key, []).append(
+                (rule, rec, tuple(left) + tuple(right))
+            )
+    return tables
+
+
+# ----------------------------------------------------------------- #
+# worker side                                                        #
+# ----------------------------------------------------------------- #
+
+
+class _WorkerState:
+    """Everything one pool worker keeps between rounds."""
+
+    def __init__(self, index, payload):
+        self.index = index
+        self.pool = InternPool()
+        for value in payload["values"]:
+            self.pool.ident(value)
+        self.relations = {}
+        for key, (arity, blob) in sorted(payload["relations"].items()):
+            relation = Relation(key[0], arity, pool=self.pool)
+            for row in _decode_rows(self.pool, blob):
+                relation.add(row)
+            self.relations[key] = relation
+        # Empty replicas for every lower-clique IDB relation a
+        # recursive rule looks up; filled by "replicate" messages.
+        for key in payload["replicas"]:
+            self.relations.setdefault(
+                key, Relation(key[0], key[1], pool=self.pool)
+            )
+        self.rules = _rule_tables(payload["program"])
+        self.stats = EvalStats()
+        timeout = payload.get("timeout")
+        self.budget = (
+            ResourceBudget(timeout=timeout) if timeout is not None
+            else None
+        )
+
+    def _resolve(self, _index, atom):
+        relation = self.relations.get(atom.key)
+        if relation is None:
+            raise PlanViolationError(
+                "worker %d has no replica of %s/%d"
+                % (self.index, atom.key[0], atom.key[1])
+            )
+        return relation
+
+    def process_round(self, deltas):
+        """Fire recursive rules for the routed delta facts.
+
+        Returns the per-round stats delta and, per head predicate, the
+        derived rows with their derivation multiplicities — duplicates
+        are *not* collapsed silently, the coordinator charges them to
+        ``facts_duplicate`` exactly as a single-process run would.
+        """
+        round_stats = EvalStats()
+        derived = {}
+        for pred_key in sorted(deltas):
+            rows = _decode_rows(self.pool, deltas[pred_key])
+            entries = self.rules.get(pred_key, ())
+            for row in rows:
+                for rule, rec, rest in entries:
+                    round_stats.rule_firings += 1
+                    subst = _bind_fact(rec, row)
+                    if subst is None:
+                        continue
+                    for result in evaluate_body(
+                        rest, self._resolve, subst, round_stats
+                    ):
+                        head_row = ground_head(rule.head, result)
+                        bucket = derived.setdefault(rule.head.key, {})
+                        bucket[head_row] = bucket.get(head_row, 0) + 1
+        self.stats.merge(round_stats)
+        if self.budget is not None:
+            self.budget.check(self.stats)
+        faults.fire("round", self.stats)
+        out = {
+            key: (
+                _encode_rows(self.pool, bucket.keys(), key[1]),
+                array("q", bucket.values()).tobytes(),
+            )
+            for key, bucket in derived.items()
+        }
+        return round_stats, out
+
+    def replicate(self, blobs):
+        """Install post-clique replicas of lower-clique IDB relations."""
+        for key, (arity, blob) in sorted(blobs.items()):
+            relation = self.relations.get(key)
+            if relation is None:
+                relation = Relation(key[0], arity, pool=self.pool)
+                self.relations[key] = relation
+            for row in _decode_rows(self.pool, blob):
+                relation.add(row)
+
+
+def _worker_main(index, conn, payload):
+    """Entry point of one pool process: a lockstep message loop."""
+    import gc
+
+    # A pool worker lives for one evaluation and exits.  Cyclic GC in
+    # the child walks the whole fork-inherited heap (refcount writes
+    # fault in copy-on-write pages of everything the coordinator ever
+    # allocated), which can dwarf the worker's actual join work under
+    # a large parent process; anything cyclic the worker allocates is
+    # reclaimed by process exit anyway.
+    gc.disable()
+    injector = None
+    try:
+        # Under the fork start method the child inherits the
+        # coordinator's *installed* injector (module global plus
+        # patched Relation methods).  Uninstall it first: the worker
+        # runs its own derived injector, seeded for this index.
+        inherited = faults.active_injector()
+        if inherited is not None:
+            inherited.uninstall()
+        spec = payload.get("faults")
+        if spec is not None:
+            injector = FaultInjector.from_spec(spec).derive(index)
+            injector.install()
+        state = _WorkerState(index, payload)
+    except BaseException as exc:  # noqa: BLE001 - shipped to coordinator
+        _send_error(conn, exc)
+        return
+    try:
+        while True:
+            message = conn.recv()
+            op = message[0]
+            if op == "close":
+                return
+            try:
+                if op == "round":
+                    round_stats, derived = state.process_round(message[1])
+                    conn.send(("ok", round_stats, derived))
+                elif op == "replicate":
+                    state.replicate(message[1])
+                    conn.send(("ok", None, {}))
+                else:
+                    raise EvaluationError("unknown worker op %r" % (op,))
+            except ReproError as exc:
+                _send_error(conn, exc)
+                return
+    except (EOFError, OSError, KeyboardInterrupt):
+        return
+    finally:
+        if injector is not None:
+            injector.uninstall()
+
+
+def _send_error(conn, exc):
+    try:
+        conn.send(("error", exc))
+    except (pickle.PicklingError, TypeError, OSError):
+        # Last resort: strip the payload rather than dying silently.
+        try:
+            conn.send(("error", EvaluationError(str(exc))))
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------- #
+# coordinator side                                                   #
+# ----------------------------------------------------------------- #
+
+
+class _InlineWorker:
+    """The pool-of-one used by serial mode: same code path, no IPC.
+
+    Joins read the coordinator's database and derived relations
+    directly — the single "shard" of every relation is the whole
+    relation — so the serial baseline measures pure engine work with
+    zero exchange overhead, which is exactly what the parallel run's
+    speedup should be judged against.
+    """
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.rules = _rule_tables(engine.query.program)
+
+    def _resolve(self, _index, atom):
+        relation = self.engine.derived.get(atom.key)
+        if relation is not None:
+            return relation
+        return self.engine.db.get(atom.key)
+
+    def process_round(self, deltas):
+        round_stats = EvalStats()
+        derived = {}
+        for pred_key in sorted(deltas):
+            entries = self.rules.get(pred_key, ())
+            for row in deltas[pred_key]:
+                for rule, rec, rest in entries:
+                    round_stats.rule_firings += 1
+                    subst = _bind_fact(rec, row)
+                    if subst is None:
+                        continue
+                    for result in evaluate_body(
+                        rest, self._resolve, subst, round_stats
+                    ):
+                        head_row = ground_head(rule.head, result)
+                        bucket = derived.setdefault(rule.head.key, {})
+                        bucket[head_row] = bucket.get(head_row, 0) + 1
+        return round_stats, derived
+
+
+class ParallelEngine:
+    """Coordinator of one sharded fixpoint evaluation.
+
+    ``workers=0`` (or ``inline=True``) selects serial mode: the same
+    plan, rounds and counters with no child processes — the reference
+    the multiprocess counters must match and the baseline the scaling
+    benchmark compares against.
+    """
+
+    def __init__(self, query, db, workers=2, stats=None, budget=None,
+                 plan=None, inline=False):
+        if not isinstance(db, Database):
+            raise TypeError("expected a Database")
+        self.query = query
+        self.db = db
+        self.inline = inline or workers == 0
+        self.workers = 0 if self.inline else max(1, workers)
+        self.stats = stats if stats is not None else EvalStats()
+        self.budget = budget
+        self.plan = plan
+        self.analysis = None
+        self.derived = {}
+        self.tuples = frozenset()
+        self.answers = frozenset()
+        self.plan_seconds = 0.0
+        self.execute_seconds = 0.0
+        self.barriers = 0
+        self.exchange_bytes = 0
+        self._pool = []  # [(process, conn)] in worker order
+
+    # -- planning ----------------------------------------------------
+
+    def _plan_phase(self):
+        started = time.perf_counter()
+        if self.plan is None:
+            self.plan = plan_partitions(
+                self.query, self.db, max(1, self.workers or 1)
+            )
+        # Intern every program and goal constant now: after the pool
+        # synchronizes, no evaluation step may allocate a fresh id.
+        pool = self.db.intern_pool
+        atoms = [self.query.goal]
+        for rule in self.query.program:
+            atoms.append(rule.head)
+            atoms.extend(rule.body_atoms())
+        for atom in atoms:
+            for arg in atom.args:
+                if isinstance(arg, Constant):
+                    pool.ident(arg.value)
+        self.analysis = ProgramAnalysis(self.query.program)
+        self.plan_seconds = time.perf_counter() - started
+
+    # -- pool lifecycle ----------------------------------------------
+
+    def _spawn_pool(self):
+        pool_size = self.workers
+        pool = self.db.intern_pool
+        # Encode before snapshotting the value table: under the legacy
+        # row backend inserts never intern, so shard encoding is what
+        # assigns the dense ids the workers will replay.
+        shard_blobs = [dict() for _ in range(pool_size)]
+        for key, column in sorted(self.plan.sharded.items()):
+            rows = _relation_rows(self.db.get(key))
+            for index, shard in enumerate(
+                shard_rows(rows, column, pool_size, pool)
+            ):
+                shard_blobs[index][key] = (
+                    key[1], _encode_rows(pool, shard, key[1], intern=True)
+                )
+        for key in self.plan.broadcast:
+            blob = _encode_rows(
+                pool, _relation_rows(self.db.get(key)), key[1],
+                intern=True,
+            )
+            for index in range(pool_size):
+                shard_blobs[index][key] = (key[1], blob)
+        # Coordinator-only base relations still feed delta rows through
+        # the exit rounds, so their values must be in the shipped table
+        # too (the columnar backend interns on insert; the legacy one
+        # does not).
+        shipped = set(self.plan.sharded) | set(self.plan.broadcast)
+        ident_row = pool.ident_row
+        for key in sorted(self.analysis.base_predicates()):
+            if key in shipped:
+                continue
+            for row in _relation_rows(self.db.get(key)):
+                ident_row(row)
+        values = list(pool._values)
+        replicas = sorted(
+            key
+            for keys in self.plan.replicate_after.values()
+            for key in keys
+        )
+        injector = faults.active_injector()
+        spec = injector.spec() if injector is not None else None
+        timeout = None
+        if self.budget is not None and not self.budget.is_unlimited():
+            remaining = self.budget.remaining()
+            if remaining is not None:
+                timeout = remaining
+        context = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        for index in range(pool_size):
+            parent, child = context.Pipe(duplex=True)
+            payload = {
+                "values": values,
+                "relations": shard_blobs[index],
+                "replicas": replicas,
+                "program": self.query.program,
+                "timeout": timeout,
+                "faults": spec,
+            }
+            process = context.Process(
+                target=_worker_main,
+                args=(index, child, payload),
+                daemon=True,
+            )
+            process.start()
+            child.close()
+            self._pool.append((process, parent))
+
+    def _shutdown_pool(self):
+        for process, conn in self._pool:
+            try:
+                conn.send(("close",))
+            except (OSError, ValueError):
+                pass
+        for process, conn in self._pool:
+            process.join(timeout=0.5)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=0.5)
+            conn.close()
+        self._pool = []
+
+    def _send(self, index, message):
+        process, conn = self._pool[index]
+        try:
+            conn.send(message)
+        except (OSError, ValueError):
+            raise WorkerCrashError(
+                "worker %d unreachable (process %s)"
+                % (index, "alive" if process.is_alive() else "dead"),
+                stats=self.stats,
+            )
+
+    def _collect(self, index):
+        """Receive one reply, converting death and silence into typed
+        errors instead of hanging the barrier."""
+        process, conn = self._pool[index]
+        waited = 0.0
+        while True:
+            if conn.poll(_POLL_INTERVAL):
+                try:
+                    reply = conn.recv()
+                except (EOFError, OSError):
+                    raise WorkerCrashError(
+                        "worker %d closed its channel mid-round"
+                        % index,
+                        stats=self.stats,
+                    )
+                if reply[0] == "error":
+                    raise reply[1]
+                return reply
+            if not process.is_alive():
+                raise WorkerCrashError(
+                    "worker %d died mid-round (exit code %r)"
+                    % (index, process.exitcode),
+                    stats=self.stats,
+                )
+            waited += _POLL_INTERVAL
+            if self.budget is not None and self.budget.expired():
+                raise DeadlineExceeded(
+                    "deadline passed waiting at a round barrier",
+                    stats=self.stats,
+                )
+            if waited > _BARRIER_TIMEOUT:
+                raise WorkerCrashError(
+                    "worker %d silent for %.0fs at a round barrier"
+                    % (index, waited),
+                    stats=self.stats,
+                )
+
+    # -- evaluation --------------------------------------------------
+
+    def _relation(self, key):
+        relation = self.derived.get(key)
+        if relation is None:
+            relation = Relation(
+                key[0], key[1], pool=self.db.intern_pool
+            )
+            self.derived[key] = relation
+        return relation
+
+    def _resolve(self, _index, atom):
+        if atom.key in self.analysis.derived:
+            return self._relation(atom.key)
+        return self.db.get(atom.key)
+
+    def _integrate(self, key, row, multiplicity, deltas, ids=None):
+        """Count one derivation batch and extend the next delta.
+
+        In multiprocess mode the delta lists carry *id* rows — the
+        routing currency — so integration passes the ids it already
+        has from the wire (``ids``) or encodes them once here; inline
+        mode keeps value rows, its worker joins on values directly.
+        """
+        if self._relation(key).add(row):
+            self.stats.facts_derived += 1
+            self.stats.facts_duplicate += multiplicity - 1
+            if self.inline:
+                deltas.setdefault(key, []).append(row)
+            else:
+                if ids is None:
+                    peek = self.db.intern_pool.peek
+                    ids = tuple(peek(value) for value in row)
+                deltas.setdefault(key, []).append(ids)
+        else:
+            self.stats.facts_duplicate += multiplicity
+
+    def _round_boundary(self):
+        self.stats.iterations += 1
+        if self.budget is not None:
+            self.budget.check(self.stats)
+        faults.fire("round", self.stats)
+
+    def _exit_round(self, clique):
+        """Evaluate a clique's exit rules on the coordinator."""
+        deltas = {}
+        for rule in clique.exit_rules:
+            for row in evaluate_rule(rule, self._resolve, self.stats):
+                self._integrate(rule.head.key, row, 1, deltas)
+        self._round_boundary()
+        return deltas
+
+    def _route(self, deltas):
+        """Split delta id rows across workers by their owner column.
+
+        Routing and encoding are fused: the delta lists already hold
+        id rows (see :meth:`_integrate`), so the owner comes straight
+        from the partition column's id and the ids land directly in
+        the owner's column arrays — no value lookups, no intermediate
+        per-shard row lists.
+        """
+        workers = self.workers
+        routed = [dict() for _ in range(workers)]
+        for key in sorted(deltas):
+            column = self.plan.partition[key]
+            arity = key[1]
+            shards = [
+                tuple(array("q") for _ in range(arity))
+                for _ in range(workers)
+            ]
+            try:
+                for ids in deltas[key]:
+                    owner = shard_of(ids[column], workers)
+                    for col, ident in zip(shards[owner], ids):
+                        col.append(ident)
+            except TypeError:
+                raise PlanViolationError(
+                    "delta value not in the synchronized intern pool"
+                )
+            for index, columns in enumerate(shards):
+                if columns and len(columns[0]):
+                    routed[index][key] = ColumnStore(
+                        arity, columns
+                    ).to_bytes()
+        return routed
+
+    def _recursive_rounds(self, inline_worker, deltas):
+        """Drive rounds until every delta is empty (global fixpoint)."""
+        while deltas:
+            if inline_worker is not None:
+                round_stats, derived = inline_worker.process_round(deltas)
+                self.stats.merge(round_stats)
+                deltas = {}
+                for key in sorted(derived):
+                    for row, count in derived[key].items():
+                        self._integrate(key, row, count, deltas)
+            else:
+                routed = self._route(deltas)
+                for index in range(self.workers):
+                    for blob in routed[index].values():
+                        self.exchange_bytes += len(blob)
+                    self._send(index, ("round", routed[index]))
+                replies = [
+                    self._collect(index)
+                    for index in range(self.workers)
+                ]
+                self.barriers += 1
+                deltas = {}
+                for _tag, round_stats, derived in replies:
+                    self.stats.merge(round_stats)
+                for _tag, _stats, derived in replies:
+                    for key in sorted(derived):
+                        blob, count_blob = derived[key]
+                        self.exchange_bytes += len(blob)
+                        store = ColumnStore.from_bytes(blob)
+                        columns = store._columns
+                        values = self.db.intern_pool._values
+                        id_rows = (
+                            list(zip(*columns)) if columns else []
+                        )
+                        rows = [
+                            tuple(map(values.__getitem__, ids))
+                            for ids in id_rows
+                        ]
+                        counts = array("q")
+                        counts.frombytes(count_blob)
+                        for row, ids, count in zip(
+                            rows, id_rows, counts
+                        ):
+                            self._integrate(
+                                key, row, count, deltas, ids=ids
+                            )
+            self._round_boundary()
+
+    def _replicate(self, clique_index):
+        keys = self.plan.replicate_after.get(clique_index, ())
+        if not keys or self.inline:
+            return
+        pool = self.db.intern_pool
+        blobs = {}
+        for key in keys:
+            rows = _relation_rows(self._relation(key))
+            blobs[key] = (key[1], _encode_rows(pool, rows, key[1]))
+        for index in range(self.workers):
+            for _arity, blob in blobs.values():
+                self.exchange_bytes += len(blob)
+            self._send(index, ("replicate", blobs))
+        for index in range(self.workers):
+            self._collect(index)
+        self.barriers += 1
+
+    def run(self):
+        """Evaluate to fixpoint; populates tuples/answers/stats."""
+        self._plan_phase()
+        started = time.perf_counter()
+        inline_worker = _InlineWorker(self) if self.inline else None
+        try:
+            if not self.inline:
+                self._spawn_pool()
+            for clique_index, clique in enumerate(
+                self.analysis.components
+            ):
+                deltas = self._exit_round(clique)
+                if clique.is_recursive():
+                    self._recursive_rounds(inline_worker, deltas)
+                self._replicate(clique_index)
+        finally:
+            self._shutdown_pool()
+            self.execute_seconds = time.perf_counter() - started
+        goal = self.query.goal
+        relation = self.derived.get(goal.key)
+        if relation is None:
+            relation = self.db.get(goal.key)
+        self.tuples = frozenset(goal_filter(goal, relation))
+        self.answers = frozenset(project_free(goal, self.tuples))
+        return self
+
+    def extras(self):
+        """Deterministic run description for ExecutionResult extras."""
+        return {
+            "workers": self.workers,
+            "barriers": self.barriers,
+            "exchange_bytes": self.exchange_bytes,
+            "phase_seconds": {
+                "plan": self.plan_seconds,
+                "execute": self.execute_seconds,
+            },
+            "plan": self.plan.as_dict() if self.plan else None,
+        }

@@ -1,0 +1,344 @@
+"""Partition planning for data-parallel semi-naive evaluation.
+
+The plan/execute split follows the project-join planning discipline of
+DPMC/ProCount: a *planner* inspects the stratified program once and
+emits an explicit, serializable :class:`PartitionedPlan`; a separate
+executor (:mod:`repro.parallel.executor`) distributes it over a worker
+pool without re-deriving any decision.  The plan answers three
+questions:
+
+* **How is each derived predicate partitioned?**  Every IDB predicate
+  gets one *partition column*; a derived fact is owned by the worker
+  ``shard_of(id(fact[column]), workers)``.  Delta facts are routed to
+  their owner at round barriers, so each delta fact drives joins on
+  exactly one worker — the per-fact work counters therefore sum to the
+  single-worker totals regardless of pool size.
+
+* **Which base relations are sharded, which broadcast?**  A base
+  relation referenced by a recursive rule can be *sharded* on column
+  ``s`` only if every such occurrence is co-located with the recursive
+  atom's partition column — i.e. ``R``'s column ``s`` carries the same
+  variable as the recursive atom's partition position, so a worker's
+  index probes into its local shard return exactly the global bucket.
+  Anything else (and anything smaller than ``broadcast_threshold``
+  rows, where shipping shards costs more than replicating — the size
+  bound that *Size Bound-Adorned Datalog* uses to decide what is worth
+  distributing at all) is *broadcast* whole.  Base relations only
+  referenced by exit rules stay on the coordinator, which evaluates
+  exit rules against the full database.
+
+* **What is exchanged at each round barrier?**  Per recursive rule the
+  plan records the delta predicate and its routing column; per clique
+  it records which lower-clique IDB relations must be replicated to
+  workers once that clique closes (they appear as lookup targets in
+  later recursive rules).
+
+The planner only accepts programs the sharded executor can evaluate
+exactly: positive linear rules over plain variables and constants.
+Everything else raises :class:`~repro.errors.NotApplicableError`, which
+the resilient fallback chain treats as a normal "try the next strategy"
+signal.
+"""
+
+from ..datalog.analysis import ProgramAnalysis
+from ..datalog.atoms import Atom
+from ..datalog.rules import Query
+from ..datalog.terms import Constant, Variable
+from ..errors import NotApplicableError
+
+#: Base relations smaller than this many rows are replicated to every
+#: worker rather than sharded: the per-row routing bookkeeping would
+#: outweigh the memory saved.
+DEFAULT_BROADCAST_ROWS = 64
+
+
+def shard_of(ident, workers):
+    """Owner worker of an interned id — deterministic across processes.
+
+    Python's builtin ``hash`` is salted per process (PYTHONHASHSEED),
+    so ownership is derived from the dense intern-pool id with a fixed
+    avalanche mix instead; the same fact maps to the same worker in
+    the coordinator and in every pool member.
+    """
+    mixed = ((ident * 0x9E3779B1) ^ (ident >> 11)) & 0xFFFFFFFFFFFFFFFF
+    return mixed % workers
+
+
+def shard_rows(rows, column, workers, pool):
+    """Partition ``rows`` into ``workers`` lists by ``column``'s id.
+
+    The union of the returned lists is exactly ``rows`` and every row
+    appears in exactly one list (the property the partition tests pin
+    down); within a list the input order is preserved.
+    """
+    shards = [[] for _ in range(workers)]
+    ident = pool.ident
+    for row in rows:
+        shards[shard_of(ident(row[column]), workers)].append(row)
+    return shards
+
+
+class PartitionedPlan:
+    """A complete, serializable sharding decision for one query.
+
+    Attributes
+    ----------
+    workers : pool size the plan was computed for.
+    partition : dict of derived predicate key -> partition column.
+    sharded : dict of base predicate key -> shard column.
+    broadcast : tuple of base predicate keys replicated to every worker.
+    replicate_after : dict of clique index -> tuple of derived keys to
+        broadcast once that clique closes.
+    exchange : dict of recursive rule label -> (delta predicate key,
+        routing column, head predicate key) — the per-round delta
+        exchange schedule.
+    """
+
+    __slots__ = (
+        "workers", "partition", "sharded", "broadcast",
+        "replicate_after", "exchange", "broadcast_threshold",
+    )
+
+    def __init__(self, workers, partition, sharded, broadcast,
+                 replicate_after, exchange, broadcast_threshold):
+        self.workers = workers
+        self.partition = dict(partition)
+        self.sharded = dict(sharded)
+        self.broadcast = tuple(sorted(broadcast))
+        self.replicate_after = {
+            index: tuple(sorted(keys))
+            for index, keys in replicate_after.items()
+        }
+        self.exchange = dict(exchange)
+        self.broadcast_threshold = broadcast_threshold
+
+    def as_dict(self):
+        """Deterministic summary; equal plans render equal dicts."""
+        return {
+            "workers": self.workers,
+            "partition": {
+                "%s/%d" % key: column
+                for key, column in sorted(self.partition.items())
+            },
+            "sharded": {
+                "%s/%d" % key: column
+                for key, column in sorted(self.sharded.items())
+            },
+            "broadcast": ["%s/%d" % key for key in self.broadcast],
+            "replicate_after": {
+                index: ["%s/%d" % key for key in keys]
+                for index, keys in sorted(self.replicate_after.items())
+            },
+            "exchange": {
+                label: {
+                    "delta": "%s/%d" % entry[0],
+                    "column": entry[1],
+                    "head": "%s/%d" % entry[2],
+                }
+                for label, entry in sorted(self.exchange.items())
+            },
+        }
+
+    def describe(self):
+        """One human-readable line per decision."""
+        parts = ["workers=%d" % self.workers]
+        for key, column in sorted(self.sharded.items()):
+            parts.append("shard %s/%d by #%d" % (key[0], key[1], column))
+        for key in self.broadcast:
+            parts.append("broadcast %s/%d" % key)
+        return "; ".join(parts)
+
+    def __repr__(self):
+        return "PartitionedPlan(workers=%d, %d sharded, %d broadcast)" % (
+            self.workers, len(self.sharded), len(self.broadcast)
+        )
+
+
+def _plain_terms_only(atom):
+    """True when every argument is a plain variable or constant."""
+    return all(
+        isinstance(arg, (Variable, Constant)) for arg in atom.args
+    )
+
+
+def _check_applicable(query, analysis):
+    """Raise :class:`NotApplicableError` unless the program is sharded-
+    evaluation safe: positive bodies, linear recursion, plain terms,
+    no program-level facts."""
+    program = query.program
+    if program.facts():
+        raise NotApplicableError(
+            "parallel plan requires a fact-free program "
+            "(ground facts overlay the database)"
+        )
+    for rule in program:
+        if len(rule.body_atoms()) != len(rule.body):
+            raise NotApplicableError(
+                "parallel plan handles positive atom bodies only; "
+                "rule %s has negation or comparisons" % rule.label
+            )
+        for atom in (rule.head,) + rule.body_atoms():
+            if not _plain_terms_only(atom):
+                raise NotApplicableError(
+                    "parallel plan requires plain variable/constant "
+                    "arguments; rule %s uses structured terms"
+                    % rule.label
+                )
+    for clique in analysis.components:
+        if clique.is_recursive() and not clique.is_linear():
+            raise NotApplicableError(
+                "parallel plan requires linear recursion; clique %r "
+                "has a non-linear rule" % (sorted(clique.predicates),)
+            )
+
+
+def _partition_columns(analysis):
+    """Choose one partition column per derived predicate.
+
+    For each predicate the positions of its recursive-atom occurrences
+    are scored by how often they carry a *join* variable (one shared
+    with another body atom): routing deltas by a join key is what lets
+    base relations co-locate their shards.  Ties and predicates with no
+    recursive occurrence fall back to column 0 — any deterministic
+    owner function is correct, join-key ownership is merely faster.
+    """
+    scores = {}
+    for clique in analysis.components:
+        for rule in clique.recursive_rules:
+            rec = clique.recursive_atom(rule)
+            others = [
+                atom for atom in rule.body_atoms() if atom is not rec
+            ]
+            for position, arg in enumerate(rec.args):
+                if not isinstance(arg, Variable):
+                    continue
+                joins = any(
+                    arg in other.args for other in others
+                )
+                bucket = scores.setdefault(rec.key, {})
+                bucket[position] = bucket.get(position, 0) + (
+                    1 if joins else 0
+                )
+    partition = {}
+    for key in analysis.derived:
+        bucket = scores.get(key, {})
+        if bucket:
+            best = max(bucket.values())
+            partition[key] = min(
+                position for position, score in bucket.items()
+                if score == best
+            )
+        else:
+            partition[key] = 0
+    return partition
+
+
+def _shard_decisions(analysis, partition, db, broadcast_threshold):
+    """Classify worker-referenced base relations: sharded or broadcast.
+
+    A base relation is worker-referenced when it appears in a recursive
+    rule body (exit rules are evaluated on the coordinator against the
+    full database, so their occurrences impose no constraint).  The
+    relation shards on column ``s`` only if *every* recursive-rule
+    occurrence carries, at position ``s``, the same variable as the
+    recursive atom's partition position — then each worker's probes hit
+    only locally-present buckets and per-probe counters match the
+    single-shard run exactly.
+    """
+    base = analysis.base_predicates()
+    occurrences = {}
+    for clique in analysis.components:
+        for rule in clique.recursive_rules:
+            rec = clique.recursive_atom(rule)
+            column = partition[rec.key]
+            anchor = rec.args[column]
+            for atom in rule.body_atoms():
+                if atom is rec or atom.key not in base:
+                    continue
+                occurrences.setdefault(atom.key, []).append(
+                    (atom, anchor)
+                )
+    sharded = {}
+    broadcast = set()
+    for key in sorted(occurrences):
+        size = len(db.get(key))
+        if size < broadcast_threshold:
+            broadcast.add(key)
+            continue
+        candidates = set(range(key[1]))
+        for atom, anchor in occurrences[key]:
+            local = {
+                position
+                for position, arg in enumerate(atom.args)
+                if isinstance(anchor, Variable)
+                and isinstance(arg, Variable)
+                and arg == anchor
+            }
+            candidates &= local
+            if not candidates:
+                break
+        if candidates:
+            sharded[key] = min(candidates)
+        else:
+            broadcast.add(key)
+    return sharded, broadcast
+
+
+def _replication_schedule(analysis):
+    """Lower-clique IDB relations that later recursive rules look up.
+
+    Linear recursion guarantees every non-recursive body atom of a
+    recursive rule names a base predicate or a predicate of an earlier
+    clique; the latter must be replicated to workers once its producing
+    clique closes."""
+    replicate_after = {}
+    clique_index = {}
+    for index, clique in enumerate(analysis.components):
+        for key in clique.predicates:
+            clique_index[key] = index
+    for clique in analysis.components:
+        for rule in clique.recursive_rules:
+            rec = clique.recursive_atom(rule)
+            for atom in rule.body_atoms():
+                if atom is rec or atom.key not in analysis.derived:
+                    continue
+                producer = clique_index[atom.key]
+                replicate_after.setdefault(producer, set()).add(atom.key)
+    return replicate_after
+
+
+def plan_partitions(query, db, workers,
+                    broadcast_threshold=DEFAULT_BROADCAST_ROWS):
+    """Compute a :class:`PartitionedPlan` for ``query`` over ``db``.
+
+    Deterministic: the same (program, database sizes, workers,
+    threshold) always yields the same plan — a property the test suite
+    pins by comparing :meth:`PartitionedPlan.as_dict` across calls.
+    """
+    if not isinstance(query, Query):
+        raise TypeError("expected a Query")
+    if workers < 1:
+        raise NotApplicableError("parallel plan needs workers >= 1")
+    analysis = ProgramAnalysis(query.program)
+    _check_applicable(query, analysis)
+    partition = _partition_columns(analysis)
+    sharded, broadcast = _shard_decisions(
+        analysis, partition, db, broadcast_threshold
+    )
+    replicate_after = _replication_schedule(analysis)
+    exchange = {}
+    for clique in analysis.components:
+        for rule in clique.recursive_rules:
+            rec = clique.recursive_atom(rule)
+            exchange[rule.label] = (
+                rec.key, partition[rec.key], rule.head.key
+            )
+    return PartitionedPlan(
+        workers=workers,
+        partition=partition,
+        sharded=sharded,
+        broadcast=broadcast,
+        replicate_after=replicate_after,
+        exchange=exchange,
+        broadcast_threshold=broadcast_threshold,
+    )

@@ -297,11 +297,11 @@ class _TenantState:
 class _Request:
     __slots__ = ("id", "prepared", "constants", "deadline", "budget",
                  "token", "future", "db", "submitted_at", "tenant",
-                 "tstate", "form", "cost")
+                 "tstate", "form", "cost", "eval_workers")
 
     def __init__(self, request_id, prepared, constants, deadline,
                  budget, token, future, db, submitted_at, tenant,
-                 tstate, form, cost):
+                 tstate, form, cost, eval_workers=None):
         self.id = request_id
         #: The resolved prepared form this request evaluates.
         self.prepared = prepared
@@ -321,6 +321,9 @@ class _Request:
         #: Registered form name (None when serving the default form).
         self.form = form
         self.cost = cost
+        #: Granted data-parallel evaluation pool size (post tenant
+        #: clamp), or None for serial evaluation.
+        self.eval_workers = eval_workers
 
 
 class QueryService:
@@ -382,12 +385,22 @@ class QueryService:
     quantum : float
         Deficit-round-robin quantum (deficit earned per rotation per
         unit weight).
+    eval_workers : int or None
+        Default data-parallel evaluation pool size per request (the
+        sharded-fixpoint ``parallel`` strategy / parallel counting
+        phase 1).  ``None`` = serial.  A submit's ``eval_workers``
+        overrides it per request; the tenant quota's
+        ``max_eval_workers`` clamps whatever was asked, so one tenant
+        cannot fan out past its allowance.  Evaluation always degrades
+        to serial on any worker failure — parallelism never changes
+        answers.
     """
 
     def __init__(self, prepared, db, workers=2, queue_capacity=16,
                  default_timeout=None, retry=None, breakers=None,
                  fallback=True, snapshots=True, audit=None, clock=None,
-                 sleep=None, registry=None, tenants=None, quantum=1.0):
+                 sleep=None, registry=None, tenants=None, quantum=1.0,
+                 eval_workers=None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if queue_capacity < 1:
@@ -407,6 +420,9 @@ class QueryService:
         self.fallback = fallback
         self.snapshots = snapshots
         self.audit = audit
+        if eval_workers is not None and eval_workers < 1:
+            raise ValueError("eval_workers must be >= 1")
+        self.eval_workers = eval_workers
         self._clock = clock if clock is not None else time.monotonic
         self._sleep = sleep if sleep is not None else time.sleep
         #: One lock under which admission counters, the inflight gauge
@@ -477,8 +493,13 @@ class QueryService:
     # -- admission -----------------------------------------------------
 
     def submit(self, constants=None, timeout=None, budget=None,
-               tenant=None, form=None, version=None):
+               tenant=None, form=None, version=None, eval_workers=None):
         """Admit one request; returns a :class:`QueryFuture`.
+
+        ``eval_workers`` asks for data-parallel evaluation with that
+        many processes (``None`` inherits the service default).  The
+        grant is clamped to the tenant quota's ``max_eval_workers`` —
+        never shed over it — and a grant below 2 evaluates serially.
 
         Raises — all before the request counts as submitted —
         ``ValueError`` when ``constants`` does not match the form's
@@ -533,6 +554,9 @@ class QueryService:
                     request_id, prepared, constants, deadline, budget,
                     token, future, self._refreshed_generation(), now,
                     tenant, tstate, form_name, cost,
+                    eval_workers=self._granted_workers(
+                        tstate, eval_workers
+                    ),
                 )
                 self.stats.note_admitted()
                 if tstate.stats is not None:
@@ -564,12 +588,26 @@ class QueryService:
         return future
 
     def run(self, constants=None, timeout=None, budget=None,
-            tenant=None, form=None, version=None, wait=None):
+            tenant=None, form=None, version=None, wait=None,
+            eval_workers=None):
         """Submit and block for the result (closed-loop convenience)."""
         return self.submit(
             constants, timeout=timeout, budget=budget, tenant=tenant,
-            form=form, version=version,
+            form=form, version=version, eval_workers=eval_workers,
         ).result(wait)
+
+    def _granted_workers(self, tstate, requested):
+        """The per-request parallel-evaluation grant: the request's ask
+        (or the service default), clamped by the tenant's
+        ``max_eval_workers``; grants below 2 collapse to serial."""
+        granted = requested if requested is not None else \
+            self.eval_workers
+        if granted is None:
+            return None
+        cap = tstate.quota.max_eval_workers
+        if cap is not None:
+            granted = min(granted, cap)
+        return granted if granted >= 2 else None
 
     def _resolve_form(self, form, version):
         """(prepared, form name, DRR cost) for one submit."""
@@ -881,9 +919,16 @@ class QueryService:
             attempt += 1
             budget = self._budget_for(request)
             attempt_started = self._clock()
+            run_options = {}
+            if request.eval_workers is not None:
+                # Only granted requests see the keyword, so duck-typed
+                # prepared objects without a ``workers`` parameter keep
+                # working on serial services.
+                run_options["workers"] = request.eval_workers
             try:
                 result = request.prepared.run(
-                    request.constants, db=request.db, budget=budget
+                    request.constants, db=request.db, budget=budget,
+                    **run_options
                 )
             except BudgetExceededError as exc:
                 self._charge(request, budget,
@@ -929,6 +974,7 @@ class QueryService:
                 "attempts": attempt,
                 "fallback": False,
                 "generation": id(request.db),
+                "eval_workers": request.eval_workers,
             }
             return result
 
@@ -939,7 +985,14 @@ class QueryService:
         if request.tstate.stats is not None:
             request.tstate.stats.bump("fallbacks")
         chain = tuple(m for m in DEFAULT_CHAIN if m != skip)
-        policy = FallbackPolicy(chain=chain)
+        if request.eval_workers is not None and skip != "parallel":
+            # A granted request degrades *through* the sharded fixpoint
+            # first; any worker failure continues down the serial chain.
+            chain = ("parallel",) + chain
+            policy = FallbackPolicy(chain=chain,
+                                    workers=request.eval_workers)
+        else:
+            policy = FallbackPolicy(chain=chain)
         report = run_resilient(
             request.prepared.bind(request.constants), request.db,
             policy,
@@ -952,6 +1005,7 @@ class QueryService:
             "fallback": True,
             "resilient": report.summary(),
             "generation": id(request.db),
+            "eval_workers": request.eval_workers,
         }
         return result
 

@@ -67,6 +67,7 @@ EXPECTED_STRATEGIES = {
     "naive", "magic", "sup_magic", "qsq", "classical_counting",
     "encoded_counting", "extended_counting", "reduced_counting",
     "pointer_counting", "cyclic_counting", "magic_counting",
+    "parallel",
 }
 
 
