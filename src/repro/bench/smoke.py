@@ -432,6 +432,52 @@ def run_parallel_probe():
     }
 
 
+def run_self_healing_probe():
+    """Exercise the self-healing supervision layer on one fixed drill.
+
+    The barrier-crash drill at probe size: SIGKILL worker 1 of a
+    two-worker pool at its second round barrier and let the default
+    reassign policy repair the pool in place.  The artifact tracks the
+    recovery counters (repairs, rounds replayed, recovery seconds) and
+    whether the healed run reproduced the undisturbed run's answers
+    and merged work counters exactly — the recovery invariant — so a
+    drift in either the repair mechanics or their cost shows up in the
+    artifact diff.
+    """
+    from ..engine.faults import FaultInjector
+    from ..exec.strategies import run_strategy
+
+    workload = WORKLOADS["sg_cylinder"]
+    db, _source = workload.make_db(width=6, height=16)
+    oracle = run_strategy("parallel", workload.query, db, workers=2)
+    injector = FaultInjector(seed=0).crash_at_barrier(
+        worker=1, barrier=2
+    )
+    with injector:
+        healed = run_strategy(
+            "parallel", workload.query, db, workers=2
+        )
+    recovery = healed.extras["recovery"]
+    return {
+        "label": "sg_cylinder",
+        "workers": 2,
+        "mode": recovery["policy"]["mode"],
+        "crashes": recovery["crashes"],
+        "hangs": recovery["hangs"],
+        "repairs": recovery["repairs"],
+        "reassignments": recovery["reassignments"],
+        "respawns": recovery["respawns"],
+        "rounds_replayed": recovery["rounds_replayed"],
+        "recovery_seconds": recovery["recovery_seconds"],
+        "checkpoints": recovery["checkpoints"],
+        "healed_elapsed": healed.elapsed,
+        "oracle_elapsed": oracle.elapsed,
+        "answers_match": healed.answers == oracle.answers,
+        "counters_match": (healed.stats.as_dict()
+                           == oracle.stats.as_dict()),
+    }
+
+
 def run_durability_probe():
     """Exercise the durability layer: logged ingest, crash, recovery.
 
@@ -523,6 +569,7 @@ def write_smoke(directory=".", tag=None):
         "service": run_service_probe(),
         "tenancy": run_tenancy_probe(),
         "parallel": run_parallel_probe(),
+        "self_healing": run_self_healing_probe(),
         "durability": run_durability_probe(),
         "total_elapsed": sum(
             r["elapsed"] for r in records if r["elapsed"] is not None

@@ -204,6 +204,15 @@ def _run_loaded(args, query, db, out):
             return 1
         return _cmd_run_prepared(args, query, db, out)
     workers = args.workers
+    recovery = getattr(args, "recovery", None)
+    max_repairs = getattr(args, "max_repairs", None)
+    if recovery is not None or max_repairs is not None:
+        from .parallel import RecoveryPolicy
+
+        recovery = RecoveryPolicy(
+            mode=recovery if recovery is not None else "reassign",
+            max_repairs=max_repairs if max_repairs is not None else 2,
+        )
     if args.resilient:
         from .exec.resilient import DEFAULT_CHAIN, FallbackPolicy, \
             run_resilient
@@ -223,6 +232,7 @@ def _run_loaded(args, query, db, out):
         policy = FallbackPolicy(
             chain=chain, timeout=args.timeout, max_facts=args.max_facts,
             workers=workers if workers is not None else 2,
+            recovery=recovery,
         )
         report = run_resilient(query, db, policy)
         result = report.result
@@ -245,7 +255,7 @@ def _run_loaded(args, query, db, out):
             try:
                 result = run_strategy(
                     "parallel", query, db, budget=_make_budget(args),
-                    workers=workers,
+                    workers=workers, recovery=recovery,
                 )
             except (NotApplicableError, EvaluationError) as exc:
                 out.write(
@@ -260,6 +270,18 @@ def _run_loaded(args, query, db, out):
                        result.extras["barriers"],
                        result.extras["exchange_bytes"])
                 )
+                healing = result.extras.get("recovery") or {}
+                if healing.get("repairs"):
+                    out.write(
+                        "healed : %d repairs (%d crashes, %d hangs, "
+                        "%d reassigned, %d respawned, %d rounds "
+                        "replayed, %.4fs)\n"
+                        % (healing["repairs"], healing["crashes"],
+                           healing["hangs"], healing["reassignments"],
+                           healing["respawns"],
+                           healing["rounds_replayed"],
+                           healing["recovery_seconds"])
+                    )
         if result is None:
             plan = optimize(query, db if args.method == "auto" else None,
                             method=args.method)
@@ -403,6 +425,7 @@ def _cmd_serve_bench(args, out):
         breakers=BreakerBoard(threshold=args.breaker_threshold),
         audit=audit, tenants=tenants,
         eval_workers=args.eval_workers,
+        eval_recovery=getattr(args, "recovery", None),
     )
     out.write(
         "method : %s (%d worker(s), queue capacity %d)\n"
@@ -581,6 +604,17 @@ def build_parser():
              "planning or worker failure",
     )
     run.add_argument(
+        "--recovery", choices=("reassign", "respawn", "serial"),
+        help="self-healing policy for --workers: reassign dead "
+             "workers' shards onto survivors, respawn replacements, "
+             "or degrade to serial on the first failure",
+    )
+    run.add_argument(
+        "--max-repairs", type=int, metavar="N",
+        help="repairs the supervisor may attempt before giving up "
+             "(default 2)",
+    )
+    run.add_argument(
         "--cache", type=int, nargs="?", const=128, metavar="CAPACITY",
         help="prepare the query once and serve it through an LRU "
              "answer cache (default capacity 128)",
@@ -662,6 +696,11 @@ def build_parser():
         "--eval-workers", type=int, metavar="N",
         help="grant each request N data-parallel evaluation processes "
              "(distinct from --workers, the service's thread pool)",
+    )
+    serve.add_argument(
+        "--recovery", choices=("reassign", "respawn", "serial"),
+        help="self-healing policy for --eval-workers pools (see "
+             "'run --recovery')",
     )
     serve.add_argument("--capacity", type=int, default=8,
                        help="admission queue capacity (default 8)")

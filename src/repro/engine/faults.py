@@ -122,6 +122,33 @@ def active_injector():
     return _ACTIVE
 
 
+#: Plan fields that target a specific parallel worker's process.
+_WORKER_PLAN_FIELDS = (
+    "_kill_worker_target", "_kill_worker_after",
+    "_hang_worker_target", "_hang_worker_after",
+    "_slow_worker_target", "_slow_worker_every",
+)
+
+
+def strip_worker_plans(spec):
+    """A :meth:`FaultInjector.spec` copy with worker-targeted failure
+    plans disarmed.
+
+    Respawned replacement workers are built from this: the injected
+    kill/hang/slow plans model a one-time environmental failure of the
+    original process, and arming them again in the replacement would
+    make every respawn re-fail by construction.  All other plans (probe
+    delays, mid-fixpoint raises, WAL damage) ship unchanged.
+    """
+    if spec is None:
+        return None
+    plans = dict(spec["plans"])
+    for name in _WORKER_PLAN_FIELDS:
+        if name in plans:
+            plans[name] = None
+    return {"seed": spec["seed"], "plans": plans}
+
+
 class FaultInjector:
     """Configurable fault plan; use as a context manager.
 
@@ -156,6 +183,12 @@ class FaultInjector:
         self._crash_fsync_after = None
         self._kill_worker_target = None
         self._kill_worker_after = None
+        self._hang_worker_target = None
+        self._hang_worker_after = None
+        self._hang_seconds = 3600.0
+        self._slow_worker_target = None
+        self._slow_worker_seconds = 0.0
+        self._slow_worker_every = None
         #: Which parallel worker this injector runs inside (``None`` on
         #: the coordinator); set by :meth:`derive`.
         self.worker_index = None
@@ -174,6 +207,8 @@ class FaultInjector:
         self.wal_torn = 0
         self.wal_corrupted = 0
         self.wal_fsyncs_skipped = 0
+        self.workers_hung = 0
+        self.rounds_slowed = 0
         # Patching state.
         self._installed = False
         self._orig_lookup = None
@@ -283,6 +318,60 @@ class FaultInjector:
         self._kill_worker_after = after
         return self
 
+    def crash_at_barrier(self, worker, barrier=1):
+        """SIGKILL parallel worker ``worker`` at its ``barrier``-th
+        round barrier.
+
+        The self-healing drills' name for :meth:`kill_worker`: the
+        worker-side round checkpoint fires after the round's join work
+        and *before* the reply ships, so the damage lands exactly at
+        the barrier the coordinator is waiting on — the checkpoint it
+        must recover from.
+        """
+        return self.kill_worker(worker, after=barrier)
+
+    def hang_at_barrier(self, worker, barrier=1, seconds=3600.0):
+        """Wedge worker ``worker`` at its ``barrier``-th round barrier.
+
+        One-shot: the worker's main loop sleeps ``seconds`` at the
+        checkpoint — after the round's join work, before the reply —
+        while its heartbeat thread keeps beating.  That is the failure
+        ``is_alive`` can never see: the coordinator's barrier deadline
+        (:class:`~repro.parallel.supervisor.RecoveryPolicy.
+        barrier_timeout`) is the only detector, and the supervision
+        layer must repair without waiting out the sleep.
+        """
+        if barrier < 1:
+            raise ValueError("barrier must be >= 1")
+        if worker < 0:
+            raise ValueError("worker must be >= 0")
+        if seconds <= 0:
+            raise ValueError("seconds must be positive")
+        self._hang_worker_target = worker
+        self._hang_worker_after = barrier
+        self._hang_seconds = seconds
+        return self
+
+    def slow_worker(self, worker, seconds, every=1):
+        """Delay worker ``worker`` by ``seconds`` at every ``every``-th
+        round barrier.
+
+        Repeating (not one-shot): the straggler it models is a slow
+        machine, not a single slow round.  Speculative re-execution
+        should win the race on every delayed round once the round-time
+        median is established.
+        """
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        if worker < 0:
+            raise ValueError("worker must be >= 0")
+        if seconds <= 0:
+            raise ValueError("seconds must be positive")
+        self._slow_worker_target = worker
+        self._slow_worker_seconds = seconds
+        self._slow_worker_every = every
+        return self
+
     # -- per-worker derivation ---------------------------------------
 
     #: Plan fields shipped to workers; everything else (locks, patching
@@ -293,6 +382,9 @@ class FaultInjector:
         "_section_every", "_section_seconds", "_section_points",
         "_torn_after", "_torn_keep", "_corrupt_wal_after",
         "_crash_fsync_after", "_kill_worker_target", "_kill_worker_after",
+        "_hang_worker_target", "_hang_worker_after", "_hang_seconds",
+        "_slow_worker_target", "_slow_worker_seconds",
+        "_slow_worker_every",
     )
 
     def spec(self):
@@ -372,30 +464,58 @@ class FaultInjector:
     # -- fault behaviours --------------------------------------------
 
     def _observe(self, point, stats):
+        # Decide under the lock, act outside it: an injected sleep (a
+        # hang or a slow round) held under ``_counter_lock`` would also
+        # stall every *other* thread's checkpoint accounting, which is
+        # not part of the failure being modelled.
+        action = None
         with self._counter_lock:
             self.checkpoints_seen += 1
-            if (
-                self._kill_worker_target is not None
-                and self.worker_index == self._kill_worker_target
-                and point == "round"
-                and self.checkpoints_seen >= self._kill_worker_after
-            ):
-                # A real kill -9: no cleanup, no exception, no flushing
-                # of the pipe — the coordinator must cope with silence.
-                os.kill(os.getpid(), signal.SIGKILL)
-            if (
+            seen = self.checkpoints_seen
+            if point == "round" and self.worker_index is not None:
+                me = self.worker_index
+                if (
+                    self._kill_worker_target == me
+                    and self._kill_worker_after is not None
+                    and seen >= self._kill_worker_after
+                ):
+                    action = ("kill",)
+                elif (
+                    self._hang_worker_target == me
+                    and self._hang_worker_after is not None
+                    and seen >= self._hang_worker_after
+                ):
+                    self._hang_worker_after = None  # one-shot
+                    self.workers_hung += 1
+                    action = ("sleep", self._hang_seconds)
+                elif (
+                    self._slow_worker_target == me
+                    and self._slow_worker_every is not None
+                    and seen % self._slow_worker_every == 0
+                ):
+                    self.rounds_slowed += 1
+                    action = ("sleep", self._slow_worker_seconds)
+            if action is None and not (
                 self._raise_after is None
                 or point not in self._raise_points
-                or self.checkpoints_seen < self._raise_after
+                or seen < self._raise_after
             ):
-                return
-            self.faults_raised += 1
-            self._raise_after = None  # one-shot
-            seen = self.checkpoints_seen
-        raise InjectedFault(
-            "%s (at %s checkpoint %d)"
-            % (self._raise_message, point, seen)
-        )
+                self.faults_raised += 1
+                self._raise_after = None  # one-shot
+                action = ("raise", seen)
+        if action is None:
+            return
+        if action[0] == "kill":
+            # A real kill -9: no cleanup, no exception, no flushing
+            # of the pipe — the coordinator must cope with silence.
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif action[0] == "sleep":
+            self._sleep(action[1])
+        else:
+            raise InjectedFault(
+                "%s (at %s checkpoint %d)"
+                % (self._raise_message, point, action[1])
+            )
 
     def _wal_observe(self, point, size):
         """Decide what happens at a WAL boundary; see :func:`wal_event`.
@@ -533,6 +653,19 @@ class FaultInjector:
             plans.append(
                 "kill-worker(%d)@%d"
                 % (self._kill_worker_target, self._kill_worker_after)
+            )
+        if self._hang_worker_target is not None \
+                and self._hang_worker_after is not None:
+            plans.append(
+                "hang-worker(%d)@%d"
+                % (self._hang_worker_target, self._hang_worker_after)
+            )
+        if self._slow_worker_target is not None \
+                and self._slow_worker_every is not None:
+            plans.append(
+                "slow-worker(%d, %gs/%d)"
+                % (self._slow_worker_target, self._slow_worker_seconds,
+                   self._slow_worker_every)
             )
         return "FaultInjector(%s%s)" % (
             "installed, " if self._installed else "",

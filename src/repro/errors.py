@@ -101,6 +101,62 @@ class EvaluationError(ReproError):
         return (_rebuild_error, (type(self), self.args, self.__dict__))
 
 
+class WorkerCrashError(EvaluationError):
+    """A parallel pool worker died or its channel broke mid-evaluation.
+
+    An :class:`EvaluationError`, so the resilient runner treats the
+    crash like any other strategy failure and degrades to the next
+    (serial) strategy in the chain.  Under a self-healing
+    :class:`~repro.parallel.supervisor.RecoveryPolicy` the executor
+    repairs the pool in place instead and this error is raised only
+    when the policy forbids repair (``mode="serial"``).
+    """
+
+
+class WorkerHungError(WorkerCrashError):
+    """A parallel pool worker stopped responding without dying.
+
+    Raised when a worker's heartbeats go silent while its process is
+    still alive, or when it overstays the coordinator's barrier
+    deadline — the wedged-process and stuck-round cases a plain
+    ``is_alive`` check can never see.  A :class:`WorkerCrashError`
+    subtype: every handler that survives a dead worker survives a hung
+    one the same way.
+    """
+
+
+class PlanViolationError(EvaluationError):
+    """A parallel worker observed state the partition plan promised
+    impossible.
+
+    The canonical case is a derived value missing from the worker's
+    intern pool: the planner guarantees all derivable values are known
+    at pool start, so a miss means the plan mis-classified the program
+    and the only safe move is to abandon the parallel attempt.
+    """
+
+
+class RecoveryExhaustedError(EvaluationError):
+    """The self-healing executor ran out of repair allowance.
+
+    Raised when worker failures outnumber
+    :class:`~repro.parallel.supervisor.RecoveryPolicy`'s
+    ``max_repairs`` (or no survivor remains to reassign onto).  Still
+    an :class:`EvaluationError`: the resilient chain treats it as the
+    signal to degrade to a serial strategy — serial restart is the
+    *last* resort, after in-place repair has been tried.
+
+    ``repairs`` carries the repair log (one dict per recovery event,
+    crashes and repairs alike) and ``rounds`` how many fixpoint rounds
+    completed before the executor gave up; both survive pickling.
+    """
+
+    def __init__(self, message="", stats=None, repairs=None, rounds=0):
+        super().__init__(message, stats=stats)
+        self.repairs = list(repairs) if repairs else []
+        self.rounds = rounds
+
+
 class BudgetExceededError(ReproError):
     """A resource budget was exhausted before evaluation converged.
 

@@ -391,7 +391,8 @@ class PreparedQuery:
 
     # -- evaluation ----------------------------------------------------
 
-    def run(self, constants=None, db=None, budget=None, workers=None):
+    def run(self, constants=None, db=None, budget=None, workers=None,
+            recovery=None):
         """Evaluate the form for one binding; returns an
         :class:`~repro.exec.strategies.ExecutionResult`.
 
@@ -405,8 +406,12 @@ class PreparedQuery:
         sharded-fixpoint ``parallel`` strategy.  Either path degrades
         to the prepared serial evaluation on any worker or planning
         failure — ``extras["parallel_fallback"]`` then names the error
-        class.  Answers are byte-identical either way, so the answer
-        cache is keyed without ``workers``.
+        class.  ``recovery`` tunes the sharded stage's self-healing
+        (a :class:`~repro.parallel.supervisor.RecoveryPolicy` or mode
+        string; default shard reassignment), so a worker crash is
+        repaired in place before this serial fallback is considered.
+        Answers are byte-identical either way, so the answer cache is
+        keyed without ``workers`` or ``recovery``.
         """
         if db is None:
             raise TypeError("PreparedQuery.run() requires a database")
@@ -437,7 +442,7 @@ class PreparedQuery:
             stats.prepare_reuse = 1
         self._runs += 1
         result = self._execute(constants, db, stats, budget, started,
-                               workers=workers)
+                               workers=workers, recovery=recovery)
         if self.cache is not None:
             extras = {
                 name: value
@@ -447,15 +452,17 @@ class PreparedQuery:
             self.cache.put(key, (db.lineage, result.answers, extras))
         return result
 
-    def run_batch(self, bindings, db=None, budget=None, workers=None):
+    def run_batch(self, bindings, db=None, budget=None, workers=None,
+                  recovery=None):
         """Evaluate many bindings; results in the order of ``bindings``."""
         return [
-            self.run(binding, db=db, budget=budget, workers=workers)
+            self.run(binding, db=db, budget=budget, workers=workers,
+                     recovery=recovery)
             for binding in bindings
         ]
 
     def _execute(self, constants, db, stats, budget, started,
-                 workers=None):
+                 workers=None, recovery=None):
         family = self._family
         parallel_fallback = None
         phase1_parallel = (
@@ -468,7 +475,7 @@ class PreparedQuery:
             try:
                 result = run_strategy(
                     "parallel", self.bind(constants), db,
-                    budget=budget, workers=workers,
+                    budget=budget, workers=workers, recovery=recovery,
                 )
             except (NotApplicableError, EvaluationError) as exc:
                 parallel_fallback = type(exc).__name__

@@ -74,15 +74,20 @@ class FallbackPolicy:
     ``isolate`` runs each attempt on a database snapshot.  ``catch`` is
     the tuple of error classes that trigger degradation.  ``workers``
     sizes the pool of any ``parallel`` stage in the chain (ignored by
-    serial strategies).
+    serial strategies).  ``recovery`` is that stage's self-healing
+    policy (a :class:`~repro.parallel.supervisor.RecoveryPolicy`, a
+    mode string, or ``None`` for the default shard-reassignment
+    policy): with it, degrading to a serial stage happens only *after*
+    in-place repair has been exhausted — the last resort, not the
+    first response.
     """
 
     __slots__ = ("chain", "timeout", "max_facts", "max_rounds",
-                 "isolate", "catch", "workers")
+                 "isolate", "catch", "workers", "recovery")
 
     def __init__(self, chain=DEFAULT_CHAIN, timeout=None, max_facts=None,
                  max_rounds=None, isolate=True, catch=DEGRADABLE_ERRORS,
-                 workers=2):
+                 workers=2, recovery=None):
         chain = tuple(chain)
         if not chain:
             raise ValueError("fallback chain must name at least one strategy")
@@ -99,6 +104,7 @@ class FallbackPolicy:
         self.isolate = isolate
         self.catch = tuple(catch)
         self.workers = workers
+        self.recovery = recovery
 
     def make_budget(self):
         """A fresh per-attempt budget, or ``None`` when unlimited."""
@@ -121,10 +127,11 @@ class FallbackPolicy:
 class AttemptRecord:
     """One stage of a resilient run: a strategy and its outcome."""
 
-    __slots__ = ("method", "error", "elapsed", "stats", "breaker_state")
+    __slots__ = ("method", "error", "elapsed", "stats", "breaker_state",
+                 "rounds", "recovery")
 
     def __init__(self, method, error=None, elapsed=0.0, stats=None,
-                 breaker_state=None):
+                 breaker_state=None, rounds=0, recovery=None):
         self.method = method
         #: The typed error the stage failed with, or ``None`` on success.
         self.error = error
@@ -137,6 +144,20 @@ class AttemptRecord:
         #: :class:`~repro.errors.CircuitOpenError` attempt with
         #: ``elapsed == 0`` is a skip, not a real execution.
         self.breaker_state = breaker_state
+        #: Fixpoint rounds the stage completed before failing — for a
+        #: crashed/hung parallel attempt, how much work the serial
+        #: restart is re-doing.
+        self.rounds = rounds
+        #: The parallel stage's self-healing story (the supervisor's
+        #: ``as_dict()``: crashes, hangs, repairs, the event log), or
+        #: ``None`` for serial stages.  Carried even on failure so the
+        #: report shows what recovery tried before degrading.
+        self.recovery = recovery
+
+    @property
+    def repair_count(self):
+        """In-place repairs the stage's supervisor performed."""
+        return 0 if not self.recovery else self.recovery.get("repairs", 0)
 
     @property
     def failed(self):
@@ -208,6 +229,10 @@ class ExecutionReport:
             )
             if attempt.breaker_state is not None:
                 outcome += "  [breaker: %s]" % attempt.breaker_state
+            if attempt.recovery is not None:
+                outcome += "  [recovery: %d repairs, %d rounds]" % (
+                    attempt.repair_count, attempt.rounds
+                )
             lines.append(
                 "%-18s %8.4fs  %s" % (attempt.method, attempt.elapsed,
                                       outcome)
@@ -235,6 +260,9 @@ class ExecutionReport:
                     "outcome": attempt.error_class or "ok",
                     "elapsed": attempt.elapsed,
                     "breaker": attempt.breaker_state,
+                    "rounds": attempt.rounds,
+                    "repairs": attempt.repair_count,
+                    "recovery": attempt.recovery,
                 }
                 for attempt in self.attempts
             ],
@@ -294,8 +322,10 @@ def run_resilient(query, db, policy=None, breakers=None,
         budget = budget_factory() if budget_factory is not None \
             else policy.make_budget()
         attempt_db = db.copy() if policy.isolate else db
-        options = {"workers": policy.workers} if method == "parallel" \
-            else {}
+        options = (
+            {"workers": policy.workers, "recovery": policy.recovery}
+            if method == "parallel" else {}
+        )
         started = perf_counter()
         try:
             result = run_strategy(method, query, attempt_db,
@@ -313,17 +343,26 @@ def run_resilient(query, db, policy=None, breakers=None,
                     stats=getattr(exc, "stats", None),
                     breaker_state=None if breaker is None
                     else breaker.state,
+                    # A failed parallel stage ships its recovery story
+                    # on the error (repair log + rounds completed), so
+                    # the degraded report still shows what self-healing
+                    # tried before the serial restart.
+                    rounds=getattr(exc, "rounds", 0) or 0,
+                    recovery=getattr(exc, "recovery", None),
                 )
             )
             continue
         if breaker is not None:
             breaker.record_success()
+        extras = getattr(result, "extras", None) or {}
         report.attempts.append(
             AttemptRecord(
                 method, elapsed=perf_counter() - started,
                 stats=result.stats,
                 breaker_state=None if breaker is None
                 else breaker.state,
+                rounds=result.stats.iterations,
+                recovery=extras.get("recovery"),
             )
         )
         report.result = result

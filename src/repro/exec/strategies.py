@@ -453,17 +453,25 @@ def run_magic_counting(query, db, budget=None):
 
 
 def run_parallel(query, db, budget=None, workers=2, inline=False,
-                 plan=None):
+                 plan=None, recovery=None):
     """Data-parallel sharded fixpoint over a multiprocess worker pool.
 
     Plans with :func:`~repro.parallel.plan.plan_partitions`, executes
     with :class:`~repro.parallel.executor.ParallelEngine`; see
     :mod:`repro.parallel`.  ``workers=0`` (or ``inline=True``) runs the
     same engine serially in-process — the baseline whose answers *and*
-    merged counters every multiprocess run must reproduce.  Worker
-    failures surface as typed
-    :class:`~repro.parallel.executor.WorkerCrashError`s, so a fallback
-    chain degrades to a serial strategy instead of hanging.
+    merged counters every multiprocess run must reproduce.
+
+    ``recovery`` selects the self-healing behaviour: a
+    :class:`~repro.parallel.supervisor.RecoveryPolicy`, a mode string,
+    or ``None`` for the default (shard reassignment).  Under
+    ``"reassign"``/``"respawn"`` worker death and hangs are repaired in
+    place from the last barrier checkpoint; only under ``"serial"`` (or
+    once the repair allowance is spent) do failures surface as typed
+    :class:`~repro.errors.WorkerCrashError` /
+    :class:`~repro.errors.WorkerHungError` /
+    :class:`~repro.errors.RecoveryExhaustedError`, which a fallback
+    chain degrades past instead of hanging.
     """
     from ..parallel import ParallelEngine
 
@@ -471,7 +479,7 @@ def run_parallel(query, db, budget=None, workers=2, inline=False,
     started = time.perf_counter()
     engine = ParallelEngine(
         query, db, workers=workers, stats=stats, budget=budget,
-        plan=plan, inline=inline,
+        plan=plan, inline=inline, recovery=recovery,
     )
     engine.run()
     elapsed = time.perf_counter() - started

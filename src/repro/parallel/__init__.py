@@ -10,7 +10,13 @@ a byte-identical serial replay.  See ``docs/api.md`` ("Parallel
 evaluation") for the worker lifecycle and fallback semantics.
 """
 
-from .executor import ParallelEngine, PlanViolationError, WorkerCrashError
+from .executor import (
+    ParallelEngine,
+    PlanViolationError,
+    RecoveryExhaustedError,
+    WorkerCrashError,
+    WorkerHungError,
+)
 from .plan import (
     DEFAULT_BROADCAST_ROWS,
     PartitionedPlan,
@@ -18,13 +24,27 @@ from .plan import (
     shard_of,
     shard_rows,
 )
+from .supervisor import (
+    RECOVERY_MODES,
+    RecoveryPolicy,
+    RepairEvent,
+    RoundCheckpoint,
+    Supervisor,
+)
 
 __all__ = [
     "DEFAULT_BROADCAST_ROWS",
     "ParallelEngine",
     "PartitionedPlan",
     "PlanViolationError",
+    "RECOVERY_MODES",
+    "RecoveryExhaustedError",
+    "RecoveryPolicy",
+    "RepairEvent",
+    "RoundCheckpoint",
+    "Supervisor",
     "WorkerCrashError",
+    "WorkerHungError",
     "plan_partitions",
     "shard_of",
     "shard_rows",

@@ -391,16 +391,23 @@ class QueryService:
         phase 1).  ``None`` = serial.  A submit's ``eval_workers``
         overrides it per request; the tenant quota's
         ``max_eval_workers`` clamps whatever was asked, so one tenant
-        cannot fan out past its allowance.  Evaluation always degrades
-        to serial on any worker failure — parallelism never changes
+        cannot fan out past its allowance.  Worker failures are
+        repaired in place by the sharded executor's self-healing
+        policy (``eval_recovery``); evaluation degrades to serial only
+        once that allowance is spent — parallelism never changes
         answers.
+    eval_recovery : RecoveryPolicy, str or None
+        Self-healing policy for data-parallel attempts (a
+        :class:`~repro.parallel.supervisor.RecoveryPolicy` or a mode
+        string ``"reassign"`` / ``"respawn"`` / ``"serial"``).
+        ``None`` leaves the executor's default (shard reassignment).
     """
 
     def __init__(self, prepared, db, workers=2, queue_capacity=16,
                  default_timeout=None, retry=None, breakers=None,
                  fallback=True, snapshots=True, audit=None, clock=None,
                  sleep=None, registry=None, tenants=None, quantum=1.0,
-                 eval_workers=None):
+                 eval_workers=None, eval_recovery=None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if queue_capacity < 1:
@@ -423,6 +430,7 @@ class QueryService:
         if eval_workers is not None and eval_workers < 1:
             raise ValueError("eval_workers must be >= 1")
         self.eval_workers = eval_workers
+        self.eval_recovery = eval_recovery
         self._clock = clock if clock is not None else time.monotonic
         self._sleep = sleep if sleep is not None else time.sleep
         #: One lock under which admission counters, the inflight gauge
@@ -921,10 +929,14 @@ class QueryService:
             attempt_started = self._clock()
             run_options = {}
             if request.eval_workers is not None:
-                # Only granted requests see the keyword, so duck-typed
+                # Only granted requests see the keywords, so duck-typed
                 # prepared objects without a ``workers`` parameter keep
-                # working on serial services.
+                # working on serial services; ``recovery`` rides along
+                # only when the service configures one, for the same
+                # reason.
                 run_options["workers"] = request.eval_workers
+                if self.eval_recovery is not None:
+                    run_options["recovery"] = self.eval_recovery
             try:
                 result = request.prepared.run(
                     request.constants, db=request.db, budget=budget,
@@ -990,7 +1002,8 @@ class QueryService:
             # first; any worker failure continues down the serial chain.
             chain = ("parallel",) + chain
             policy = FallbackPolicy(chain=chain,
-                                    workers=request.eval_workers)
+                                    workers=request.eval_workers,
+                                    recovery=self.eval_recovery)
         else:
             policy = FallbackPolicy(chain=chain)
         report = run_resilient(

@@ -36,3 +36,10 @@ def test_write_smoke_artifact(tmp_path):
     for record in storage["columnar"]:
         assert record["column_bytes"] > 0
         assert record["elapsed"] >= 0.0
+    healing = payload["self_healing"]
+    assert healing["answers_match"] is True
+    assert healing["counters_match"] is True
+    assert healing["crashes"] == 1
+    assert healing["repairs"] == 1
+    assert healing["rounds_replayed"] == 1
+    assert healing["recovery_seconds"] >= 0.0

@@ -217,6 +217,17 @@ class TestExecutorEquivalence:
         assert set(phases) == {"plan", "execute"}
         assert "partition" in result.extras["plan"]
 
+    def test_missing_base_relations_yield_empty_answers(self):
+        """An empty database (every base relation an EmptyRelation
+        stand-in) runs cleanly through the sharded executor instead of
+        crashing while shipping shards, and agrees with serial."""
+        w = WORKLOADS["sg_tree"]
+        db = Database.from_text("")
+        naive = run_strategy("naive", w.query, db)
+        result = run_strategy("parallel", w.query, db, workers=2)
+        assert result.answers == naive.answers
+        assert not result.answers
+
     def test_nonlinear_raises_not_applicable(self):
         w = WORKLOADS["nonlinear"]
         db, _src = w.make_db()
@@ -315,8 +326,10 @@ class TestFaultDerivation:
 
 class TestCrashDegradation:
     def test_sigkill_mid_round_degrades_to_serial(self, fault_injector):
-        """A SIGKILLed worker surfaces as a typed attempt record and
-        the chain completes serially — no hang, no partial answers."""
+        """With recovery="serial" a SIGKILLed worker surfaces as a
+        typed attempt record and the chain completes serially — no
+        hang, no partial answers.  (The self-healing default would
+        instead repair the pool in place; see test_self_healing.py.)"""
         w = WORKLOADS["sg_tree"]
         db, _src = w.make_db(fanout=3, depth=5)
         naive = run_strategy("naive", w.query, db)
@@ -324,7 +337,8 @@ class TestCrashDegradation:
         with fault_injector:
             report = run_resilient(
                 w.query, db,
-                FallbackPolicy(chain=PARALLEL_CHAIN, workers=2),
+                FallbackPolicy(chain=PARALLEL_CHAIN, workers=2,
+                               recovery="serial"),
             )
         assert report.succeeded
         assert report.method != "parallel"
